@@ -1,0 +1,95 @@
+// A3 -- Solver ablation: the same core-COP Ising instances handed to every
+// solver in the library (bSB, dSB, SA on the Ising model; alternating
+// minimization, annealing, branch-and-bound, and -- on tiny shapes --
+// exhaustive search on the COP). Reports solution quality and time,
+// separating the contribution of the Ising *formulation* from the bSB
+// *search*.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "funcs/continuous.hpp"
+#include "ising/sa.hpp"
+
+int main(int argc, char** argv) {
+  using namespace adsd;
+  const CliArgs args(argc, argv);
+
+  const unsigned n = static_cast<unsigned>(args.get_size("n", 9));
+  const unsigned free_size = static_cast<unsigned>(args.get_size("free", 4));
+  const std::size_t instances = args.get_size("instances", 16);
+  const std::uint64_t seed = args.get_size("seed", 42);
+
+  std::cout << "== Ablation A3: solver comparison on identical core-COP "
+               "instances ==\n"
+            << "instances: " << instances << " (ln, n=" << n
+            << ", free=" << free_size << ", separate mode)\n\n";
+
+  const auto exact = make_continuous_table(continuous_spec("ln"), n, n);
+  const auto dist = InputDistribution::uniform(n);
+  Rng rng(seed);
+  std::vector<ColumnCop> pool;
+  for (std::size_t i = 0; i < instances; ++i) {
+    const auto w = InputPartition::random(n, free_size, rng);
+    const auto m =
+        BooleanMatrix::from_function(exact, static_cast<unsigned>(i % n), w);
+    pool.push_back(ColumnCop::separate(m, matrix_probs(dist, w)));
+  }
+
+  Table table({"solver", "avg objective", "total time (s)", "notes"});
+
+  auto run_cop_solver = [&](const std::string& label,
+                            const CoreCopSolver& solver,
+                            const std::string& notes) {
+    double sum = 0.0;
+    Timer timer;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      CoreSolveStats stats;
+      (void)solver.solve(pool[i], seed + i, &stats);
+      sum += stats.objective;
+    }
+    table.add_row({label, Table::num(sum / static_cast<double>(pool.size()), 5),
+                   Table::num(timer.seconds(), 3), notes});
+  };
+
+  run_cop_solver("bSB (proposed)",
+                 IsingCoreSolver(IsingCoreSolver::Options::paper_defaults(n)),
+                 "dynamic stop + Theorem 3");
+  {
+    auto opts = IsingCoreSolver::Options::paper_defaults(n);
+    opts.sb.discrete = true;
+    run_cop_solver("dSB", IsingCoreSolver(opts), "discrete SB variant");
+  }
+  {
+    // SA directly on the Ising formulation (not the BA setting-level SA).
+    double sum = 0.0;
+    Timer timer;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      const IsingModel model = pool[i].to_ising();
+      SaParams sp;
+      sp.sweeps = 300;
+      sp.seed = seed + i;
+      const auto res = solve_sa(model, sp);
+      auto s = pool[i].decode(res.spins);
+      sum += pool[i].objective(s);
+    }
+    table.add_row({"SA on Ising model",
+                   Table::num(sum / static_cast<double>(pool.size()), 5),
+                   Table::num(timer.seconds(), 3),
+                   "sequential spin updates"});
+  }
+  run_cop_solver("alternating min", AlternatingCoreSolver(8), "Lloyd-style");
+  run_cop_solver("BA anneal", AnnealCoreSolver(), "setting-level SA");
+  run_cop_solver("greedy (DALTA)", HeuristicCoreSolver(), "one-shot");
+  {
+    BnbCoreSolver::Options opt;
+    opt.time_budget_s = args.get_double("ilp-budget", 0.5);
+    run_cop_solver("B&B (ILP stand-in)", BnbCoreSolver(opt),
+                   "anytime exact");
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: B&B gives the reference optimum; bSB/dSB "
+               "land on or near it orders of magnitude faster than B&B and "
+               "clearly better than the greedy baseline.\n";
+  return 0;
+}

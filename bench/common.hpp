@@ -1,0 +1,65 @@
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "boolean/error_metrics.hpp"
+#include "core/cop_solvers.hpp"
+#include "core/dalta.hpp"
+#include "funcs/registry.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace adsd::bench {
+
+/// Builds the named core-COP solver with benchmark-appropriate settings.
+///
+///   "prop"       : the paper's Ising/bSB solver (dynamic stop + Theorem 3)
+///   "dalta"      : greedy baseline, strengthened with alternating sweeps
+///   "dalta-lit"  : literal one-shot greedy (closest DALTA reconstruction)
+///   "ilp"        : anytime exact B&B (DALTA-ILP / Gurobi stand-in)
+///   "ba"         : simulated-annealing baseline (BA reconstruction)
+///   "alt"        : alternating minimization
+inline std::unique_ptr<CoreCopSolver> make_solver(const std::string& name,
+                                                  unsigned num_inputs,
+                                                  double ilp_budget_s) {
+  if (name == "prop") {
+    return std::make_unique<IsingCoreSolver>(
+        IsingCoreSolver::Options::paper_defaults(num_inputs));
+  }
+  if (name == "dalta") {
+    return std::make_unique<HeuristicCoreSolver>();
+  }
+  if (name == "dalta-lit") {
+    return std::make_unique<HeuristicCoreSolver>(0);
+  }
+  if (name == "ilp") {
+    BnbCoreSolver::Options opt;
+    opt.time_budget_s = ilp_budget_s;
+    return std::make_unique<BnbCoreSolver>(opt);
+  }
+  if (name == "ba") {
+    return std::make_unique<AnnealCoreSolver>();
+  }
+  if (name == "alt") {
+    return std::make_unique<AlternatingCoreSolver>();
+  }
+  throw std::invalid_argument("unknown solver '" + name + "'");
+}
+
+/// Prints the standard bench header: what experiment, what scale, and how
+/// the run differs from the paper's full configuration.
+inline void print_header(const std::string& experiment,
+                         const std::string& paper_config,
+                         const DaltaParams& params) {
+  std::cout << "== " << experiment << " ==\n"
+            << "paper configuration: " << paper_config << "\n"
+            << "this run: P=" << params.num_partitions
+            << " R=" << params.rounds << " free=" << params.free_size
+            << " seed=" << params.seed
+            << "  (override with --p/--rounds/--seed; paper-scale runs take "
+               "much longer)\n\n";
+}
+
+}  // namespace adsd::bench

@@ -1,0 +1,144 @@
+// Micro-kernels (google-benchmark): the hot loops behind the experiment
+// harnesses -- bSB Euler steps, Ising energy evaluation, Boolean-matrix
+// construction, COP building, and Theorem-3 resets -- sized like the
+// paper's two quantization schemes (n = 9: 16x32 matrices, 64 spins;
+// n = 16: 128x512 matrices, 768 spins).
+
+#include <benchmark/benchmark.h>
+
+#include "boolean/boolean_matrix.hpp"
+#include "boolean/error_metrics.hpp"
+#include "core/column_cop.hpp"
+#include "funcs/continuous.hpp"
+#include "ising/bsb.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace adsd;
+
+ColumnCop make_cop(unsigned n, unsigned free_size, std::uint64_t seed) {
+  const auto exact = make_continuous_table(continuous_spec("exp"), n, n);
+  const auto dist = InputDistribution::uniform(n);
+  Rng rng(seed);
+  const auto w = InputPartition::random(n, free_size, rng);
+  const auto m = BooleanMatrix::from_function(exact, n / 2, w);
+  return ColumnCop::separate(m, matrix_probs(dist, w));
+}
+
+void BM_MatrixFromFunction(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const auto exact = make_continuous_table(continuous_spec("exp"), n, n);
+  Rng rng(1);
+  const auto w = InputPartition::random(n, n / 2, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BooleanMatrix::from_function(exact, 0, w));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(exact.num_patterns()));
+}
+BENCHMARK(BM_MatrixFromFunction)->Arg(9)->Arg(12)->Arg(16);
+
+void BM_CopToIsing(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const auto cop = make_cop(n, n == 16 ? 7 : 4, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cop.to_ising());
+  }
+}
+BENCHMARK(BM_CopToIsing)->Arg(9)->Arg(16);
+
+void BM_BsbSolve(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const auto cop = make_cop(n, n == 16 ? 7 : 4, 3);
+  const IsingModel model = cop.to_ising();
+  SbParams params;
+  params.max_iterations = 200;
+  params.seed = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_sb(model, params));
+  }
+  state.SetItemsProcessed(state.iterations() * 200 *
+                          static_cast<std::int64_t>(model.num_couplings()));
+}
+BENCHMARK(BM_BsbSolve)->Arg(9)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_BsbEnsembleVsRestarts(benchmark::State& state) {
+  // Throughput of 8 replicas integrated in lockstep (arg 1) vs 8 sequential
+  // restarts (arg 0) on the n = 16 core-COP model.
+  const bool ensemble = state.range(0) != 0;
+  const auto cop = make_cop(16, 7, 29);
+  const IsingModel model = cop.to_ising();
+  SbParams params;
+  params.max_iterations = 100;
+  params.seed = 5;
+  for (auto _ : state) {
+    if (ensemble) {
+      benchmark::DoNotOptimize(solve_sb_ensemble(model, params, 8));
+    } else {
+      double best = 1e300;
+      for (std::size_t r = 0; r < 8; ++r) {
+        SbParams pr = params;
+        pr.seed = params.seed + 0x9e3779b9u * r;
+        best = std::min(best, solve_sb(model, pr).energy);
+      }
+      benchmark::DoNotOptimize(best);
+    }
+  }
+}
+BENCHMARK(BM_BsbEnsembleVsRestarts)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_IsingEnergy(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const auto cop = make_cop(n, n == 16 ? 7 : 4, 7);
+  const IsingModel model = cop.to_ising();
+  Rng rng(11);
+  std::vector<std::int8_t> spins(model.num_spins());
+  for (auto& s : spins) {
+    s = static_cast<std::int8_t>(rng.next_spin());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.energy(spins));
+  }
+}
+BENCHMARK(BM_IsingEnergy)->Arg(9)->Arg(16);
+
+void BM_Theorem3Reset(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const auto cop = make_cop(n, n == 16 ? 7 : 4, 13);
+  Rng rng(17);
+  ColumnSetting s;
+  s.v1 = BitVec(cop.rows());
+  s.v2 = BitVec(cop.rows());
+  s.t = BitVec(cop.cols());
+  for (std::size_t i = 0; i < cop.rows(); ++i) {
+    s.v1.set(i, rng.next_bool());
+    s.v2.set(i, rng.next_bool());
+  }
+  for (auto _ : state) {
+    cop.reset_optimal_t(s);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_Theorem3Reset)->Arg(9)->Arg(16);
+
+void BM_ObjectiveEvaluation(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const auto cop = make_cop(n, n == 16 ? 7 : 4, 19);
+  Rng rng(23);
+  ColumnSetting s;
+  s.v1 = BitVec(cop.rows());
+  s.v2 = BitVec(cop.rows());
+  s.t = BitVec(cop.cols());
+  for (std::size_t j = 0; j < cop.cols(); ++j) {
+    s.t.set(j, rng.next_bool());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cop.objective(s));
+  }
+}
+BENCHMARK(BM_ObjectiveEvaluation)->Arg(9)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// A5 -- Framework-parameter sweep: MED as a function of the candidate
+// partition budget P and the round count R. The paper fixes P = 1000 and
+// R = 5; this bench shows the diminishing-returns curve that justifies
+// those budgets, and how the proposed solver's advantage over the greedy
+// baseline varies with P (the paper's speed argument: cheaper per-candidate
+// solves buy a bigger P at equal wall-clock).
+
+#include <iostream>
+
+#include "common.hpp"
+#include "funcs/continuous.hpp"
+
+int main(int argc, char** argv) {
+  using namespace adsd;
+  const CliArgs args(argc, argv);
+
+  const unsigned n = static_cast<unsigned>(args.get_size("n", 9));
+  const std::uint64_t seed = args.get_size("seed", 42);
+
+  std::cout << "== Sweep A5: MED vs partition budget P and rounds R ==\n"
+            << "benchmark: exp, n=" << n << ", joint mode\n\n";
+
+  const auto exact = make_continuous_table(continuous_spec("exp"), n, n);
+  const auto dist = InputDistribution::uniform(n);
+  const auto prop = bench::make_solver("prop", n, 0.0);
+  const auto greedy = bench::make_solver("dalta", n, 0.0);
+
+  Table p_table({"P", "prop MED", "prop T(s)", "prop+screen MED",
+                 "screen T(s)", "greedy MED", "greedy T(s)"});
+  for (const std::size_t p : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    DaltaParams params;
+    params.free_size = 4;
+    params.num_partitions = p;
+    params.rounds = 1;
+    params.mode = DecompMode::kJoint;
+    params.seed = seed;
+    const auto rp = run_dalta(exact, dist, params, *prop);
+    const auto rg = run_dalta(exact, dist, params, *greedy);
+    // BDD multiplicity screening: same solver budget, 4x candidate pool.
+    DaltaParams screened = params;
+    screened.screen_factor = 4;
+    const auto rs = run_dalta(exact, dist, screened, *prop);
+    p_table.add_row({std::to_string(p), Table::num(rp.med),
+                     Table::num(rp.seconds, 3), Table::num(rs.med),
+                     Table::num(rs.seconds, 3), Table::num(rg.med),
+                     Table::num(rg.seconds, 3)});
+  }
+  p_table.print(std::cout);
+
+  std::cout << "\nrounds sweep at P = 8:\n";
+  Table r_table({"R", "prop MED", "prop T(s)"});
+  for (const std::size_t r : {1u, 2u, 3u, 5u}) {
+    DaltaParams params;
+    params.free_size = 4;
+    params.num_partitions = 8;
+    params.rounds = r;
+    params.mode = DecompMode::kJoint;
+    params.seed = seed;
+    const auto rp = run_dalta(exact, dist, params, *prop);
+    r_table.add_row({std::to_string(r), Table::num(rp.med),
+                     Table::num(rp.seconds, 3)});
+  }
+  r_table.print(std::cout);
+
+  std::cout << "\nexpected shape: MED falls steeply for small P and "
+               "flattens (the paper's P = 1000 sits deep in the plateau); "
+               "later rounds refine the joint couplings slightly.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E1 -- Table 1 (separate mode): approximate disjoint decomposition of the
+// six continuous 9-input / 9-output benchmarks, DALTA-ILP vs the proposed
+// Ising-model solver. Reports MED and runtime per method, matching the
+// paper's columns. Paper config: n = 9, free 4 / bound 5, P = 1000, R = 5,
+// Gurobi budget 3600 s; defaults here are scaled down for a quick run.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "funcs/continuous.hpp"
+
+int main(int argc, char** argv) {
+  using namespace adsd;
+  const CliArgs args(argc, argv);
+
+  const unsigned n = static_cast<unsigned>(args.get_size("n", 9));
+  const unsigned m = static_cast<unsigned>(args.get_size("m", n));
+  DaltaParams params;
+  params.free_size = static_cast<unsigned>(args.get_size("free", 4));
+  params.num_partitions = args.get_size("p", 8);
+  params.rounds = args.get_size("rounds", 1);
+  params.mode = DecompMode::kSeparate;
+  params.seed = args.get_size("seed", 42);
+  const double ilp_budget = args.get_double("ilp-budget", 0.25);
+
+  bench::print_header(
+      "Table 1 / separate mode: MED and runtime, DALTA-ILP vs proposed",
+      "n=9 m=9 free=4 bound=5 P=1000 R=5, Gurobi cap 3600s", params);
+
+  const auto dist = InputDistribution::uniform(n);
+  const auto ilp = bench::make_solver("ilp", n, ilp_budget);
+  const auto prop = bench::make_solver("prop", n, 0.0);
+
+  Table table({"Function", "ILP MED", "ILP Time(s)", "Prop. MED",
+               "Prop. Time(s)"});
+  double ilp_med_sum = 0.0;
+  double ilp_time_sum = 0.0;
+  double prop_med_sum = 0.0;
+  double prop_time_sum = 0.0;
+
+  for (const auto& spec : continuous_specs()) {
+    const auto exact = make_continuous_table(spec, n, m);
+    const auto res_ilp = run_dalta(exact, dist, params, *ilp);
+    const auto res_prop = run_dalta(exact, dist, params, *prop);
+    ilp_med_sum += res_ilp.med;
+    ilp_time_sum += res_ilp.seconds;
+    prop_med_sum += res_prop.med;
+    prop_time_sum += res_prop.seconds;
+    table.add_row({spec.name, Table::num(res_ilp.med),
+                   Table::num(res_ilp.seconds), Table::num(res_prop.med),
+                   Table::num(res_prop.seconds)});
+  }
+  const double k = 6.0;
+  table.add_row({"Average", Table::num(ilp_med_sum / k),
+                 Table::num(ilp_time_sum / k), Table::num(prop_med_sum / k),
+                 Table::num(prop_time_sum / k)});
+  table.print(std::cout);
+
+  const double med_delta =
+      (prop_med_sum - ilp_med_sum) / std::max(1e-9, ilp_med_sum);
+  const char* verdict = med_delta < -0.01  ? "wins"
+                        : med_delta < 0.01 ? "ties (within 1%)"
+                                           : "loses";
+  std::cout << "\npaper (full scale): ILP avg MED 9.35 / 221.8s, proposed "
+               "avg MED 7.83 / 0.53s -- proposed wins both columns.\n"
+            << "this run: proposed " << verdict << " on MED and is "
+            << Table::num(ilp_time_sum / std::max(1e-9, prop_time_sum), 1)
+            << "x faster.\n";
+  return 0;
+}

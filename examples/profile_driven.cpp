@@ -1,0 +1,74 @@
+// Domain example 4: profile-driven approximate LUTs. Computing-with-memory
+// accelerators see heavily skewed input distributions (hot activation
+// ranges, biased operands); the decomposition framework accepts an
+// arbitrary InputDistribution and concentrates its error budget on the
+// cold patterns. This example builds a synthetic "trace" distribution,
+// decomposes under it, and shows the weighted-MED win over a
+// uniform-optimized design -- plus the .dist round-trip used by adsd_cli.
+//
+//   $ ./profile_driven [--n 9] [--hot-mass 0.9]
+
+#include <iostream>
+#include <sstream>
+
+#include "boolean/table_io.hpp"
+#include "core/dalta.hpp"
+#include "funcs/continuous.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace adsd;
+  const CliArgs args(argc, argv);
+  const unsigned n = static_cast<unsigned>(args.get_size("n", 9));
+  const double hot_mass = args.get_double("hot-mass", 0.9);
+
+  const auto exact = make_continuous_table(continuous_spec("exp"), n, n);
+
+  // Synthetic trace: the lowest quarter of the domain carries `hot_mass`
+  // of the probability (e.g. activations clustered near zero).
+  const std::uint64_t patterns = exact.num_patterns();
+  const std::uint64_t hot = patterns / 4;
+  std::vector<double> weights(patterns);
+  for (std::uint64_t x = 0; x < patterns; ++x) {
+    weights[x] = x < hot ? hot_mass / static_cast<double>(hot)
+                         : (1.0 - hot_mass) /
+                               static_cast<double>(patterns - hot);
+  }
+  const auto trace = InputDistribution::from_weights(std::move(weights));
+  const auto uniform = InputDistribution::uniform(n);
+
+  // The .dist format round-trips the profile (this is what --dist loads).
+  std::ostringstream dist_text;
+  write_distribution(dist_text, trace);
+  std::istringstream dist_in(dist_text.str());
+  const auto reloaded = read_distribution(dist_in);
+
+  DaltaParams params;
+  params.free_size = 4;
+  params.num_partitions = 8;
+  params.rounds = 1;
+  params.mode = DecompMode::kJoint;
+  const IsingCoreSolver solver(IsingCoreSolver::Options::paper_defaults(n));
+
+  const auto res_trace = run_dalta(exact, reloaded, params, solver);
+  const auto res_uniform = run_dalta(exact, uniform, params, solver);
+
+  std::cout << "exp(x), n=" << n << ", " << 100 * hot_mass
+            << "% of the input mass on the lowest quarter of the domain\n\n";
+  Table table({"optimized under", "trace-weighted MED", "uniform MED"});
+  table.add_row(
+      {"trace profile",
+       Table::num(mean_error_distance(exact, res_trace.approx, trace), 3),
+       Table::num(mean_error_distance(exact, res_trace.approx, uniform), 3)});
+  table.add_row(
+      {"uniform",
+       Table::num(mean_error_distance(exact, res_uniform.approx, trace), 3),
+       Table::num(mean_error_distance(exact, res_uniform.approx, uniform),
+                  3)});
+  table.print(std::cout);
+  std::cout << "\nreading guide: the trace-optimized design should win the "
+               "first column (the metric the accelerator actually pays) and "
+               "may lose the second -- the error moved to cold inputs.\n";
+  return 0;
+}

@@ -1,0 +1,213 @@
+#include "bdd/bdd.hpp"
+
+#include <stdexcept>
+
+namespace adsd {
+
+BddManager::BddManager(unsigned num_vars) : num_vars_(num_vars) {
+  if (num_vars == 0 || num_vars > 26) {
+    throw std::invalid_argument("BddManager: vars must be in [1, 26]");
+  }
+  // Terminals carry the sentinel level num_vars_ so that every internal
+  // node's variable compares smaller.
+  nodes_.push_back({num_vars_, kFalse, kFalse});  // 0 = false
+  nodes_.push_back({num_vars_, kTrue, kTrue});    // 1 = true
+}
+
+BddManager::NodeRef BddManager::make_node(unsigned v, NodeRef lo,
+                                          NodeRef hi) {
+  if (lo == hi) {
+    return lo;  // reduction rule
+  }
+  const UniqueKey key{v, lo, hi};
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) {
+    return it->second;
+  }
+  const auto ref = static_cast<NodeRef>(nodes_.size());
+  nodes_.push_back({v, lo, hi});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+BddManager::NodeRef BddManager::var(unsigned v) {
+  if (v >= num_vars_) {
+    throw std::out_of_range("BddManager::var: variable out of range");
+  }
+  return make_node(v, kFalse, kTrue);
+}
+
+BddManager::NodeRef BddManager::nvar(unsigned v) {
+  if (v >= num_vars_) {
+    throw std::out_of_range("BddManager::nvar: variable out of range");
+  }
+  return make_node(v, kTrue, kFalse);
+}
+
+BddManager::NodeRef BddManager::ite(NodeRef f, NodeRef g, NodeRef h) {
+  // Terminal cases.
+  if (f == kTrue) {
+    return g;
+  }
+  if (f == kFalse) {
+    return h;
+  }
+  if (g == h) {
+    return g;
+  }
+  if (g == kTrue && h == kFalse) {
+    return f;
+  }
+
+  const IteKey key{f, g, h};
+  const auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) {
+    return it->second;
+  }
+
+  // Split on the topmost variable among the three operands.
+  unsigned top = nodes_[f].var;
+  if (nodes_[g].var < top) {
+    top = nodes_[g].var;
+  }
+  if (nodes_[h].var < top) {
+    top = nodes_[h].var;
+  }
+  auto cof = [&](NodeRef x, bool hi) {
+    if (is_terminal(x) || nodes_[x].var != top) {
+      return x;
+    }
+    return hi ? nodes_[x].hi : nodes_[x].lo;
+  };
+  const NodeRef lo = ite(cof(f, false), cof(g, false), cof(h, false));
+  const NodeRef hi = ite(cof(f, true), cof(g, true), cof(h, true));
+  const NodeRef result = make_node(top, lo, hi);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+BddManager::NodeRef BddManager::restrict_var(NodeRef f, unsigned v,
+                                             bool value) {
+  if (v >= num_vars_) {
+    throw std::out_of_range("BddManager::restrict_var: variable");
+  }
+  if (is_terminal(f) || nodes_[f].var > v) {
+    return f;
+  }
+  if (nodes_[f].var == v) {
+    return value ? nodes_[f].hi : nodes_[f].lo;
+  }
+  const std::uint64_t key = (static_cast<std::uint64_t>(f) << 32) |
+                            (static_cast<std::uint64_t>(v) << 1) |
+                            (value ? 1u : 0u);
+  const auto it = restrict_cache_.find(key);
+  if (it != restrict_cache_.end()) {
+    return it->second;
+  }
+  const NodeRef lo = restrict_var(nodes_[f].lo, v, value);
+  const NodeRef hi = restrict_var(nodes_[f].hi, v, value);
+  const NodeRef result = make_node(nodes_[f].var, lo, hi);
+  restrict_cache_.emplace(key, result);
+  return result;
+}
+
+bool BddManager::evaluate(NodeRef f, std::uint64_t assignment) const {
+  while (!is_terminal(f)) {
+    const Node& n = nodes_[f];
+    f = ((assignment >> n.var) & 1) ? n.hi : n.lo;
+  }
+  return f == kTrue;
+}
+
+std::uint64_t BddManager::count_sat(NodeRef f) {
+  // s(f) counts assignments of variables in [var(f), n); scale to [0, n).
+  struct Rec {
+    BddManager* mgr;
+    std::uint64_t operator()(NodeRef f) {
+      if (f == BddManager::kFalse) {
+        return 0;
+      }
+      if (f == BddManager::kTrue) {
+        return 1;
+      }
+      const auto it = mgr->sat_cache_.find(f);
+      if (it != mgr->sat_cache_.end()) {
+        return it->second;
+      }
+      const auto& n = mgr->nodes_[f];
+      const std::uint64_t lo = (*this)(n.lo);
+      const std::uint64_t hi = (*this)(n.hi);
+      const unsigned lo_var = mgr->nodes_[n.lo].var;
+      const unsigned hi_var = mgr->nodes_[n.hi].var;
+      const std::uint64_t total =
+          lo * (std::uint64_t{1} << (lo_var - n.var - 1)) +
+          hi * (std::uint64_t{1} << (hi_var - n.var - 1));
+      mgr->sat_cache_.emplace(f, total);
+      return total;
+    }
+  };
+  const std::uint64_t partial = Rec{this}(f);
+  const unsigned top = nodes_[f].var;
+  return partial * (std::uint64_t{1} << (f <= kTrue ? num_vars_ : top));
+}
+
+BddManager::NodeRef BddManager::build_from_table(const BitVec& bits,
+                                                 unsigned v,
+                                                 std::uint64_t fixed_bits) {
+  if (v == num_vars_) {
+    return bits.get(fixed_bits) ? kTrue : kFalse;
+  }
+  const NodeRef lo = build_from_table(bits, v + 1, fixed_bits);
+  const NodeRef hi =
+      build_from_table(bits, v + 1, fixed_bits | (std::uint64_t{1} << v));
+  return make_node(v, lo, hi);
+}
+
+BddManager::NodeRef BddManager::from_truth_table(const BitVec& bits) {
+  if (bits.size() != (std::uint64_t{1} << num_vars_)) {
+    throw std::invalid_argument("BddManager::from_truth_table: size");
+  }
+  return build_from_table(bits, 0, 0);
+}
+
+void BddManager::fill_table(NodeRef f, unsigned v, std::uint64_t fixed_bits,
+                            BitVec* out) const {
+  if (v == num_vars_) {
+    out->set(fixed_bits, f == kTrue);
+    return;
+  }
+  if (!is_terminal(f) && nodes_[f].var == v) {
+    fill_table(nodes_[f].lo, v + 1, fixed_bits, out);
+    fill_table(nodes_[f].hi, v + 1, fixed_bits | (std::uint64_t{1} << v),
+               out);
+  } else {
+    fill_table(f, v + 1, fixed_bits, out);
+    fill_table(f, v + 1, fixed_bits | (std::uint64_t{1} << v), out);
+  }
+}
+
+BitVec BddManager::to_truth_table(NodeRef f) const {
+  BitVec out(std::uint64_t{1} << num_vars_);
+  fill_table(f, 0, 0, &out);
+  return out;
+}
+
+std::size_t BddManager::node_count(NodeRef f) const {
+  std::vector<NodeRef> stack{f};
+  std::unordered_map<NodeRef, bool> seen;
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const NodeRef x = stack.back();
+    stack.pop_back();
+    if (is_terminal(x) || seen.count(x) != 0) {
+      continue;
+    }
+    seen.emplace(x, true);
+    ++count;
+    stack.push_back(nodes_[x].lo);
+    stack.push_back(nodes_[x].hi);
+  }
+  return count;
+}
+
+}  // namespace adsd

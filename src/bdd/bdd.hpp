@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/bitvec.hpp"
+
+namespace adsd {
+
+/// Reduced ordered binary decision diagram manager with hash-consing and an
+/// ITE computed cache.
+///
+/// Logic-synthesis tools test decomposability on BDDs rather than explicit
+/// matrices: the column multiplicity of a partition is the number of
+/// distinct bound-set cofactors, which hash-consing makes a pointer-set
+/// count (see bdd_decompose.hpp). This manager provides the classical core:
+/// ITE-based boolean algebra, restriction, satisfiability counting, and
+/// truth-table conversion. Variable 0 is the topmost decision.
+///
+/// NodeRefs are indices into the manager's node array; 0 and 1 are the
+/// constant-false/true terminals. Nodes are never freed (no GC): the
+/// workloads here build bounded structures.
+class BddManager {
+ public:
+  using NodeRef = std::uint32_t;
+
+  explicit BddManager(unsigned num_vars);
+
+  unsigned num_vars() const { return num_vars_; }
+
+  static constexpr NodeRef kFalse = 0;
+  static constexpr NodeRef kTrue = 1;
+
+  /// The projection function x_v.
+  NodeRef var(unsigned v);
+  /// Its complement.
+  NodeRef nvar(unsigned v);
+
+  /// if-then-else: f ? g : h. The universal connective; all two-input ops
+  /// route through it.
+  NodeRef ite(NodeRef f, NodeRef g, NodeRef h);
+
+  NodeRef land(NodeRef a, NodeRef b) { return ite(a, b, kFalse); }
+  NodeRef lor(NodeRef a, NodeRef b) { return ite(a, kTrue, b); }
+  NodeRef lxor(NodeRef a, NodeRef b) { return ite(a, lnot(b), b); }
+  NodeRef lnot(NodeRef a) { return ite(a, kFalse, kTrue); }
+
+  /// Shannon cofactor f|_{x_v = value}.
+  NodeRef restrict_var(NodeRef f, unsigned v, bool value);
+
+  /// Value under a complete assignment (bit v of `assignment` is x_v).
+  bool evaluate(NodeRef f, std::uint64_t assignment) const;
+
+  /// Number of satisfying assignments over all num_vars() variables.
+  std::uint64_t count_sat(NodeRef f);
+
+  /// Builds the BDD of a complete truth-table column (bit i of `bits` is
+  /// the value at assignment i).
+  NodeRef from_truth_table(const BitVec& bits);
+
+  /// Expands back to the full table.
+  BitVec to_truth_table(NodeRef f) const;
+
+  /// Nodes reachable from f (terminals excluded).
+  std::size_t node_count(NodeRef f) const;
+
+  /// Total nodes ever allocated in this manager (terminals excluded).
+  std::size_t total_nodes() const { return nodes_.size() - 2; }
+
+  /// Structural equality is reference equality under hash-consing.
+  bool is_terminal(NodeRef f) const { return f <= kTrue; }
+  unsigned node_var(NodeRef f) const { return nodes_[f].var; }
+  NodeRef node_lo(NodeRef f) const { return nodes_[f].lo; }
+  NodeRef node_hi(NodeRef f) const { return nodes_[f].hi; }
+
+ private:
+  struct Node {
+    unsigned var;  // num_vars_ for terminals
+    NodeRef lo;
+    NodeRef hi;
+  };
+
+  NodeRef make_node(unsigned v, NodeRef lo, NodeRef hi);
+  NodeRef build_from_table(const BitVec& bits, unsigned v,
+                           std::uint64_t fixed_bits);
+  void fill_table(NodeRef f, unsigned v, std::uint64_t fixed_bits,
+                  BitVec* out) const;
+
+  unsigned num_vars_;
+  std::vector<Node> nodes_;
+
+  struct UniqueKey {
+    unsigned var;
+    NodeRef lo;
+    NodeRef hi;
+    bool operator==(const UniqueKey& o) const {
+      return var == o.var && lo == o.lo && hi == o.hi;
+    }
+  };
+  struct UniqueHash {
+    std::size_t operator()(const UniqueKey& k) const {
+      std::size_t h = k.var;
+      h = h * 0x9e3779b97f4a7c15ull + k.lo;
+      h = h * 0x9e3779b97f4a7c15ull + k.hi;
+      return h;
+    }
+  };
+  std::unordered_map<UniqueKey, NodeRef, UniqueHash> unique_;
+
+  struct IteKey {
+    NodeRef f;
+    NodeRef g;
+    NodeRef h;
+    bool operator==(const IteKey& o) const {
+      return f == o.f && g == o.g && h == o.h;
+    }
+  };
+  struct IteHash {
+    std::size_t operator()(const IteKey& k) const {
+      std::size_t x = k.f;
+      x = x * 0x100000001b3ull + k.g;
+      x = x * 0x100000001b3ull + k.h;
+      return x;
+    }
+  };
+  std::unordered_map<IteKey, NodeRef, IteHash> ite_cache_;
+  std::unordered_map<std::uint64_t, NodeRef> restrict_cache_;
+  std::unordered_map<NodeRef, std::uint64_t> sat_cache_;
+};
+
+}  // namespace adsd

@@ -1,0 +1,71 @@
+#include "bdd/bdd_decompose.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace adsd {
+
+namespace {
+
+void collect_cofactors(BddManager& mgr, BddManager::NodeRef f,
+                       const std::vector<unsigned>& bound, std::size_t idx,
+                       std::unordered_set<BddManager::NodeRef>* out) {
+  if (idx == bound.size()) {
+    out->insert(f);
+    return;
+  }
+  collect_cofactors(mgr, mgr.restrict_var(f, bound[idx], false), bound,
+                    idx + 1, out);
+  collect_cofactors(mgr, mgr.restrict_var(f, bound[idx], true), bound,
+                    idx + 1, out);
+}
+
+}  // namespace
+
+std::size_t bdd_column_multiplicity(BddManager& mgr, BddManager::NodeRef f,
+                                    const InputPartition& w) {
+  if (w.num_inputs() != mgr.num_vars()) {
+    throw std::invalid_argument(
+        "bdd_column_multiplicity: partition width mismatch");
+  }
+  std::unordered_set<BddManager::NodeRef> cofactors;
+  collect_cofactors(mgr, f, w.bound_vars(), 0, &cofactors);
+  return cofactors.size();
+}
+
+bool bdd_is_decomposable(BddManager& mgr, BddManager::NodeRef f,
+                         const InputPartition& w) {
+  return bdd_column_multiplicity(mgr, f, w) <= 2;
+}
+
+std::optional<InputPartition> bdd_find_decomposable_partition(
+    BddManager& mgr, BddManager::NodeRef f, unsigned free_size) {
+  const unsigned n = mgr.num_vars();
+  if (free_size == 0 || free_size >= n) {
+    throw std::invalid_argument(
+        "bdd_find_decomposable_partition: bad free size");
+  }
+  // Enumerate free-variable subsets of the requested size via bitmasks.
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    if (static_cast<unsigned>(__builtin_popcountll(mask)) != free_size) {
+      continue;
+    }
+    std::vector<unsigned> free_vars;
+    std::vector<unsigned> bound_vars;
+    for (unsigned v = 0; v < n; ++v) {
+      if ((mask >> v) & 1) {
+        free_vars.push_back(v);
+      } else {
+        bound_vars.push_back(v);
+      }
+    }
+    InputPartition w(std::move(free_vars), std::move(bound_vars));
+    if (bdd_is_decomposable(mgr, f, w)) {
+      return w;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace adsd

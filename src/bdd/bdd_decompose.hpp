@@ -1,0 +1,28 @@
+#pragma once
+
+#include <optional>
+
+#include "bdd/bdd.hpp"
+#include "boolean/partition.hpp"
+
+namespace adsd {
+
+/// Column multiplicity of `f` under the input partition `w`, computed on
+/// the BDD: the number of distinct bound-set cofactors. Hash-consing makes
+/// cofactor equality a NodeRef comparison, so this is the classical
+/// logic-synthesis route to Theorem 2 (a matrix has at most `mu` distinct
+/// columns iff the function has `mu` distinct bound cofactors).
+std::size_t bdd_column_multiplicity(BddManager& mgr, BddManager::NodeRef f,
+                                    const InputPartition& w);
+
+/// Theorem 2 on the BDD: disjoint decomposability iff multiplicity <= 2.
+bool bdd_is_decomposable(BddManager& mgr, BddManager::NodeRef f,
+                         const InputPartition& w);
+
+/// Exhaustive search over all partitions with the given free-set size for
+/// one admitting an exact disjoint decomposition. Returns the first found
+/// (variables in ascending order), or std::nullopt.
+std::optional<InputPartition> bdd_find_decomposable_partition(
+    BddManager& mgr, BddManager::NodeRef f, unsigned free_size);
+
+}  // namespace adsd

@@ -1,0 +1,98 @@
+#include "boolean/boolean_matrix.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace adsd {
+
+BooleanMatrix::BooleanMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), bits_(rows * cols) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("BooleanMatrix: empty shape");
+  }
+}
+
+BooleanMatrix BooleanMatrix::from_function(const TruthTable& tt, unsigned k,
+                                           const InputPartition& w) {
+  if (w.num_inputs() != tt.num_inputs()) {
+    throw std::invalid_argument(
+        "BooleanMatrix::from_function: partition does not match the table");
+  }
+  if (k >= tt.num_outputs()) {
+    throw std::invalid_argument("BooleanMatrix::from_function: bad output");
+  }
+  BooleanMatrix m(w.num_rows(), w.num_cols());
+  const BitVec& g = tt.output(k);
+  // Iterate over input patterns once rather than over (row, col) pairs;
+  // row_of/col_of are cheap bit gathers.
+  const std::uint64_t patterns = tt.num_patterns();
+  for (std::uint64_t x = 0; x < patterns; ++x) {
+    m.set(w.row_of(x), w.col_of(x), g.get(x));
+  }
+  return m;
+}
+
+BitVec BooleanMatrix::row(std::size_t i) const {
+  BitVec out(cols_);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    out.set(j, at(i, j));
+  }
+  return out;
+}
+
+BitVec BooleanMatrix::column(std::size_t j) const {
+  BitVec out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    out.set(i, at(i, j));
+  }
+  return out;
+}
+
+std::vector<BitVec> BooleanMatrix::distinct_rows() const {
+  std::vector<BitVec> out;
+  std::unordered_set<std::size_t> seen;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    BitVec r = row(i);
+    const std::size_t h = r.hash();
+    if (seen.count(h) != 0) {
+      bool dup = false;
+      for (const auto& existing : out) {
+        if (existing == r) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) {
+        continue;
+      }
+    }
+    seen.insert(h);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<BitVec> BooleanMatrix::distinct_columns() const {
+  std::vector<BitVec> out;
+  for (std::size_t j = 0; j < cols_; ++j) {
+    BitVec c = column(j);
+    bool dup = false;
+    for (const auto& existing : out) {
+      if (existing == c) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+bool BooleanMatrix::operator==(const BooleanMatrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         bits_ == other.bits_;
+}
+
+}  // namespace adsd

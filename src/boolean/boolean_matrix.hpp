@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "boolean/partition.hpp"
+#include "boolean/truth_table.hpp"
+#include "support/bitvec.hpp"
+
+namespace adsd {
+
+/// The Boolean matrix of one component function under an input partition:
+/// rows are indexed by the free-set assignment, columns by the bound-set
+/// assignment, entry (i, j) is the function value at the corresponding
+/// input pattern.
+class BooleanMatrix {
+ public:
+  BooleanMatrix(std::size_t rows, std::size_t cols);
+
+  /// Materializes the matrix of output `k` of `tt` under partition `w`.
+  static BooleanMatrix from_function(const TruthTable& tt, unsigned k,
+                                     const InputPartition& w);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  bool at(std::size_t i, std::size_t j) const {
+    return bits_.get(i * cols_ + j);
+  }
+  void set(std::size_t i, std::size_t j, bool v) {
+    bits_.set(i * cols_ + j, v);
+  }
+
+  /// Copy of row i as a BitVec of length cols().
+  BitVec row(std::size_t i) const;
+
+  /// Copy of column j as a BitVec of length rows().
+  BitVec column(std::size_t j) const;
+
+  /// Distinct row patterns in first-appearance order.
+  std::vector<BitVec> distinct_rows() const;
+
+  /// Distinct column patterns in first-appearance order.
+  std::vector<BitVec> distinct_columns() const;
+
+  bool operator==(const BooleanMatrix& other) const;
+  bool operator!=(const BooleanMatrix& other) const {
+    return !(*this == other);
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  BitVec bits_;  // row-major
+};
+
+}  // namespace adsd

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace adsd {
+
+/// A disjoint partition w = {A, B} of the n input variables.
+///
+/// A is the *free set* (its variables index the rows of the Boolean matrix)
+/// and B is the *bound set* (columns). Variable positions refer to bit
+/// positions of the input code. The i-th listed variable of a set supplies
+/// bit i of the corresponding row/column index, so the partition fully
+/// determines the row/column coordinate system.
+class InputPartition {
+ public:
+  InputPartition(std::vector<unsigned> free_vars,
+                 std::vector<unsigned> bound_vars);
+
+  /// Partition with A = {0, .., free_size-1}, B = the rest.
+  static InputPartition trivial(unsigned num_inputs, unsigned free_size);
+
+  /// Uniformly random partition with the given free-set size.
+  static InputPartition random(unsigned num_inputs, unsigned free_size,
+                               Rng& rng);
+
+  unsigned num_inputs() const { return num_inputs_; }
+  const std::vector<unsigned>& free_vars() const { return free_vars_; }
+  const std::vector<unsigned>& bound_vars() const { return bound_vars_; }
+
+  std::uint64_t num_rows() const { return std::uint64_t{1} << free_vars_.size(); }
+  std::uint64_t num_cols() const { return std::uint64_t{1} << bound_vars_.size(); }
+
+  /// Row index of an input pattern (bits of x at the free positions).
+  std::uint64_t row_of(std::uint64_t x) const;
+
+  /// Column index of an input pattern (bits of x at the bound positions).
+  std::uint64_t col_of(std::uint64_t x) const;
+
+  /// Input pattern whose free bits spell `row` and bound bits spell `col`.
+  std::uint64_t input_of(std::uint64_t row, std::uint64_t col) const;
+
+  bool operator==(const InputPartition& other) const {
+    return free_vars_ == other.free_vars_ && bound_vars_ == other.bound_vars_;
+  }
+
+  /// "A={...} B={...}" for logs.
+  std::string to_string() const;
+
+ private:
+  unsigned num_inputs_;
+  std::vector<unsigned> free_vars_;
+  std::vector<unsigned> bound_vars_;
+};
+
+}  // namespace adsd

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "boolean/error_metrics.hpp"
+#include "boolean/truth_table.hpp"
+
+namespace adsd {
+
+/// Text formats for complete truth tables, so LUT contents can round-trip
+/// to and from external flows (ABC-style PLA listings, memory images).
+///
+/// PLA format (full listing, no don't-cares):
+///   .i <n>
+///   .o <m>
+///   <n input bits, x0 leftmost> <m output bits, y0 leftmost>   x 2^n rows
+///   .e
+///
+/// Hex format (compact, one line per output):
+///   .tt <n> <m>
+///   <output 0 as hex, lowest address in the least significant nibble>
+///   ...
+void write_pla(std::ostream& os, const TruthTable& tt);
+TruthTable read_pla(std::istream& is);
+
+void write_hex(std::ostream& os, const TruthTable& tt);
+TruthTable read_hex(std::istream& is);
+
+/// Convenience round-trips through strings (used by tests and the CLI).
+std::string to_pla_string(const TruthTable& tt);
+TruthTable from_pla_string(const std::string& text);
+std::string to_hex_string(const TruthTable& tt);
+TruthTable from_hex_string(const std::string& text);
+
+/// Profile-driven input distribution (e.g. from application traces):
+///   .dist <n>
+///   <2^n non-negative weights, whitespace separated>
+/// Weights are normalized on load. write_distribution emits probabilities.
+void write_distribution(std::ostream& os, const InputDistribution& dist);
+InputDistribution read_distribution(std::istream& is);
+
+}  // namespace adsd

@@ -1,0 +1,517 @@
+#include "core/cop_solvers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+
+#include "ising/exhaustive.hpp"
+#include "support/rng.hpp"
+
+namespace adsd {
+
+namespace {
+
+ColumnSetting random_setting(std::size_t rows, std::size_t cols, Rng& rng) {
+  ColumnSetting s;
+  s.v1 = BitVec(rows);
+  s.v2 = BitVec(rows);
+  s.t = BitVec(cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    s.v1.set(i, rng.next_bool());
+    s.v2.set(i, rng.next_bool());
+  }
+  for (std::size_t j = 0; j < cols; ++j) {
+    s.t.set(j, rng.next_bool());
+  }
+  return s;
+}
+
+/// Alternate the two closed-form half-steps to a fixpoint.
+double alternate_to_fixpoint(const ColumnCop& cop, ColumnSetting& s,
+                             std::size_t max_sweeps) {
+  double best = cop.objective(s);
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    cop.reset_optimal_t(s);
+    cop.reset_optimal_v(s);
+    const double now = cop.objective(s);
+    if (now >= best - 1e-15) {
+      best = std::min(best, now);
+      break;
+    }
+    best = now;
+  }
+  return best;
+}
+
+}  // namespace
+
+IsingCoreSolver::Options IsingCoreSolver::Options::paper_defaults(
+    unsigned num_inputs) {
+  Options o;
+  o.sb.max_iterations = 1000;
+  o.sb.dt = 0.5;
+  o.sb.stop.enabled = true;
+  o.sb.stop.epsilon = 1e-8;
+  const std::size_t fs = num_inputs <= 12 ? 20 : 10;
+  o.sb.stop.sample_interval = fs;
+  o.sb.stop.window = fs;
+  return o;
+}
+
+ColumnSetting IsingCoreSolver::solve(const ColumnCop& cop, std::uint64_t seed,
+                                     CoreSolveStats* stats) const {
+  IsingModel model = cop.to_ising();
+  const std::size_t r = cop.rows();
+  const std::size_t c = cop.cols();
+
+  SbSampleHook hook;
+  if (options_.use_theorem3) {
+    // Sec. 3.3.2: read the current V1/V2 off the oscillator signs, compute
+    // the Theorem-3 optimal column types, and pin the T oscillators to the
+    // corresponding poles before the integration continues. With
+    // anti_collapse, a degenerate reset (all columns on one pattern, or
+    // identical patterns) additionally re-seeds the unused pattern's
+    // oscillators with the worst-served exact column, escaping the rank-1
+    // fixed point the mean-field dynamics otherwise cannot leave.
+    const bool anti_collapse = options_.anti_collapse;
+    hook = [&cop, r, c, anti_collapse](std::span<double> x,
+                                       std::span<double> y) {
+      ColumnSetting s;
+      s.v1 = BitVec(r);
+      s.v2 = BitVec(r);
+      s.t = BitVec(c);
+      for (std::size_t i = 0; i < r; ++i) {
+        s.v1.set(i, x[cop.v1_spin(i)] >= 0.0);
+        s.v2.set(i, x[cop.v2_spin(i)] >= 0.0);
+      }
+      cop.reset_optimal_t(s);
+
+      if (anti_collapse) {
+        const std::size_t on_pattern2 = s.t.count();
+        if (on_pattern2 == 0 || on_pattern2 == c || s.v1 == s.v2) {
+          const BooleanMatrix& m = cop.exact_matrix();
+          double worst = -1.0;
+          std::size_t worst_col = 0;
+          for (std::size_t j = 0; j < c; ++j) {
+            double cost = 0.0;
+            for (std::size_t i = 0; i < r; ++i) {
+              cost += cop.cell_cost(
+                  i, j, s.t.get(j) ? s.v2.get(i) : s.v1.get(i));
+            }
+            if (cost > worst) {
+              worst = cost;
+              worst_col = j;
+            }
+          }
+          const bool reseed_v2 = on_pattern2 == 0 || s.v1 == s.v2;
+          for (std::size_t i = 0; i < r; ++i) {
+            const bool bit = m.at(i, worst_col);
+            const std::size_t idx =
+                reseed_v2 ? cop.v2_spin(i) : cop.v1_spin(i);
+            x[idx] = bit ? 1.0 : -1.0;
+            y[idx] = 0.0;
+            if (reseed_v2) {
+              s.v2.set(i, bit);
+            } else {
+              s.v1.set(i, bit);
+            }
+          }
+          cop.reset_optimal_t(s);
+        }
+      }
+
+      for (std::size_t j = 0; j < c; ++j) {
+        const std::size_t idx = cop.t_spin(j);
+        x[idx] = s.t.get(j) ? 1.0 : -1.0;
+        y[idx] = 0.0;
+      }
+    };
+  }
+
+  ColumnSetting best;
+  double best_obj = 0.0;
+  std::size_t total_iters = 0;
+  bool any_early = false;
+  bool have_best = false;
+
+  // Symmetry-breaking start: V1/V2 oscillators at +-0.1 spelling the two
+  // dominant exact columns (see Options::column_seed_init). T oscillators
+  // start at zero; the Theorem-3 hook assigns them at the first sample.
+  // The refined seed doubles as the warm incumbent: bSB's answer replaces
+  // it only when strictly better.
+  std::vector<double> seeded_x;
+  if (options_.column_seed_init) {
+    const auto [col1, col2] = dominant_column_pair(cop.exact_matrix());
+    seeded_x.assign(cop.num_spins(), 0.0);
+    for (std::size_t i = 0; i < r; ++i) {
+      seeded_x[cop.v1_spin(i)] = col1.get(i) ? 0.1 : -0.1;
+      seeded_x[cop.v2_spin(i)] = col2.get(i) ? 0.1 : -0.1;
+    }
+    ColumnSetting incumbent;
+    incumbent.v1 = col1;
+    incumbent.v2 = col2;
+    incumbent.t = BitVec(c);
+    best_obj = alternate_to_fixpoint(cop, incumbent, 8);
+    best = std::move(incumbent);
+    have_best = true;
+  }
+
+  const std::size_t restarts = std::max<std::size_t>(1, options_.restarts);
+  for (std::size_t attempt = 0; attempt < restarts; ++attempt) {
+    SbParams params = options_.sb;
+    params.seed = seed + 0x9e3779b9u * attempt;
+    // First attempt runs from the informed seed; further restarts explore
+    // from the plain start with fresh momenta.
+    if (attempt == 0 && !seeded_x.empty()) {
+      params.initial_positions = seeded_x;
+    }
+    const IsingSolveResult res = solve_sb(model, params, hook);
+    total_iters += res.iterations;
+    any_early = any_early || res.stopped_early;
+
+    ColumnSetting s = cop.decode(res.spins);
+    if (options_.final_polish) {
+      cop.reset_optimal_t(s);
+    }
+    const double obj = cop.objective(s);
+    if (!have_best || obj < best_obj) {
+      best = std::move(s);
+      best_obj = obj;
+      have_best = true;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->objective = best_obj;
+    stats->iterations = total_iters;
+    stats->stopped_early = any_early;
+    stats->proven_optimal = false;
+  }
+  return best;
+}
+
+ColumnSetting ExhaustiveCoreSolver::solve(const ColumnCop& cop,
+                                          std::uint64_t /*seed*/,
+                                          CoreSolveStats* stats) const {
+  if (cop.num_spins() > 24) {
+    throw std::invalid_argument(
+        "ExhaustiveCoreSolver: instance too large (2r + c must be <= 24)");
+  }
+  const IsingModel model = cop.to_ising();
+  const IsingSolveResult res = solve_exhaustive(model);
+  ColumnSetting s = cop.decode(res.spins);
+  if (stats != nullptr) {
+    stats->objective = cop.objective(s);
+    stats->iterations = res.iterations;
+    stats->stopped_early = false;
+    stats->proven_optimal = true;
+  }
+  return s;
+}
+
+ColumnSetting AlternatingCoreSolver::solve(const ColumnCop& cop,
+                                           std::uint64_t seed,
+                                           CoreSolveStats* stats) const {
+  Rng rng(seed);
+  ColumnSetting best;
+  double best_obj = 0.0;
+  bool have_best = false;
+  const std::size_t restarts = std::max<std::size_t>(1, restarts_);
+  for (std::size_t attempt = 0; attempt < restarts; ++attempt) {
+    ColumnSetting s = random_setting(cop.rows(), cop.cols(), rng);
+    const double obj = alternate_to_fixpoint(cop, s, max_sweeps_);
+    if (!have_best || obj < best_obj) {
+      best = std::move(s);
+      best_obj = obj;
+      have_best = true;
+    }
+  }
+  if (stats != nullptr) {
+    stats->objective = best_obj;
+    stats->iterations = restarts * max_sweeps_;
+    stats->stopped_early = false;
+    stats->proven_optimal = false;
+  }
+  return best;
+}
+
+ColumnSetting HeuristicCoreSolver::solve(const ColumnCop& cop,
+                                         std::uint64_t /*seed*/,
+                                         CoreSolveStats* stats) const {
+  const BooleanMatrix& m = cop.exact_matrix();
+
+  // The two most frequent distinct exact columns seed the pattern pair.
+  ColumnSetting s;
+  std::tie(s.v1, s.v2) = dominant_column_pair(m);
+  s.t = BitVec(m.cols());
+  if (refine_sweeps_ == 0) {
+    cop.reset_optimal_t(s);
+  } else {
+    alternate_to_fixpoint(cop, s, refine_sweeps_);
+  }
+
+  if (stats != nullptr) {
+    stats->objective = cop.objective(s);
+    stats->iterations = 1;
+    stats->stopped_early = false;
+    stats->proven_optimal = false;
+  }
+  return s;
+}
+
+ColumnSetting AnnealCoreSolver::solve(const ColumnCop& cop,
+                                      std::uint64_t seed,
+                                      CoreSolveStats* stats) const {
+  const std::size_t r = cop.rows();
+  const std::size_t c = cop.cols();
+  const std::size_t bits = 2 * r + c;
+  Rng rng(seed);
+
+  ColumnSetting best;
+  double best_obj = 0.0;
+  bool have_best = false;
+  std::size_t sweeps_done = 0;
+
+  const std::size_t restarts = std::max<std::size_t>(1, options_.restarts);
+  for (std::size_t attempt = 0; attempt < restarts; ++attempt) {
+    ColumnSetting s = random_setting(r, c, rng);
+    double obj = cop.objective(s);
+    if (!have_best || obj < best_obj) {
+      best = s;
+      best_obj = obj;
+      have_best = true;
+    }
+
+    const double ratio =
+        options_.sweeps > 1
+            ? std::pow(options_.beta_end / options_.beta_start,
+                       1.0 / static_cast<double>(options_.sweeps - 1))
+            : 1.0;
+    double beta = options_.beta_start;
+
+    for (std::size_t sweep = 0; sweep < options_.sweeps; ++sweep) {
+      for (std::size_t step = 0; step < bits; ++step) {
+        const std::size_t pick = rng.next_below(bits);
+        double delta = 0.0;
+        if (pick < r) {
+          // Flip V1_i: affects columns with T_j = 0.
+          const std::size_t i = pick;
+          const double sign = s.v1.get(i) ? -1.0 : 1.0;
+          for (std::size_t j = 0; j < c; ++j) {
+            if (!s.t.get(j)) {
+              delta += sign * (cop.cell_cost(i, j, true) -
+                               cop.cell_cost(i, j, false));
+            }
+          }
+          if (delta <= 0.0 || rng.next_double() < std::exp(-beta * delta)) {
+            s.v1.flip(i);
+            obj += delta;
+          }
+        } else if (pick < 2 * r) {
+          const std::size_t i = pick - r;
+          const double sign = s.v2.get(i) ? -1.0 : 1.0;
+          for (std::size_t j = 0; j < c; ++j) {
+            if (s.t.get(j)) {
+              delta += sign * (cop.cell_cost(i, j, true) -
+                               cop.cell_cost(i, j, false));
+            }
+          }
+          if (delta <= 0.0 || rng.next_double() < std::exp(-beta * delta)) {
+            s.v2.flip(i);
+            obj += delta;
+          }
+        } else {
+          // Flip T_j: column j switches pattern.
+          const std::size_t j = pick - 2 * r;
+          const bool now = s.t.get(j);
+          for (std::size_t i = 0; i < r; ++i) {
+            const bool cur = now ? s.v2.get(i) : s.v1.get(i);
+            const bool nxt = now ? s.v1.get(i) : s.v2.get(i);
+            if (cur != nxt) {
+              delta += cop.cell_cost(i, j, nxt) - cop.cell_cost(i, j, cur);
+            }
+          }
+          if (delta <= 0.0 || rng.next_double() < std::exp(-beta * delta)) {
+            s.t.flip(j);
+            obj += delta;
+          }
+        }
+      }
+      ++sweeps_done;
+      if (obj < best_obj) {
+        best = s;
+        best_obj = obj;
+      }
+      beta *= ratio;
+    }
+  }
+
+  // Guard against drift in the incrementally tracked objective.
+  best_obj = cop.objective(best);
+
+  if (stats != nullptr) {
+    stats->objective = best_obj;
+    stats->iterations = sweeps_done;
+    stats->stopped_early = false;
+    stats->proven_optimal = false;
+  }
+  return best;
+}
+
+namespace {
+
+/// Depth-first exact search over column-type assignments with per-row
+/// separable bounds; see BnbCoreSolver docs.
+class ColumnBnb {
+ public:
+  ColumnBnb(const ColumnCop& cop, double time_budget_s)
+      : cop_(cop),
+        r_(cop.rows()),
+        c_(cop.cols()),
+        deadline_(time_budget_s) {
+    // Visit heavy columns first: their assignment moves the bound most.
+    order_.resize(c_);
+    for (std::size_t j = 0; j < c_; ++j) {
+      order_[j] = j;
+    }
+    std::vector<double> weight(c_, 0.0);
+    std::vector<double> colmin(c_, 0.0);
+    for (std::size_t j = 0; j < c_; ++j) {
+      for (std::size_t i = 0; i < r_; ++i) {
+        const double c0 = cop.cell_cost(i, j, false);
+        const double c1 = cop.cell_cost(i, j, true);
+        weight[j] += std::fabs(c1 - c0);
+        colmin[j] += std::min(c0, c1);
+      }
+    }
+    std::sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
+      return weight[a] > weight[b];
+    });
+    // rem_[pos] = sum over columns at positions >= pos of their cell-wise
+    // minimum cost: the relaxation value of everything not yet assigned.
+    rem_.assign(c_ + 1, 0.0);
+    for (std::size_t pos = c_; pos-- > 0;) {
+      rem_[pos] = rem_[pos + 1] + colmin[order_[pos]];
+    }
+    cost1_.assign(2 * r_, 0.0);
+    cost2_.assign(2 * r_, 0.0);
+    t_.assign(c_, 0);
+  }
+
+  void set_incumbent(const ColumnSetting& s, double obj) {
+    best_setting_ = s;
+    best_obj_ = obj;
+  }
+
+  void run() {
+    dfs(0, 0.0);
+  }
+
+  const ColumnSetting& best() const { return best_setting_; }
+  double best_objective() const { return best_obj_; }
+  std::size_t nodes() const { return nodes_; }
+  bool hit_deadline() const { return hit_deadline_; }
+
+ private:
+  // cost1_[2i + v] accumulates the cost of row i taking value v over the
+  // columns assigned to pattern 1 so far; cost2_ likewise for pattern 2.
+  double lower_bound(std::size_t pos) const {
+    double lb = rem_[pos];
+    for (std::size_t i = 0; i < r_; ++i) {
+      lb += std::min(cost1_[2 * i], cost1_[2 * i + 1]);
+      lb += std::min(cost2_[2 * i], cost2_[2 * i + 1]);
+    }
+    return lb;
+  }
+
+  void assign(std::size_t j, int pattern, int direction) {
+    auto& cost = pattern == 1 ? cost1_ : cost2_;
+    const double sign = direction;
+    for (std::size_t i = 0; i < r_; ++i) {
+      cost[2 * i] += sign * cop_.cell_cost(i, j, false);
+      cost[2 * i + 1] += sign * cop_.cell_cost(i, j, true);
+    }
+  }
+
+  void dfs(std::size_t pos, double /*unused*/) {
+    if (hit_deadline_ || (++nodes_ % 1024 == 0 && deadline_.expired())) {
+      hit_deadline_ = true;
+      return;
+    }
+    if (lower_bound(pos) >= best_obj_ - 1e-12) {
+      return;
+    }
+    if (pos == c_) {
+      // All columns typed: the optimal V is the per-row argmin.
+      ColumnSetting s;
+      s.v1 = BitVec(r_);
+      s.v2 = BitVec(r_);
+      s.t = BitVec(c_);
+      double obj = 0.0;
+      for (std::size_t i = 0; i < r_; ++i) {
+        s.v1.set(i, cost1_[2 * i + 1] < cost1_[2 * i]);
+        s.v2.set(i, cost2_[2 * i + 1] < cost2_[2 * i]);
+        obj += std::min(cost1_[2 * i], cost1_[2 * i + 1]);
+        obj += std::min(cost2_[2 * i], cost2_[2 * i + 1]);
+      }
+      for (std::size_t pos2 = 0; pos2 < c_; ++pos2) {
+        s.t.set(order_[pos2], t_[pos2] == 2);
+      }
+      if (obj < best_obj_) {
+        best_obj_ = obj;
+        best_setting_ = std::move(s);
+      }
+      return;
+    }
+
+    const std::size_t j = order_[pos];
+    for (int pattern = 1; pattern <= 2; ++pattern) {
+      t_[pos] = pattern;
+      assign(j, pattern, +1);
+      dfs(pos + 1, 0.0);
+      assign(j, pattern, -1);
+      if (hit_deadline_) {
+        return;
+      }
+    }
+  }
+
+  const ColumnCop& cop_;
+  std::size_t r_;
+  std::size_t c_;
+  Deadline deadline_;
+  std::vector<std::size_t> order_;
+  std::vector<double> rem_;
+  std::vector<double> cost1_;
+  std::vector<double> cost2_;
+  std::vector<int> t_;
+  ColumnSetting best_setting_;
+  double best_obj_ = 1e300;
+  std::size_t nodes_ = 0;
+  bool hit_deadline_ = false;
+};
+
+}  // namespace
+
+ColumnSetting BnbCoreSolver::solve(const ColumnCop& cop, std::uint64_t seed,
+                                   CoreSolveStats* stats) const {
+  // Warm incumbent from alternating minimization (cheap, often near-opt).
+  const AlternatingCoreSolver warm(options_.warm_restarts);
+  ColumnSetting incumbent = warm.solve(cop, seed, nullptr);
+  const double incumbent_obj = cop.objective(incumbent);
+
+  ColumnBnb bnb(cop, options_.time_budget_s);
+  bnb.set_incumbent(incumbent, incumbent_obj);
+  bnb.run();
+
+  if (stats != nullptr) {
+    stats->objective = bnb.best_objective();
+    stats->iterations = bnb.nodes();
+    stats->stopped_early = bnb.hit_deadline();
+    stats->proven_optimal = !bnb.hit_deadline();
+  }
+  return bnb.best();
+}
+
+}  // namespace adsd

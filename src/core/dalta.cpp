@@ -1,0 +1,187 @@
+#include "core/dalta.hpp"
+
+#include <atomic>
+#include <optional>
+#include <stdexcept>
+
+#include "core/partition_screen.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace adsd {
+
+DecomposedLutNetwork DaltaResult::to_lut_network() const {
+  DecomposedLutNetwork net;
+  for (const auto& out : outputs) {
+    net.add_output(DecomposedLut::from_column_setting(out.partition,
+                                                      out.setting));
+  }
+  return net;
+}
+
+namespace {
+
+struct Candidate {
+  InputPartition partition;
+  ColumnSetting setting;
+  CoreSolveStats stats;
+};
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                       std::uint64_t c) {
+  std::uint64_t x = seed ^ (a * 0x9e3779b97f4a7c15ull) ^
+                    (b * 0xc2b2ae3d27d4eb4full) ^ (c * 0x165667b19e3779f9ull);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
+                      const DaltaParams& params, const CoreCopSolver& solver) {
+  const unsigned n = exact.num_inputs();
+  const unsigned m = exact.num_outputs();
+  if (dist.num_inputs() != n) {
+    throw std::invalid_argument("run_dalta: distribution shape mismatch");
+  }
+  if (params.free_size == 0 || params.free_size >= n) {
+    throw std::invalid_argument("run_dalta: free size must be in (0, n)");
+  }
+  if (params.num_partitions == 0 || params.rounds == 0) {
+    throw std::invalid_argument("run_dalta: need partitions and rounds >= 1");
+  }
+
+  Timer timer;
+  const std::uint64_t patterns = exact.num_patterns();
+
+  TruthTable approx = exact;
+  // Output words cached as integers so the joint-mode D terms are O(1) per
+  // pattern: D(x) = (approx word without bit k) - exact word.
+  std::vector<std::int64_t> exact_words(patterns);
+  std::vector<std::int64_t> approx_words(patterns);
+  for (std::uint64_t x = 0; x < patterns; ++x) {
+    exact_words[x] = static_cast<std::int64_t>(exact.word(x));
+    approx_words[x] = exact_words[x];
+  }
+
+  std::vector<std::optional<OutputDecomposition>> chosen(m);
+
+  DaltaResult result{std::move(approx), {}, 0.0, 0.0, 0.0, 0, 0, 0};
+
+  std::vector<double> d_by_input;  // joint mode scratch, indexed by pattern
+
+  for (std::size_t round = 0; round < params.rounds; ++round) {
+    for (unsigned kk = 0; kk < m; ++kk) {
+      const unsigned k = m - 1 - kk;  // MSB -> LSB, as in the paper
+
+      if (params.mode == DecompMode::kJoint) {
+        d_by_input.resize(patterns);
+        const BitVec& gk = result.approx.output(k);
+        const std::int64_t weight = std::int64_t{1} << k;
+        for (std::uint64_t x = 0; x < patterns; ++x) {
+          const std::int64_t rest =
+              approx_words[x] - (gk.get(x) ? weight : 0);
+          d_by_input[x] = static_cast<double>(rest - exact_words[x]);
+        }
+      }
+
+      // The candidate partitions for this (round, output) are fixed by the
+      // seed alone, so every solver sees the same sequence.
+      Rng part_rng(mix_seed(params.seed, round, k, 0x51ab));
+      const std::size_t oversample =
+          params.num_partitions * std::max<std::size_t>(1, params.screen_factor);
+      std::vector<InputPartition> candidates_w;
+      candidates_w.reserve(oversample);
+      for (std::size_t p = 0; p < oversample; ++p) {
+        candidates_w.push_back(
+            InputPartition::random(n, params.free_size, part_rng));
+      }
+      if (oversample > params.num_partitions) {
+        const PartitionScreener screener(exact.output(k), n);
+        candidates_w =
+            screener.screen(std::move(candidates_w), params.num_partitions);
+      }
+
+      std::vector<std::optional<Candidate>> candidates(params.num_partitions);
+      auto evaluate = [&](std::size_t p) {
+        const InputPartition& w = candidates_w[p];
+        const BooleanMatrix matrix =
+            BooleanMatrix::from_function(exact, k, w);
+        const std::vector<double> probs = matrix_probs(dist, w);
+
+        ColumnCop cop = [&] {
+          if (params.mode == DecompMode::kSeparate) {
+            return ColumnCop::separate(matrix, probs);
+          }
+          const std::size_t r = w.num_rows();
+          const std::size_t c = w.num_cols();
+          std::vector<double> d(r * c);
+          for (std::size_t i = 0; i < r; ++i) {
+            for (std::size_t j = 0; j < c; ++j) {
+              d[i * c + j] = d_by_input[w.input_of(i, j)];
+            }
+          }
+          return ColumnCop::joint(matrix, probs, d,
+                                  static_cast<double>(std::int64_t{1} << k));
+        }();
+
+        Candidate cand{w, {}, {}};
+        cand.setting =
+            solver.solve(cop, mix_seed(params.seed, round, k, p), &cand.stats);
+        cand.stats.objective = cop.objective(cand.setting);
+        candidates[p] = std::move(cand);
+      };
+
+      if (params.parallel && params.num_partitions > 1) {
+        ThreadPool::shared().parallel_for(params.num_partitions, evaluate);
+      } else {
+        for (std::size_t p = 0; p < params.num_partitions; ++p) {
+          evaluate(p);
+        }
+      }
+
+      std::size_t best_p = 0;
+      for (std::size_t p = 1; p < params.num_partitions; ++p) {
+        if (candidates[p]->stats.objective <
+            candidates[best_p]->stats.objective - 1e-15) {
+          best_p = p;
+        }
+      }
+
+      Candidate& best = *candidates[best_p];
+      for (const auto& cand : candidates) {
+        result.cop_solves += 1;
+        result.solver_iterations += cand->stats.iterations;
+        result.early_stops += cand->stats.stopped_early ? 1 : 0;
+      }
+
+      // Commit: replace output k and refresh the cached words.
+      BitVec new_bits = compose_output(best.setting, best.partition);
+      const BitVec& old_bits = result.approx.output(k);
+      const std::int64_t weight = std::int64_t{1} << k;
+      for (std::uint64_t x = 0; x < patterns; ++x) {
+        const bool was = old_bits.get(x);
+        const bool now = new_bits.get(x);
+        if (was != now) {
+          approx_words[x] += now ? weight : -weight;
+        }
+      }
+      result.approx.set_output(k, std::move(new_bits));
+      chosen[k] = OutputDecomposition{best.partition, std::move(best.setting),
+                                      best.stats.objective};
+    }
+  }
+
+  result.outputs.reserve(m);
+  for (unsigned k = 0; k < m; ++k) {
+    result.outputs.push_back(std::move(*chosen[k]));
+  }
+  result.med = mean_error_distance(exact, result.approx, dist);
+  result.error_rate = error_rate(exact, result.approx, dist);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace adsd

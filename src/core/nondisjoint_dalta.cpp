@@ -1,0 +1,194 @@
+#include "core/nondisjoint_dalta.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+#include "core/column_cop.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace adsd {
+
+std::uint64_t NdDaltaResult::total_size_bits() const {
+  std::uint64_t total = 0;
+  for (const auto& out : outputs) {
+    total += out.partition.phi_lut_bits() + out.partition.f_lut_bits();
+  }
+  return total;
+}
+
+std::uint64_t NdDaltaResult::total_flat_size_bits() const {
+  std::uint64_t total = 0;
+  for (const auto& out : outputs) {
+    total += std::uint64_t{1} << out.partition.num_inputs();
+  }
+  return total;
+}
+
+namespace {
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                       std::uint64_t c) {
+  std::uint64_t x = seed ^ (a * 0x9e3779b97f4a7c15ull) ^
+                    (b * 0xc2b2ae3d27d4eb4full) ^ (c * 0x165667b19e3779f9ull);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  return x;
+}
+
+struct NdCandidate {
+  NonDisjointPartition partition;
+  NonDisjointSetting setting;
+  double objective = 0.0;
+  std::size_t iterations = 0;
+};
+
+}  // namespace
+
+NdDaltaResult run_dalta_nd(const TruthTable& exact,
+                           const InputDistribution& dist,
+                           const NdDaltaParams& params,
+                           const CoreCopSolver& solver) {
+  const unsigned n = exact.num_inputs();
+  const unsigned m = exact.num_outputs();
+  if (dist.num_inputs() != n) {
+    throw std::invalid_argument("run_dalta_nd: distribution shape mismatch");
+  }
+  if (params.free_size == 0 ||
+      params.free_size + params.shared_size >= n) {
+    throw std::invalid_argument("run_dalta_nd: bad free/shared sizes");
+  }
+  if (params.num_partitions == 0 || params.rounds == 0) {
+    throw std::invalid_argument("run_dalta_nd: need partitions and rounds");
+  }
+
+  Timer timer;
+  const std::uint64_t patterns = exact.num_patterns();
+
+  std::vector<std::int64_t> exact_words(patterns);
+  std::vector<std::int64_t> approx_words(patterns);
+  for (std::uint64_t x = 0; x < patterns; ++x) {
+    exact_words[x] = static_cast<std::int64_t>(exact.word(x));
+    approx_words[x] = exact_words[x];
+  }
+
+  NdDaltaResult result{exact, {}, 0.0, 0.0, 0.0, 0, 0};
+  std::vector<std::optional<NdOutputDecomposition>> chosen(m);
+  std::vector<double> d_by_input;
+
+  for (std::size_t round = 0; round < params.rounds; ++round) {
+    for (unsigned kk = 0; kk < m; ++kk) {
+      const unsigned k = m - 1 - kk;
+
+      if (params.mode == DecompMode::kJoint) {
+        d_by_input.resize(patterns);
+        const BitVec& gk = result.approx.output(k);
+        const std::int64_t weight = std::int64_t{1} << k;
+        for (std::uint64_t x = 0; x < patterns; ++x) {
+          const std::int64_t rest =
+              approx_words[x] - (gk.get(x) ? weight : 0);
+          d_by_input[x] = static_cast<double>(rest - exact_words[x]);
+        }
+      }
+
+      Rng part_rng(mix_seed(params.seed, round, k, 0x51ab));
+      std::vector<NonDisjointPartition> candidates_w;
+      candidates_w.reserve(params.num_partitions);
+      for (std::size_t p = 0; p < params.num_partitions; ++p) {
+        candidates_w.push_back(NonDisjointPartition::random(
+            n, params.free_size, params.shared_size, part_rng));
+      }
+
+      std::vector<std::optional<NdCandidate>> candidates(
+          params.num_partitions);
+      auto evaluate = [&](std::size_t p) {
+        const NonDisjointPartition& w = candidates_w[p];
+        NdCandidate cand{w, {}, 0.0, 0};
+        const std::size_t r = w.num_rows();
+        const std::size_t c = w.num_cols();
+
+        for (std::uint64_t sl = 0; sl < w.num_slices(); ++sl) {
+          const BooleanMatrix matrix = slice_matrix(exact, k, w, sl);
+          std::vector<double> probs(r * c);
+          std::vector<double> d;
+          if (params.mode == DecompMode::kJoint) {
+            d.resize(r * c);
+          }
+          for (std::size_t i = 0; i < r; ++i) {
+            for (std::size_t j = 0; j < c; ++j) {
+              const std::uint64_t x = w.input_of(sl, i, j);
+              probs[i * c + j] = dist.prob(x);
+              if (!d.empty()) {
+                d[i * c + j] = d_by_input[x];
+              }
+            }
+          }
+          ColumnCop cop =
+              params.mode == DecompMode::kSeparate
+                  ? ColumnCop::separate(matrix, probs)
+                  : ColumnCop::joint(matrix, probs, d,
+                                     static_cast<double>(std::int64_t{1}
+                                                         << k));
+          CoreSolveStats stats;
+          // Slice 0 must reuse run_dalta's per-candidate seed so that
+          // shared_size == 0 reproduces the disjoint flow exactly.
+          ColumnSetting cs = solver.solve(
+              cop, mix_seed(params.seed, round, k, p + sl * 0x51de5ull),
+              &stats);
+          cand.objective += cop.objective(cs);
+          cand.iterations += stats.iterations;
+          cand.setting.slices.push_back(std::move(cs));
+        }
+        candidates[p] = std::move(cand);
+      };
+
+      if (params.parallel && params.num_partitions > 1) {
+        ThreadPool::shared().parallel_for(params.num_partitions, evaluate);
+      } else {
+        for (std::size_t p = 0; p < params.num_partitions; ++p) {
+          evaluate(p);
+        }
+      }
+
+      std::size_t best_p = 0;
+      for (std::size_t p = 1; p < params.num_partitions; ++p) {
+        if (candidates[p]->objective <
+            candidates[best_p]->objective - 1e-15) {
+          best_p = p;
+        }
+      }
+      for (const auto& cand : candidates) {
+        result.cop_solves += cand->setting.slices.size();
+        result.solver_iterations += cand->iterations;
+      }
+
+      NdCandidate& best = *candidates[best_p];
+      BitVec new_bits = compose_output(best.setting, best.partition);
+      const BitVec& old_bits = result.approx.output(k);
+      const std::int64_t weight = std::int64_t{1} << k;
+      for (std::uint64_t x = 0; x < patterns; ++x) {
+        const bool was = old_bits.get(x);
+        const bool now = new_bits.get(x);
+        if (was != now) {
+          approx_words[x] += now ? weight : -weight;
+        }
+      }
+      result.approx.set_output(k, std::move(new_bits));
+      chosen[k] = NdOutputDecomposition{best.partition,
+                                        std::move(best.setting),
+                                        best.objective};
+    }
+  }
+
+  result.outputs.reserve(m);
+  for (unsigned k = 0; k < m; ++k) {
+    result.outputs.push_back(std::move(*chosen[k]));
+  }
+  result.med = mean_error_distance(exact, result.approx, dist);
+  result.error_rate = error_rate(exact, result.approx, dist);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace adsd

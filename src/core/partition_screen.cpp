@@ -1,0 +1,43 @@
+#include "core/partition_screen.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace adsd {
+
+PartitionScreener::PartitionScreener(const BitVec& output_bits,
+                                     unsigned num_inputs)
+    : mgr_(std::make_unique<BddManager>(num_inputs)) {
+  if (output_bits.size() != (std::uint64_t{1} << num_inputs)) {
+    throw std::invalid_argument("PartitionScreener: table size mismatch");
+  }
+  root_ = mgr_->from_truth_table(output_bits);
+}
+
+std::size_t PartitionScreener::multiplicity(const InputPartition& w) const {
+  return bdd_column_multiplicity(*mgr_, root_, w);
+}
+
+std::vector<InputPartition> PartitionScreener::screen(
+    std::vector<InputPartition> candidates, std::size_t keep) const {
+  if (keep >= candidates.size()) {
+    return candidates;
+  }
+  std::vector<std::size_t> mu(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    mu[i] = multiplicity(candidates[i]);
+  }
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return mu[a] < mu[b]; });
+  std::vector<InputPartition> kept;
+  kept.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) {
+    kept.push_back(std::move(candidates[order[i]]));
+  }
+  return kept;
+}
+
+}  // namespace adsd

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <memory>
+
+#include "bdd/bdd.hpp"
+#include "bdd/bdd_decompose.hpp"
+#include "boolean/partition.hpp"
+#include "support/bitvec.hpp"
+
+namespace adsd {
+
+/// BDD-based candidate-partition screener.
+///
+/// The DALTA framework samples P random partitions per output and pays a
+/// full core-COP solve for each. The column multiplicity (number of
+/// distinct bound-set cofactors) is a cheap proxy for how well a partition
+/// can be approximated by two column patterns: multiplicity 2 means an
+/// exact decomposition exists, and low multiplicity means the columns
+/// cluster tightly. Screening generates `screen_factor * P` candidates,
+/// ranks them by multiplicity on the output's BDD, and keeps the best P --
+/// trading a cheap BDD pass for fewer wasted solver calls.
+class PartitionScreener {
+ public:
+  /// Builds the BDD of one output column (2^n bits).
+  explicit PartitionScreener(const BitVec& output_bits, unsigned num_inputs);
+
+  /// Column multiplicity of the screened output under `w`.
+  std::size_t multiplicity(const InputPartition& w) const;
+
+  /// Keeps the `keep` partitions of lowest multiplicity (stable order among
+  /// ties, so results stay deterministic).
+  std::vector<InputPartition> screen(std::vector<InputPartition> candidates,
+                                     std::size_t keep) const;
+
+ private:
+  // The manager is mutable state (caches) behind a const-looking API;
+  // guarded by value semantics per screener instance.
+  mutable std::unique_ptr<BddManager> mgr_;
+  BddManager::NodeRef root_;
+};
+
+}  // namespace adsd

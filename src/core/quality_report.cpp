@@ -1,0 +1,70 @@
+#include "core/quality_report.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "support/table.hpp"
+
+namespace adsd {
+
+std::vector<double> QualityReport::med_share_upper_bound() const {
+  std::vector<double> share(bit_flip_rate.size(), 0.0);
+  if (med <= 0.0) {
+    return share;
+  }
+  for (std::size_t k = 0; k < bit_flip_rate.size(); ++k) {
+    share[k] = bit_flip_rate[k] *
+               static_cast<double>(std::uint64_t{1} << k) / med;
+  }
+  return share;
+}
+
+void QualityReport::print(std::ostream& os) const {
+  Table summary({"metric", "value"});
+  summary.add_row({"MED", Table::num(med, 4)});
+  summary.add_row({"error rate", Table::num(error_rate, 4)});
+  summary.add_row({"worst-case error", std::to_string(worst_case_error)});
+  summary.add_row({"mean relative error",
+                   Table::num(mean_relative_error, 4)});
+  if (stored_bits != 0) {
+    summary.add_row({"flat LUT bits", std::to_string(flat_bits)});
+    summary.add_row({"stored bits", std::to_string(stored_bits)});
+    summary.add_row({"saving", Table::num(saving(), 2) + "x"});
+  }
+  summary.print(os);
+
+  Table bits({"bit", "weight", "flip rate"});
+  for (std::size_t k = bit_flip_rate.size(); k-- > 0;) {
+    bits.add_row({std::to_string(k),
+                  std::to_string(std::uint64_t{1} << k),
+                  Table::num(bit_flip_rate[k], 4)});
+  }
+  os << "\nper-output-bit flip rates:\n";
+  bits.print(os);
+}
+
+QualityReport make_quality_report(const TruthTable& exact,
+                                  const TruthTable& approx,
+                                  const InputDistribution& dist,
+                                  std::uint64_t stored_bits) {
+  if (exact.num_inputs() != approx.num_inputs() ||
+      exact.num_outputs() != approx.num_outputs()) {
+    throw std::invalid_argument("make_quality_report: shape mismatch");
+  }
+  QualityReport report;
+  report.med = mean_error_distance(exact, approx, dist);
+  report.error_rate = error_rate(exact, approx, dist);
+  report.mean_relative_error = mean_relative_error(exact, approx, dist);
+  report.worst_case_error = worst_case_error(exact, approx);
+  report.bit_flip_rate.resize(exact.num_outputs());
+  for (unsigned k = 0; k < exact.num_outputs(); ++k) {
+    report.bit_flip_rate[k] =
+        error_rate(exact.output(k), approx.output(k), dist);
+  }
+  report.flat_bits =
+      exact.num_patterns() * static_cast<std::uint64_t>(exact.num_outputs());
+  report.stored_bits = stored_bits;
+  return report;
+}
+
+}  // namespace adsd

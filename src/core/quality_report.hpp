@@ -1,0 +1,53 @@
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "boolean/error_metrics.hpp"
+#include "boolean/truth_table.hpp"
+
+namespace adsd {
+
+/// Full accuracy/storage characterization of an approximate LUT design:
+/// the word-level metrics of Sec. 2.3 plus a per-output-bit breakdown
+/// (flip rate per bit, weighted by significance), and the storage ledger.
+/// One place to compute what the CLI, the examples, and the experiment
+/// harnesses all report.
+struct QualityReport {
+  // Word-level error metrics.
+  double med = 0.0;
+  double error_rate = 0.0;
+  double mean_relative_error = 0.0;
+  std::uint64_t worst_case_error = 0;
+
+  // Per-output-bit flip probability, index k = bit of weight 2^k.
+  std::vector<double> bit_flip_rate;
+
+  // Storage ledger (bits).
+  std::uint64_t flat_bits = 0;
+  std::uint64_t stored_bits = 0;
+
+  double saving() const {
+    return stored_bits == 0 ? 0.0
+                            : static_cast<double>(flat_bits) /
+                                  static_cast<double>(stored_bits);
+  }
+
+  /// Fraction of the MED attributable to each bit's flips (upper bound by
+  /// independence: flip_rate[k] * 2^k / MED). Diagnostic for the joint
+  /// mode's bit-significance claim.
+  std::vector<double> med_share_upper_bound() const;
+
+  /// Two-column table ("metric", "value") plus the per-bit breakdown.
+  void print(std::ostream& os) const;
+};
+
+/// Computes the report for an approximation of `exact` under `dist`.
+/// `stored_bits` comes from the LUT network realizing the approximation
+/// (0 if not applicable).
+QualityReport make_quality_report(const TruthTable& exact,
+                                  const TruthTable& approx,
+                                  const InputDistribution& dist,
+                                  std::uint64_t stored_bits);
+
+}  // namespace adsd

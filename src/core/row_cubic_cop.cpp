@@ -1,0 +1,140 @@
+#include "core/row_cubic_cop.hpp"
+
+#include <stdexcept>
+
+namespace adsd {
+
+RowCubicCop::RowCubicCop(const BooleanMatrix& exact, std::vector<double> e0,
+                         std::vector<double> e1)
+    : exact_(exact),
+      rows_(exact.rows()),
+      cols_(exact.cols()),
+      e0_(std::move(e0)),
+      e1_(std::move(e1)) {}
+
+RowCubicCop RowCubicCop::separate(const BooleanMatrix& exact,
+                                  const std::vector<double>& probs) {
+  const std::size_t r = exact.rows();
+  const std::size_t c = exact.cols();
+  if (probs.size() != r * c) {
+    throw std::invalid_argument("RowCubicCop::separate: probs mismatch");
+  }
+  std::vector<double> e0(r * c);
+  std::vector<double> e1(r * c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      const std::size_t idx = i * c + j;
+      e0[idx] = exact.at(i, j) ? probs[idx] : 0.0;
+      e1[idx] = exact.at(i, j) ? 0.0 : probs[idx];
+    }
+  }
+  return RowCubicCop(exact, std::move(e0), std::move(e1));
+}
+
+PolyIsingModel RowCubicCop::to_poly_ising() const {
+  PolyIsingModel model(num_spins());
+
+  // Row-level pieces are shared across the columns of a row; build each
+  // once. P = b + aV - 2abV => cost contribution per cell is
+  // (e1-e0) * [b + (a - 2ab) * V] + e0.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const SpinPoly a = SpinPoly::binary(a_spin(i));
+    const SpinPoly b = SpinPoly::binary(b_spin(i));
+    const SpinPoly ab2 = (a * b).scale(-2.0) + a;  // a - 2ab
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const std::size_t idx = i * cols_ + j;
+      const double gain = e1_[idx] - e0_[idx];
+      if (e0_[idx] != 0.0) {
+        model.add_constant(e0_[idx]);
+      }
+      if (gain == 0.0) {
+        continue;
+      }
+      const SpinPoly v = SpinPoly::binary(v_spin(j));
+      SpinPoly p = b + ab2 * v;
+      p.add_to(model, gain);
+    }
+  }
+  model.finalize();
+  return model;
+}
+
+namespace {
+
+RowType type_from_bits(bool a, bool b) {
+  if (!a) {
+    return b ? RowType::kAllOne : RowType::kAllZero;
+  }
+  return b ? RowType::kComplement : RowType::kPattern;
+}
+
+void bits_from_type(RowType t, bool* a, bool* b) {
+  switch (t) {
+    case RowType::kAllZero:
+      *a = false;
+      *b = false;
+      return;
+    case RowType::kAllOne:
+      *a = false;
+      *b = true;
+      return;
+    case RowType::kPattern:
+      *a = true;
+      *b = false;
+      return;
+    case RowType::kComplement:
+      *a = true;
+      *b = true;
+      return;
+  }
+}
+
+}  // namespace
+
+double RowCubicCop::objective(const RowSetting& s) const {
+  if (s.pattern.size() != cols_ || s.types.size() != rows_) {
+    throw std::invalid_argument("RowCubicCop::objective: setting shape");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const std::size_t idx = i * cols_ + j;
+      total += s.value(i, j) ? e1_[idx] : e0_[idx];
+    }
+  }
+  return total;
+}
+
+RowSetting RowCubicCop::decode(std::span<const std::int8_t> spins) const {
+  if (spins.size() != num_spins()) {
+    throw std::invalid_argument("RowCubicCop::decode: spin count");
+  }
+  RowSetting s;
+  s.pattern = BitVec(cols_);
+  s.types.resize(rows_);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    s.pattern.set(j, spins[v_spin(j)] > 0);
+  }
+  for (std::size_t i = 0; i < rows_; ++i) {
+    s.types[i] =
+        type_from_bits(spins[a_spin(i)] > 0, spins[b_spin(i)] > 0);
+  }
+  return s;
+}
+
+std::vector<std::int8_t> RowCubicCop::encode(const RowSetting& s) const {
+  std::vector<std::int8_t> spins(num_spins());
+  for (std::size_t j = 0; j < cols_; ++j) {
+    spins[v_spin(j)] = s.pattern.get(j) ? 1 : -1;
+  }
+  for (std::size_t i = 0; i < rows_; ++i) {
+    bool a = false;
+    bool b = false;
+    bits_from_type(s.types[i], &a, &b);
+    spins[a_spin(i)] = a ? 1 : -1;
+    spins[b_spin(i)] = b ? 1 : -1;
+  }
+  return spins;
+}
+
+}  // namespace adsd

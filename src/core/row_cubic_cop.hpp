@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "boolean/boolean_matrix.hpp"
+#include "boolean/decomposition.hpp"
+#include "ising/poly_model.hpp"
+
+namespace adsd {
+
+/// Third-order Ising formulation of the *row-based* core COP (separate
+/// mode) -- the alternative the paper rejects in Sec. 3.1 because it does
+/// not fit the second-order model of Eq. (1). Implemented here so the
+/// claim is measurable (bench/ablation_order): the column-based
+/// reformulation exists precisely to avoid this model.
+///
+/// Encoding: the row type S_i in {all-0, all-1, V, ~V} takes two bits
+/// (a_i, b_i); the predicted matrix value is the multilinear form
+///
+///   P_ij = b_i + a_i V_j - 2 a_i b_i V_j          (binary algebra)
+///
+/// whose a*b*V monomial is what forces third order after the spin
+/// substitution. Cell cost = e0 + (e1 - e0) P with e0/e1 the weighted cost
+/// of predicting 0/1.
+///
+/// Spin layout: V_j at [0, c), a_i at [c, c+r), b_i at [c+r, c+2r).
+class RowCubicCop {
+ public:
+  /// Separate mode: minimize the weighted error rate of this output.
+  static RowCubicCop separate(const BooleanMatrix& exact,
+                              const std::vector<double>& probs);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t num_spins() const { return cols_ + 2 * rows_; }
+
+  std::size_t v_spin(std::size_t j) const { return j; }
+  std::size_t a_spin(std::size_t i) const { return cols_ + i; }
+  std::size_t b_spin(std::size_t i) const { return cols_ + rows_ + i; }
+
+  /// Finalized third-order model whose energies equal objective values.
+  PolyIsingModel to_poly_ising() const;
+
+  /// True weighted error of a row setting.
+  double objective(const RowSetting& s) const;
+
+  RowSetting decode(std::span<const std::int8_t> spins) const;
+  std::vector<std::int8_t> encode(const RowSetting& s) const;
+
+  const BooleanMatrix& exact_matrix() const { return exact_; }
+
+ private:
+  RowCubicCop(const BooleanMatrix& exact, std::vector<double> e0,
+              std::vector<double> e1);
+
+  BooleanMatrix exact_;
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> e0_;  // row-major: weighted cost of predicting 0
+  std::vector<double> e1_;  // weighted cost of predicting 1
+};
+
+}  // namespace adsd

@@ -1,0 +1,155 @@
+#include "core/row_ilp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace adsd {
+
+RowIlpEncoding encode_row_cop_separate(const BooleanMatrix& exact,
+                                       const std::vector<double>& probs) {
+  const std::size_t r = exact.rows();
+  const std::size_t c = exact.cols();
+  if (probs.size() != r * c) {
+    throw std::invalid_argument("encode_row_cop_separate: probs mismatch");
+  }
+  std::vector<double> cost0(r * c);
+  std::vector<double> cost1(r * c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      const std::size_t idx = i * c + j;
+      cost0[idx] = exact.at(i, j) ? probs[idx] : 0.0;
+      cost1[idx] = exact.at(i, j) ? 0.0 : probs[idx];
+    }
+  }
+  return encode_row_cop(exact, cost0, cost1);
+}
+
+RowIlpEncoding encode_row_cop_joint(const BooleanMatrix& exact,
+                                    const std::vector<double>& probs,
+                                    const std::vector<double>& d,
+                                    double bit_weight) {
+  const std::size_t cells = exact.rows() * exact.cols();
+  if (probs.size() != cells || d.size() != cells) {
+    throw std::invalid_argument("encode_row_cop_joint: size mismatch");
+  }
+  if (bit_weight <= 0.0) {
+    throw std::invalid_argument("encode_row_cop_joint: bad bit weight");
+  }
+  std::vector<double> cost0(cells);
+  std::vector<double> cost1(cells);
+  for (std::size_t idx = 0; idx < cells; ++idx) {
+    cost0[idx] = probs[idx] * std::fabs(d[idx]);
+    cost1[idx] = probs[idx] * std::fabs(bit_weight + d[idx]);
+  }
+  return encode_row_cop(exact, cost0, cost1);
+}
+
+RowIlpEncoding encode_row_cop(const BooleanMatrix& exact,
+                              const std::vector<double>& cost0,
+                              const std::vector<double>& cost1) {
+  const std::size_t r = exact.rows();
+  const std::size_t c = exact.cols();
+  if (cost0.size() != r * c || cost1.size() != r * c) {
+    throw std::invalid_argument("encode_row_cop: cost size mismatch");
+  }
+
+  RowIlpEncoding enc;
+  enc.rows = r;
+  enc.cols = c;
+  const std::size_t num_vars = c + 4 * r + 2 * r * c;
+  enc.problem.lp.objective.assign(num_vars, 0.0);
+  enc.problem.is_binary.assign(num_vars, false);
+
+  for (std::size_t j = 0; j < c; ++j) {
+    enc.problem.is_binary[enc.v_var(j)] = true;
+  }
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t t = 0; t < 4; ++t) {
+      enc.problem.is_binary[enc.s_var(i, t)] = true;
+    }
+  }
+
+  auto& obj = enc.problem.lp.objective;
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      // Cost of predicting 0 / 1 at this cell.
+      const double e0 = cost0[i * c + j];
+      const double e1 = cost1[i * c + j];
+      // Type all-0 predicts 0 everywhere; all-1 predicts 1 everywhere.
+      obj[enc.s_var(i, 0)] += e0;
+      obj[enc.s_var(i, 1)] += e1;
+      // Type V predicts V_j:   cost = e0 * s + (e1 - e0) * (s AND V_j).
+      obj[enc.s_var(i, 2)] += e0;
+      obj[enc.z1_var(i, j)] += e1 - e0;
+      // Type ~V predicts 1-V_j: cost = e1 * s + (e0 - e1) * (s AND V_j).
+      obj[enc.s_var(i, 3)] += e1;
+      obj[enc.z2_var(i, j)] += e0 - e1;
+    }
+  }
+
+  auto& lp = enc.problem.lp;
+  auto unit_row = [num_vars](std::size_t var, double coeff) {
+    std::vector<double> row(num_vars, 0.0);
+    row[var] = coeff;
+    return row;
+  };
+
+  // One-hot row types.
+  for (std::size_t i = 0; i < r; ++i) {
+    std::vector<double> row(num_vars, 0.0);
+    for (std::size_t t = 0; t < 4; ++t) {
+      row[enc.s_var(i, t)] = 1.0;
+    }
+    lp.add_eq(std::move(row), 1.0);
+  }
+
+  // McCormick envelopes pinning z = s * V at binary corners:
+  //   z <= s,  z <= V,  z >= s + V - 1,  z >= 0 (implicit).
+  auto add_product = [&](std::size_t z, std::size_t s, std::size_t v) {
+    std::vector<double> row = unit_row(z, 1.0);
+    row[s] = -1.0;
+    lp.add_le(std::move(row), 0.0);
+
+    row = unit_row(z, 1.0);
+    row[v] = -1.0;
+    lp.add_le(std::move(row), 0.0);
+
+    row = unit_row(z, 1.0);
+    row[s] = -1.0;
+    row[v] = -1.0;
+    lp.add_ge(std::move(row), -1.0);
+  };
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      add_product(enc.z1_var(i, j), enc.s_var(i, 2), enc.v_var(j));
+      add_product(enc.z2_var(i, j), enc.s_var(i, 3), enc.v_var(j));
+    }
+  }
+
+  return enc;
+}
+
+RowSetting decode_row_ilp(const RowIlpEncoding& enc,
+                          const std::vector<double>& x) {
+  RowSetting rs;
+  rs.pattern = BitVec(enc.cols);
+  rs.types.resize(enc.rows);
+  for (std::size_t j = 0; j < enc.cols; ++j) {
+    rs.pattern.set(j, x[enc.v_var(j)] > 0.5);
+  }
+  for (std::size_t i = 0; i < enc.rows; ++i) {
+    std::size_t chosen = 0;
+    double best = -1.0;
+    for (std::size_t t = 0; t < 4; ++t) {
+      const double v = x[enc.s_var(i, t)];
+      if (v > best) {
+        best = v;
+        chosen = t;
+      }
+    }
+    rs.types[i] = static_cast<RowType>(chosen);
+  }
+  return rs;
+}
+
+}  // namespace adsd

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <vector>
+
+#include "boolean/boolean_matrix.hpp"
+#include "boolean/decomposition.hpp"
+#include "ilp/ilp.hpp"
+
+namespace adsd {
+
+/// Faithful ILP encoding of the *row-based* core COP in separate mode, the
+/// formulation DALTA-ILP hands to Gurobi [Meng et al., ICCAD'21]:
+///
+///   variables  V_j in {0,1} (fixed row pattern),
+///              s_{i,t} in {0,1} (one-hot row type: all-0, all-1, V, ~V),
+///              z1_{i,j}, z2_{i,j} in [0,1] (McCormick products s_{i,V}V_j
+///              and s_{i,~V}V_j),
+///   objective  the weighted error rate of the induced approximation.
+///
+/// The encoding grows as O(r*c) auxiliaries, which is why the paper reports
+/// poor ILP scalability; here it backs the ILP pathway on small instances
+/// (tests, examples) while BnbCoreSolver covers the large-scale runs.
+struct RowIlpEncoding {
+  IlpProblem problem;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+
+  // Variable index helpers.
+  std::size_t v_var(std::size_t j) const { return j; }
+  std::size_t s_var(std::size_t i, std::size_t t) const {
+    return cols + 4 * i + t;
+  }
+  std::size_t z1_var(std::size_t i, std::size_t j) const {
+    return cols + 4 * rows + i * cols + j;
+  }
+  std::size_t z2_var(std::size_t i, std::size_t j) const {
+    return cols + 4 * rows + rows * cols + i * cols + j;
+  }
+};
+
+/// Builds the encoding for an exact matrix with per-cell probabilities
+/// (row-major, as produced by matrix_probs()).
+RowIlpEncoding encode_row_cop_separate(const BooleanMatrix& exact,
+                                       const std::vector<double>& probs);
+
+/// General cost form: e0/e1 give the weighted cost of predicting 0/1 at
+/// each cell (row-major). The separate mode is e0 = p*O, e1 = p*(1-O); the
+/// joint mode uses the D_kij linearization of Eqs. (13)/(15). `exact`
+/// supplies only the matrix shape.
+RowIlpEncoding encode_row_cop(const BooleanMatrix& exact,
+                              const std::vector<double>& cost0,
+                              const std::vector<double>& cost1);
+
+/// Joint-mode costs from D values and the bit weight 2^(k-1):
+/// cost0 = p * |D|, cost1 = p * |bit_weight + D| (exact ED at Ohat = 0/1).
+RowIlpEncoding encode_row_cop_joint(const BooleanMatrix& exact,
+                                    const std::vector<double>& probs,
+                                    const std::vector<double>& d,
+                                    double bit_weight);
+
+/// Decodes an ILP solution vector into the row setting it represents.
+RowSetting decode_row_ilp(const RowIlpEncoding& enc,
+                          const std::vector<double>& x);
+
+}  // namespace adsd

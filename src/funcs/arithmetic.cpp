@@ -1,0 +1,193 @@
+#include "funcs/arithmetic.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "support/quantize.hpp"
+
+namespace adsd {
+
+namespace {
+
+void check_operand_width(unsigned bits) {
+  if (bits == 0 || bits > 31) {
+    throw std::invalid_argument("arithmetic: operand width must be in [1,31]");
+  }
+}
+
+struct GenProp {
+  bool g;
+  bool p;
+};
+
+GenProp combine(const GenProp& hi, const GenProp& lo) {
+  return {hi.g || (hi.p && lo.g), hi.p && lo.p};
+}
+
+/// Sum bit via full adder logic.
+bool full_adder_sum(bool a, bool b, bool cin) { return a ^ b ^ cin; }
+bool full_adder_carry(bool a, bool b, bool cin) {
+  return (a && b) || (cin && (a ^ b));
+}
+
+}  // namespace
+
+std::uint64_t brent_kung_add(std::uint64_t a, std::uint64_t b, unsigned bits) {
+  check_operand_width(bits);
+  std::vector<bool> p(bits), g(bits);
+  std::vector<GenProp> prefix(bits);
+  for (unsigned i = 0; i < bits; ++i) {
+    const bool ai = (a >> i) & 1;
+    const bool bi = (b >> i) & 1;
+    p[i] = ai ^ bi;
+    g[i] = ai && bi;
+    prefix[i] = {g[i], p[i]};
+  }
+
+  // Brent-Kung up-sweep: build the sparse prefix tree.
+  for (unsigned d = 1; d < bits; d *= 2) {
+    for (unsigned i = 2 * d - 1; i < bits; i += 2 * d) {
+      prefix[i] = combine(prefix[i], prefix[i - d]);
+    }
+  }
+  // Down-sweep: fill in the remaining prefixes.
+  unsigned top = 1;
+  while (top * 2 < bits) {
+    top *= 2;
+  }
+  for (unsigned d = top; d >= 1; d /= 2) {
+    for (unsigned i = 3 * d - 1; i < bits; i += 2 * d) {
+      prefix[i] = combine(prefix[i], prefix[i - d]);
+    }
+    if (d == 1) {
+      break;
+    }
+  }
+
+  // prefix[i].g is the carry out of position i; c_0 = 0.
+  std::uint64_t sum = 0;
+  bool carry_in = false;
+  for (unsigned i = 0; i < bits; ++i) {
+    if (full_adder_sum(p[i], false, carry_in)) {
+      sum |= std::uint64_t{1} << i;
+    }
+    carry_in = prefix[i].g;
+  }
+  if (carry_in) {
+    sum |= std::uint64_t{1} << bits;
+  }
+  return sum;
+}
+
+std::uint64_t array_multiply(std::uint64_t a, std::uint64_t b, unsigned bits) {
+  check_operand_width(bits);
+  // Accumulator of 2*bits result bits, updated one partial-product row at a
+  // time with an explicit ripple of full adders.
+  std::vector<bool> acc(2 * bits, false);
+  for (unsigned j = 0; j < bits; ++j) {
+    if (((b >> j) & 1) == 0) {
+      continue;
+    }
+    bool carry = false;
+    for (unsigned i = 0; i < bits; ++i) {
+      const bool pp = (a >> i) & 1;
+      const bool s = full_adder_sum(acc[i + j], pp, carry);
+      carry = full_adder_carry(acc[i + j], pp, carry);
+      acc[i + j] = s;
+    }
+    // Propagate the final carry up the accumulator.
+    for (unsigned i = bits + j; carry && i < 2 * bits; ++i) {
+      const bool s = acc[i] ^ carry;
+      carry = acc[i] && carry;
+      acc[i] = s;
+    }
+  }
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < 2 * bits; ++i) {
+    if (acc[i]) {
+      out |= std::uint64_t{1} << i;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void check_even_inputs(unsigned input_bits) {
+  if (input_bits < 2 || input_bits % 2 != 0) {
+    throw std::invalid_argument(
+        "arithmetic benchmark: input width must be even and >= 2");
+  }
+}
+
+}  // namespace
+
+TruthTable make_brent_kung_table(unsigned input_bits, unsigned output_bits) {
+  check_even_inputs(input_bits);
+  const unsigned half = input_bits / 2;
+  if (output_bits != half + 1) {
+    throw std::invalid_argument(
+        "make_brent_kung_table: output width must be n/2 + 1");
+  }
+  const std::uint64_t mask = (std::uint64_t{1} << half) - 1;
+  return TruthTable::from_function(
+      input_bits, output_bits, [&](std::uint64_t u) {
+        return brent_kung_add(u & mask, u >> half, half);
+      });
+}
+
+TruthTable make_multiplier_table(unsigned input_bits, unsigned output_bits) {
+  check_even_inputs(input_bits);
+  const unsigned half = input_bits / 2;
+  if (output_bits != input_bits) {
+    throw std::invalid_argument(
+        "make_multiplier_table: output width must equal input width");
+  }
+  const std::uint64_t mask = (std::uint64_t{1} << half) - 1;
+  return TruthTable::from_function(
+      input_bits, output_bits, [&](std::uint64_t u) {
+        return array_multiply(u & mask, u >> half, half);
+      });
+}
+
+TruthTable make_forwardk2j_table(unsigned input_bits, unsigned output_bits) {
+  check_even_inputs(input_bits);
+  const unsigned half = input_bits / 2;
+  const Quantizer angle(0.0, std::numbers::pi / 2.0, half);
+  // x = 0.5 cos(t1) + 0.5 cos(t1 + t2) with t1, t2 in [0, pi/2]:
+  // maximum 1 at t1 = t2 = 0, minimum -0.5 at t1 = pi/2, t2 = pi/2.
+  const Quantizer out(-0.5, 1.0, output_bits);
+  const std::uint64_t mask = (std::uint64_t{1} << half) - 1;
+  return TruthTable::from_function(
+      input_bits, output_bits, [&](std::uint64_t u) {
+        const double t1 = angle.decode(u & mask);
+        const double t2 = angle.decode(u >> half);
+        return out.encode(0.5 * std::cos(t1) + 0.5 * std::cos(t1 + t2));
+      });
+}
+
+TruthTable make_inversek2j_table(unsigned input_bits, unsigned output_bits) {
+  check_even_inputs(input_bits);
+  const unsigned half = input_bits / 2;
+  const Quantizer coord(0.05, 1.0, half);
+  const Quantizer out(0.0, std::numbers::pi, output_bits);
+  const std::uint64_t mask = (std::uint64_t{1} << half) - 1;
+  return TruthTable::from_function(
+      input_bits, output_bits, [&](std::uint64_t u) {
+        const double x = coord.decode(u & mask);
+        const double y = coord.decode(u >> half);
+        // Two-joint arm with l1 = l2 = 0.5:
+        // cos(t2) = (x^2 + y^2 - l1^2 - l2^2) / (2 l1 l2).
+        double c = (x * x + y * y - 0.5) / 0.5;
+        if (c > 1.0) {
+          c = 1.0;
+        } else if (c < -1.0) {
+          c = -1.0;
+        }
+        return out.encode(std::acos(c));
+      });
+}
+
+}  // namespace adsd

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "boolean/truth_table.hpp"
+
+namespace adsd {
+
+/// Gate-level Brent-Kung parallel-prefix addition of two `bits`-wide
+/// operands. Returns the (bits+1)-bit sum computed through the actual
+/// prefix network (generate/propagate up-sweep + down-sweep), not through
+/// the machine adder — the network is the circuit AxBench's Brent-Kung
+/// benchmark tabulates.
+std::uint64_t brent_kung_add(std::uint64_t a, std::uint64_t b, unsigned bits);
+
+/// Gate-level unsigned array multiplication (`bits` x `bits` -> 2*bits) via
+/// rows of full/half adders.
+std::uint64_t array_multiply(std::uint64_t a, std::uint64_t b, unsigned bits);
+
+/// Truth table of the Brent-Kung adder benchmark: the n-bit input word
+/// splits into two n/2-bit operands; the output is their (n/2+1)-bit sum.
+/// Precondition: n even, output_bits == n/2 + 1.
+TruthTable make_brent_kung_table(unsigned input_bits, unsigned output_bits);
+
+/// Truth table of the multiplier benchmark: two n/2-bit operands, n-bit
+/// product. Precondition: n even, output_bits == n.
+TruthTable make_multiplier_table(unsigned input_bits, unsigned output_bits);
+
+/// Truth table of the forward-kinematics benchmark (forwardk2j): the input
+/// word splits into two angle codes over [0, pi/2]; the output is the
+/// quantized x-coordinate of a two-joint arm with unit half-links,
+/// x = 0.5 cos(t1) + 0.5 cos(t1 + t2). Precondition: n even.
+TruthTable make_forwardk2j_table(unsigned input_bits, unsigned output_bits);
+
+/// Truth table of the inverse-kinematics benchmark (inversek2j): the input
+/// word splits into two coordinate codes over [0.05, 1.0]; the output is the
+/// quantized elbow angle acos((x^2 + y^2 - 0.5) / 0.5) over [0, pi].
+/// Precondition: n even.
+TruthTable make_inversek2j_table(unsigned input_bits, unsigned output_bits);
+
+}  // namespace adsd

@@ -1,0 +1,46 @@
+#include "funcs/continuous.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "support/quantize.hpp"
+
+namespace adsd {
+
+const std::vector<ContinuousSpec>& continuous_specs() {
+  static const std::vector<ContinuousSpec> specs = {
+      {"cos", 0.0, std::numbers::pi / 2.0, 0.0, 1.0,
+       [](double x) { return std::cos(x); }},
+      {"tan", 0.0, 2.0 * std::numbers::pi / 5.0, 0.0, 3.08,
+       [](double x) { return std::tan(x); }},
+      {"exp", 0.0, 3.0, 0.0, 20.09, [](double x) { return std::exp(x); }},
+      {"ln", 1.0, 10.0, 0.0, 2.30, [](double x) { return std::log(x); }},
+      {"erf", 0.0, 3.0, 0.0, 1.0, [](double x) { return std::erf(x); }},
+      {"denoise", 0.0, 3.0, 0.0, 0.81,
+       [](double x) { return 0.81 * std::exp(-x * x / 2.0); }},
+  };
+  return specs;
+}
+
+const ContinuousSpec& continuous_spec(const std::string& name) {
+  for (const auto& s : continuous_specs()) {
+    if (s.name == name) {
+      return s;
+    }
+  }
+  throw std::invalid_argument("continuous_spec: unknown function '" + name +
+                              "'");
+}
+
+TruthTable make_continuous_table(const ContinuousSpec& spec,
+                                 unsigned input_bits, unsigned output_bits) {
+  const Quantizer in(spec.domain_lo, spec.domain_hi, input_bits);
+  const Quantizer out(spec.range_lo, spec.range_hi, output_bits);
+  return TruthTable::from_function(
+      input_bits, output_bits, [&](std::uint64_t u) {
+        return out.encode(spec.fn(in.decode(u)));
+      });
+}
+
+}  // namespace adsd

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "boolean/truth_table.hpp"
+
+namespace adsd {
+
+/// A real-valued function together with the domain/range used to quantize
+/// it into a LUT benchmark (Table 1 of the paper).
+struct ContinuousSpec {
+  std::string name;
+  double domain_lo;
+  double domain_hi;
+  double range_lo;
+  double range_hi;
+  std::function<double(double)> fn;
+};
+
+/// The six continuous benchmarks of the paper with their published domains
+/// and ranges: cos, tan, exp, ln, erf, denoise.
+///
+/// `denoise` is reconstructed as 0.81 * exp(-x^2 / 2) on [0, 3] -> [0, 0.81]
+/// (the paper specifies only the domain and range; see DESIGN.md).
+const std::vector<ContinuousSpec>& continuous_specs();
+
+/// Lookup by name; throws std::invalid_argument for unknown names.
+const ContinuousSpec& continuous_spec(const std::string& name);
+
+/// Quantizes `spec.fn` into an n-input, m-output truth table: input code u
+/// decodes to a domain sample, the image is encoded with the range
+/// quantizer (saturating).
+TruthTable make_continuous_table(const ContinuousSpec& spec,
+                                 unsigned input_bits, unsigned output_bits);
+
+}  // namespace adsd

@@ -1,0 +1,44 @@
+#include "funcs/registry.hpp"
+
+#include <stdexcept>
+
+#include "funcs/arithmetic.hpp"
+#include "funcs/continuous.hpp"
+
+namespace adsd {
+
+const std::vector<BenchmarkCase>& benchmark_suite() {
+  static const std::vector<BenchmarkCase> suite = {
+      {"cos", true},        {"tan", true},       {"exp", true},
+      {"ln", true},         {"erf", true},       {"denoise", true},
+      {"brent-kung", false}, {"forwardk2j", false}, {"inversek2j", false},
+      {"multiplier", false},
+  };
+  return suite;
+}
+
+unsigned paper_output_bits(const std::string& name, unsigned input_bits) {
+  if (name == "brent-kung") {
+    return input_bits / 2 + 1;
+  }
+  return input_bits;
+}
+
+TruthTable make_benchmark_table(const std::string& name, unsigned input_bits,
+                                unsigned output_bits) {
+  if (name == "brent-kung") {
+    return make_brent_kung_table(input_bits, output_bits);
+  }
+  if (name == "multiplier") {
+    return make_multiplier_table(input_bits, output_bits);
+  }
+  if (name == "forwardk2j") {
+    return make_forwardk2j_table(input_bits, output_bits);
+  }
+  if (name == "inversek2j") {
+    return make_inversek2j_table(input_bits, output_bits);
+  }
+  return make_continuous_table(continuous_spec(name), input_bits, output_bits);
+}
+
+}  // namespace adsd

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "boolean/truth_table.hpp"
+
+namespace adsd {
+
+/// One entry of the paper's benchmark suite: six continuous functions and
+/// four arithmetic circuits from AxBench.
+struct BenchmarkCase {
+  std::string name;
+  bool continuous;
+};
+
+/// The ten benchmarks in the order the paper lists them.
+const std::vector<BenchmarkCase>& benchmark_suite();
+
+/// Output width used by the paper's large-scale experiment (n = 16):
+/// 16 for every benchmark except Brent-Kung, which produces a 9-bit sum.
+unsigned paper_output_bits(const std::string& name, unsigned input_bits);
+
+/// Builds the truth table for a named benchmark at the given widths.
+/// Throws std::invalid_argument for unknown names or incompatible widths.
+TruthTable make_benchmark_table(const std::string& name, unsigned input_bits,
+                                unsigned output_bits);
+
+}  // namespace adsd

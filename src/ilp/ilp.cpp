@@ -1,0 +1,197 @@
+#include "ilp/ilp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace adsd {
+
+namespace {
+
+constexpr double kIntTol = 1e-6;
+
+struct Node {
+  // Variable fixings accumulated on the path from the root: pairs of
+  // (variable, value). Re-applied as equality rows on the base LP; simple
+  // and robust, and our trees are shallow enough that re-solving from
+  // scratch dominates anyway with a dense tableau.
+  std::vector<std::pair<std::size_t, int>> fixings;
+};
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const IlpProblem& p, const IlpParams& params)
+      : problem_(p), params_(params), deadline_(params.time_budget_s) {
+    if (p.is_binary.size() != p.lp.num_vars()) {
+      throw std::invalid_argument("solve_ilp: is_binary size mismatch");
+    }
+  }
+
+  IlpSolution run(const std::vector<double>* initial) {
+    if (initial != nullptr) {
+      accept_if_feasible(*initial);
+    }
+    std::vector<Node> stack;
+    stack.push_back({});
+
+    while (!stack.empty()) {
+      if (deadline_.expired() || result_.nodes_explored >= params_.max_nodes) {
+        break;
+      }
+      Node node = std::move(stack.back());
+      stack.pop_back();
+      ++result_.nodes_explored;
+
+      const LpSolution relax = solve_node(node);
+      if (relax.status == LpStatus::kInfeasible) {
+        continue;
+      }
+      if (relax.status != LpStatus::kOptimal) {
+        // Unbounded/iteration-limited relaxations: cannot bound, give up on
+        // pruning this subtree but keep exploring by branching blindly.
+        branch_first_free(node, stack);
+        continue;
+      }
+      if (has_incumbent_ &&
+          relax.objective >= result_.objective - params_.gap_tol) {
+        continue;  // bound prune
+      }
+
+      const std::size_t frac = most_fractional(relax.x);
+      if (frac == problem_.lp.num_vars()) {
+        accept_if_feasible(relax.x);
+        continue;
+      }
+
+      // Explore the rounded-nearest child first (depth-first dive).
+      const int near = relax.x[frac] >= 0.5 ? 1 : 0;
+      Node far_child = node;
+      far_child.fixings.emplace_back(frac, 1 - near);
+      Node near_child = std::move(node);
+      near_child.fixings.emplace_back(frac, near);
+      stack.push_back(std::move(far_child));
+      stack.push_back(std::move(near_child));
+    }
+
+    result_.proven_optimal = stack.empty() && has_incumbent_ &&
+                             result_.nodes_explored < params_.max_nodes &&
+                             !deadline_.expired();
+    if (!has_incumbent_) {
+      result_.status =
+          stack.empty() ? IlpStatus::kInfeasible : IlpStatus::kNoSolution;
+    } else {
+      result_.status =
+          result_.proven_optimal ? IlpStatus::kOptimal : IlpStatus::kFeasible;
+    }
+    return result_;
+  }
+
+ private:
+  LpSolution solve_node(const Node& node) {
+    LpProblem lp = problem_.lp;
+    const std::size_t n = lp.num_vars();
+    // Binary bounds x <= 1 (x >= 0 is implicit in the simplex).
+    for (std::size_t j = 0; j < n; ++j) {
+      if (problem_.is_binary[j]) {
+        std::vector<double> row(j + 1, 0.0);
+        row[j] = 1.0;
+        lp.add_le(std::move(row), 1.0);
+      }
+    }
+    for (const auto& [var, value] : node.fixings) {
+      std::vector<double> row(var + 1, 0.0);
+      row[var] = 1.0;
+      lp.add_eq(std::move(row), static_cast<double>(value));
+    }
+    return solve_lp(lp);
+  }
+
+  std::size_t most_fractional(const std::vector<double>& x) const {
+    std::size_t best = problem_.lp.num_vars();
+    double best_dist = kIntTol;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      if (!problem_.is_binary[j]) {
+        continue;
+      }
+      const double frac = std::fabs(x[j] - std::round(x[j]));
+      if (frac > best_dist) {
+        best_dist = frac;
+        best = j;
+      }
+    }
+    return best;
+  }
+
+  void branch_first_free(const Node& node, std::vector<Node>& stack) const {
+    std::vector<bool> fixed(problem_.lp.num_vars(), false);
+    for (const auto& [var, value] : node.fixings) {
+      (void)value;
+      fixed[var] = true;
+    }
+    for (std::size_t j = 0; j < problem_.lp.num_vars(); ++j) {
+      if (problem_.is_binary[j] && !fixed[j]) {
+        for (int v = 0; v <= 1; ++v) {
+          Node child = node;
+          child.fixings.emplace_back(j, v);
+          stack.push_back(std::move(child));
+        }
+        return;
+      }
+    }
+  }
+
+  void accept_if_feasible(const std::vector<double>& x) {
+    if (x.size() != problem_.lp.num_vars()) {
+      return;
+    }
+    std::vector<double> rounded = x;
+    for (std::size_t j = 0; j < rounded.size(); ++j) {
+      if (problem_.is_binary[j]) {
+        const double r = std::round(rounded[j]);
+        if (std::fabs(rounded[j] - r) > kIntTol || r < -kIntTol ||
+            r > 1.0 + kIntTol) {
+          return;
+        }
+        rounded[j] = r;
+      } else if (rounded[j] < -kIntTol) {
+        return;
+      }
+    }
+    for (const auto& c : problem_.lp.constraints) {
+      double lhs = 0.0;
+      for (std::size_t j = 0; j < c.coeffs.size(); ++j) {
+        lhs += c.coeffs[j] * rounded[j];
+      }
+      const double slack = lhs - c.rhs;
+      if ((c.rel == Relation::kLe && slack > 1e-6) ||
+          (c.rel == Relation::kGe && slack < -1e-6) ||
+          (c.rel == Relation::kEq && std::fabs(slack) > 1e-6)) {
+        return;
+      }
+    }
+    double obj = 0.0;
+    for (std::size_t j = 0; j < rounded.size(); ++j) {
+      obj += problem_.lp.objective[j] * rounded[j];
+    }
+    if (!has_incumbent_ || obj < result_.objective) {
+      has_incumbent_ = true;
+      result_.objective = obj;
+      result_.x = std::move(rounded);
+    }
+  }
+
+  const IlpProblem& problem_;
+  IlpParams params_;
+  Deadline deadline_;
+  IlpSolution result_;
+  bool has_incumbent_ = false;
+};
+
+}  // namespace
+
+IlpSolution solve_ilp(const IlpProblem& problem, const IlpParams& params,
+                      const std::vector<double>* initial) {
+  BranchAndBound bb(problem, params);
+  return bb.run(initial);
+}
+
+}  // namespace adsd

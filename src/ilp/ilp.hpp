@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ilp/lp.hpp"
+#include "support/timer.hpp"
+
+namespace adsd {
+
+/// 0-1 integer linear program: the LP plus a set of variables restricted to
+/// {0, 1}. Non-flagged variables stay continuous (mixed formulations, e.g.
+/// the linearized products in the row-based core-COP encoding, keep the
+/// auxiliaries continuous).
+struct IlpProblem {
+  LpProblem lp;
+  std::vector<bool> is_binary;  // size == lp.num_vars()
+};
+
+struct IlpParams {
+  /// Anytime budget in seconds; <= 0 means unlimited. On expiry the
+  /// incumbent (best feasible found) is returned with proven_optimal=false,
+  /// matching how the paper runs Gurobi with a wall-clock cap.
+  double time_budget_s = 10.0;
+
+  /// Stop when the tree gap closes below this absolute tolerance.
+  double gap_tol = 1e-9;
+
+  std::size_t max_nodes = 10'000'000;
+};
+
+enum class IlpStatus { kOptimal, kFeasible, kInfeasible, kNoSolution };
+
+struct IlpSolution {
+  IlpStatus status = IlpStatus::kNoSolution;
+  double objective = 0.0;
+  std::vector<double> x;  // binaries are exact 0/1
+  std::size_t nodes_explored = 0;
+  bool proven_optimal = false;
+};
+
+/// Depth-first branch-and-bound with LP-relaxation bounds (most-fractional
+/// branching, incumbent warm start optional via `initial`).
+IlpSolution solve_ilp(const IlpProblem& problem, const IlpParams& params,
+                      const std::vector<double>* initial = nullptr);
+
+}  // namespace adsd

@@ -1,0 +1,285 @@
+#include "ilp/lp.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace adsd {
+
+void LpProblem::add_le(std::vector<double> coeffs, double rhs) {
+  constraints.push_back({std::move(coeffs), Relation::kLe, rhs});
+}
+void LpProblem::add_ge(std::vector<double> coeffs, double rhs) {
+  constraints.push_back({std::move(coeffs), Relation::kGe, rhs});
+}
+void LpProblem::add_eq(std::vector<double> coeffs, double rhs) {
+  constraints.push_back({std::move(coeffs), Relation::kEq, rhs});
+}
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense simplex tableau. Columns: structural vars, slack/surplus vars,
+/// artificial vars, rhs. One extra row holds the (priced-out) objective.
+class Tableau {
+ public:
+  Tableau(const LpProblem& p) {
+    const std::size_t n = p.num_vars();
+    const std::size_t m = p.constraints.size();
+
+    // Count auxiliary columns.
+    num_slack_ = 0;
+    num_art_ = 0;
+    for (const auto& c : p.constraints) {
+      const bool flipped = c.rhs < 0.0;
+      const Relation rel = flipped ? flip(c.rel) : c.rel;
+      if (rel != Relation::kEq) {
+        ++num_slack_;
+      }
+      if (rel != Relation::kLe) {
+        ++num_art_;
+      }
+    }
+
+    n_ = n;
+    m_ = m;
+    cols_ = n + num_slack_ + num_art_ + 1;
+    rows_.assign(m, std::vector<double>(cols_, 0.0));
+    basis_.assign(m, 0);
+    art_start_ = n + num_slack_;
+
+    std::size_t slack = 0;
+    std::size_t art = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& c = p.constraints[i];
+      if (c.coeffs.size() > n) {
+        throw std::invalid_argument("LP: constraint wider than objective");
+      }
+      const bool flipped = c.rhs < 0.0;
+      const double sign = flipped ? -1.0 : 1.0;
+      const Relation rel = flipped ? flip(c.rel) : c.rel;
+
+      for (std::size_t j = 0; j < c.coeffs.size(); ++j) {
+        rows_[i][j] = sign * c.coeffs[j];
+      }
+      rows_[i][cols_ - 1] = sign * c.rhs;
+
+      if (rel == Relation::kLe) {
+        rows_[i][n + slack] = 1.0;
+        basis_[i] = n + slack;
+        ++slack;
+      } else if (rel == Relation::kGe) {
+        rows_[i][n + slack] = -1.0;
+        ++slack;
+        rows_[i][art_start_ + art] = 1.0;
+        basis_[i] = art_start_ + art;
+        ++art;
+      } else {
+        rows_[i][art_start_ + art] = 1.0;
+        basis_[i] = art_start_ + art;
+        ++art;
+      }
+    }
+  }
+
+  /// Runs the simplex loop to optimality on cost vector `cost` (size
+  /// cols_-1). Returns false on unboundedness. `allowed_cols` bounds the
+  /// entering-candidate range (used to exclude artificials in phase 2).
+  bool optimize(const std::vector<double>& cost, std::size_t allowed_cols,
+                std::size_t& pivots, std::size_t max_pivots) {
+    // Price out: z-row = cost, minus cost of basic variables times rows.
+    z_.assign(cols_, 0.0);
+    for (std::size_t j = 0; j + 1 < cols_; ++j) {
+      z_[j] = cost[j];
+    }
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double cb = cost[basis_[i]];
+      if (cb != 0.0) {
+        for (std::size_t j = 0; j < cols_; ++j) {
+          z_[j] -= cb * rows_[i][j];
+        }
+      }
+    }
+
+    while (pivots < max_pivots) {
+      // Bland's rule: smallest-index column with negative reduced cost.
+      std::size_t enter = cols_;
+      for (std::size_t j = 0; j < allowed_cols; ++j) {
+        if (z_[j] < -kEps) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == cols_) {
+        return true;  // optimal
+      }
+
+      // Ratio test, Bland tie-break on the leaving basic variable index.
+      std::size_t leave = m_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < m_; ++i) {
+        const double a = rows_[i][enter];
+        if (a > kEps) {
+          const double ratio = rows_[i][cols_ - 1] / a;
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               (leave == m_ || basis_[i] < basis_[leave]))) {
+            best_ratio = ratio;
+            leave = i;
+          }
+        }
+      }
+      if (leave == m_) {
+        return false;  // unbounded in this direction
+      }
+      pivot(leave, enter);
+      ++pivots;
+    }
+    return true;  // iteration limit; caller checks pivots
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double p = rows_[row][col];
+    for (std::size_t j = 0; j < cols_; ++j) {
+      rows_[row][j] /= p;
+    }
+    rows_[row][col] = 1.0;  // kill roundoff
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i == row) {
+        continue;
+      }
+      const double f = rows_[i][col];
+      if (f != 0.0) {
+        for (std::size_t j = 0; j < cols_; ++j) {
+          rows_[i][j] -= f * rows_[row][j];
+        }
+        rows_[i][col] = 0.0;
+      }
+    }
+    const double fz = z_[col];
+    if (fz != 0.0) {
+      for (std::size_t j = 0; j < cols_; ++j) {
+        z_[j] -= fz * rows_[row][j];
+      }
+      z_[col] = 0.0;
+    }
+    basis_[row] = col;
+  }
+
+  /// After phase 1: pivot any artificial still basic (at value 0) onto a
+  /// structural/slack column, so phase 2 never re-enters artificials.
+  void expel_artificials() {
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < art_start_) {
+        continue;
+      }
+      std::size_t col = art_start_;
+      for (std::size_t j = 0; j < art_start_; ++j) {
+        if (std::fabs(rows_[i][j]) > kEps) {
+          col = j;
+          break;
+        }
+      }
+      if (col < art_start_) {
+        pivot(i, col);
+      }
+      // Otherwise the row is redundant (all structural coefficients zero,
+      // rhs zero); leaving the artificial basic at zero is harmless as long
+      // as phase 2 never lets artificials enter, which allowed_cols ensures.
+    }
+  }
+
+  double rhs(std::size_t i) const { return rows_[i][cols_ - 1]; }
+  std::size_t basic_var(std::size_t i) const { return basis_[i]; }
+  std::size_t num_rows() const { return m_; }
+  std::size_t num_structural() const { return n_; }
+  std::size_t art_start() const { return art_start_; }
+  std::size_t num_cols() const { return cols_; }
+  bool has_artificials() const { return num_art_ > 0; }
+
+ private:
+  static Relation flip(Relation r) {
+    if (r == Relation::kLe) {
+      return Relation::kGe;
+    }
+    if (r == Relation::kGe) {
+      return Relation::kLe;
+    }
+    return Relation::kEq;
+  }
+
+  std::size_t n_ = 0;
+  std::size_t m_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t num_slack_ = 0;
+  std::size_t num_art_ = 0;
+  std::size_t art_start_ = 0;
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> z_;
+  std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LpProblem& problem, std::size_t max_pivots) {
+  if (problem.objective.empty()) {
+    throw std::invalid_argument("solve_lp: no variables");
+  }
+
+  Tableau t(problem);
+  std::size_t pivots = 0;
+
+  if (t.has_artificials()) {
+    // Phase 1: minimize the sum of artificials.
+    std::vector<double> cost(t.num_cols() - 1, 0.0);
+    for (std::size_t j = t.art_start(); j + 1 < t.num_cols(); ++j) {
+      cost[j] = 1.0;
+    }
+    if (!t.optimize(cost, t.num_cols() - 1, pivots, max_pivots)) {
+      // Phase 1 objective is bounded below by zero; unbounded cannot occur.
+      return {LpStatus::kInfeasible, 0.0, {}};
+    }
+    if (pivots >= max_pivots) {
+      return {LpStatus::kIterLimit, 0.0, {}};
+    }
+    double art_sum = 0.0;
+    for (std::size_t i = 0; i < t.num_rows(); ++i) {
+      if (t.basic_var(i) >= t.art_start()) {
+        art_sum += t.rhs(i);
+      }
+    }
+    if (art_sum > 1e-7) {
+      return {LpStatus::kInfeasible, 0.0, {}};
+    }
+    t.expel_artificials();
+  }
+
+  // Phase 2: the real objective over structural + slack columns only.
+  std::vector<double> cost(t.num_cols() - 1, 0.0);
+  for (std::size_t j = 0; j < problem.num_vars(); ++j) {
+    cost[j] = problem.objective[j];
+  }
+  if (!t.optimize(cost, t.art_start(), pivots, max_pivots)) {
+    return {LpStatus::kUnbounded, 0.0, {}};
+  }
+  if (pivots >= max_pivots) {
+    return {LpStatus::kIterLimit, 0.0, {}};
+  }
+
+  LpSolution sol;
+  sol.status = LpStatus::kOptimal;
+  sol.x.assign(problem.num_vars(), 0.0);
+  for (std::size_t i = 0; i < t.num_rows(); ++i) {
+    if (t.basic_var(i) < problem.num_vars()) {
+      sol.x[t.basic_var(i)] = t.rhs(i);
+    }
+  }
+  sol.objective = 0.0;
+  for (std::size_t j = 0; j < problem.num_vars(); ++j) {
+    sol.objective += problem.objective[j] * sol.x[j];
+  }
+  return sol;
+}
+
+}  // namespace adsd

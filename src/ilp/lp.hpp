@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace adsd {
+
+/// Relation of a linear constraint.
+enum class Relation { kLe, kGe, kEq };
+
+/// One row: coeffs . x  (rel)  rhs. Missing trailing coefficients are zero.
+struct LinearConstraint {
+  std::vector<double> coeffs;
+  Relation rel = Relation::kLe;
+  double rhs = 0.0;
+};
+
+/// Linear program
+///
+///   minimize  objective . x
+///   s.t.      every constraint holds,  x >= 0.
+///
+/// Variables are continuous and non-negative; upper bounds are expressed as
+/// explicit constraints (the binary ILP layer adds x_i <= 1 rows itself).
+/// This is the LP-relaxation engine of the branch-and-bound ILP solver that
+/// stands in for Gurobi (see DESIGN.md).
+struct LpProblem {
+  std::vector<double> objective;
+  std::vector<LinearConstraint> constraints;
+
+  std::size_t num_vars() const { return objective.size(); }
+
+  /// Convenience builders.
+  void add_le(std::vector<double> coeffs, double rhs);
+  void add_ge(std::vector<double> coeffs, double rhs);
+  void add_eq(std::vector<double> coeffs, double rhs);
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterLimit;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+/// Two-phase dense tableau simplex with Bland's anti-cycling rule.
+/// Intended for the small/medium instances of this library; it is exact up
+/// to floating-point tolerance, not a high-performance production LP code.
+LpSolution solve_lp(const LpProblem& problem, std::size_t max_pivots = 50000);
+
+}  // namespace adsd

@@ -1,0 +1,42 @@
+#include "ising/exhaustive.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <vector>
+
+namespace adsd {
+
+IsingSolveResult solve_exhaustive(const IsingModel& model) {
+  if (!model.finalized()) {
+    throw std::invalid_argument("solve_exhaustive: model must be finalized");
+  }
+  const std::size_t n = model.num_spins();
+  if (n > 24) {
+    throw std::invalid_argument("solve_exhaustive: too many spins (max 24)");
+  }
+
+  std::vector<std::int8_t> spins(n, -1);
+  double energy = model.energy(spins);
+
+  IsingSolveResult result;
+  result.spins = spins;
+  result.energy = energy;
+
+  // Gray code: assignment g(k) differs from g(k-1) in bit ctz(k); flipping
+  // exactly one spin lets flip_delta keep the energy incremental.
+  const std::uint64_t total = std::uint64_t{1} << n;
+  for (std::uint64_t k = 1; k < total; ++k) {
+    const auto bit = static_cast<std::size_t>(std::countr_zero(k));
+    energy += model.flip_delta(spins, bit);
+    spins[bit] = static_cast<std::int8_t>(-spins[bit]);
+    if (energy < result.energy) {
+      result.energy = energy;
+      result.spins = spins;
+    }
+  }
+
+  result.iterations = total;
+  return result;
+}
+
+}  // namespace adsd

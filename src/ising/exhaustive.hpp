@@ -1,0 +1,12 @@
+#pragma once
+
+#include "ising/model.hpp"
+
+namespace adsd {
+
+/// Exact ground state by Gray-code enumeration with incremental energy
+/// updates (O(2^N * avg_degree)). Restricted to N <= 24 spins; used as the
+/// oracle in tests and for tiny core-COP instances.
+IsingSolveResult solve_exhaustive(const IsingModel& model);
+
+}  // namespace adsd

@@ -1,0 +1,293 @@
+#include "ising/poly_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace adsd {
+
+namespace {
+
+/// Sorts and cancels repeated variables pairwise (sigma^2 = 1).
+std::vector<std::uint32_t> canonicalize(std::vector<std::size_t> vars,
+                                        std::size_t n) {
+  std::vector<std::uint32_t> v;
+  v.reserve(vars.size());
+  for (std::size_t x : vars) {
+    if (x >= n) {
+      throw std::out_of_range("PolyIsingModel: spin index out of range");
+    }
+    v.push_back(static_cast<std::uint32_t>(x));
+  }
+  std::sort(v.begin(), v.end());
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < v.size();) {
+    if (i + 1 < v.size() && v[i] == v[i + 1]) {
+      i += 2;  // sigma^2 = 1
+    } else {
+      out.push_back(v[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PolyIsingModel::PolyIsingModel(std::size_t num_spins) : n_(num_spins) {
+  if (num_spins == 0) {
+    throw std::invalid_argument("PolyIsingModel: need at least one spin");
+  }
+}
+
+void PolyIsingModel::add_term(std::vector<std::size_t> vars, double coeff) {
+  if (coeff == 0.0) {
+    return;
+  }
+  auto v = canonicalize(std::move(vars), n_);
+  if (v.empty()) {
+    constant_ += coeff;
+    return;
+  }
+  terms_.push_back({std::move(v), coeff});
+  finalized_ = false;
+}
+
+void PolyIsingModel::finalize() {
+  if (finalized_) {
+    return;
+  }
+  std::sort(terms_.begin(), terms_.end(),
+            [](const Term& a, const Term& b) { return a.vars < b.vars; });
+  std::vector<Term> merged;
+  merged.reserve(terms_.size());
+  for (auto& t : terms_) {
+    if (!merged.empty() && merged.back().vars == t.vars) {
+      merged.back().coeff += t.coeff;
+    } else {
+      merged.push_back(std::move(t));
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const Term& t) { return t.coeff == 0.0; }),
+               merged.end());
+  terms_ = std::move(merged);
+
+  incidence_.assign(n_, {});
+  for (std::size_t t = 0; t < terms_.size(); ++t) {
+    for (std::uint32_t v : terms_[t].vars) {
+      incidence_[v].push_back(static_cast<std::uint32_t>(t));
+    }
+  }
+  finalized_ = true;
+}
+
+std::size_t PolyIsingModel::max_order() const {
+  std::size_t order = 0;
+  for (const auto& t : terms_) {
+    order = std::max(order, t.vars.size());
+  }
+  return order;
+}
+
+double PolyIsingModel::energy(std::span<const std::int8_t> spins) const {
+  if (!finalized_) {
+    throw std::logic_error("PolyIsingModel: finalize() before energy()");
+  }
+  if (spins.size() != n_) {
+    throw std::invalid_argument("PolyIsingModel::energy: spin count");
+  }
+  double e = constant_;
+  for (const auto& t : terms_) {
+    double p = t.coeff;
+    for (std::uint32_t v : t.vars) {
+      p *= spins[v];
+    }
+    e += p;
+  }
+  return e;
+}
+
+void PolyIsingModel::gradient(std::span<const double> x,
+                              std::span<double> out) const {
+  if (!finalized_) {
+    throw std::logic_error("PolyIsingModel: finalize() before gradient()");
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    double g = 0.0;
+    for (std::uint32_t ti : incidence_[i]) {
+      const Term& t = terms_[ti];
+      double p = t.coeff;
+      for (std::uint32_t v : t.vars) {
+        if (v != i) {
+          p *= x[v];
+        }
+      }
+      g += p;
+    }
+    out[i] = g;
+  }
+}
+
+void PolyIsingModel::gradient_signed(std::span<const double> x,
+                                     std::span<double> out) const {
+  if (!finalized_) {
+    throw std::logic_error("PolyIsingModel: finalize() before gradient()");
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    double g = 0.0;
+    for (std::uint32_t ti : incidence_[i]) {
+      const Term& t = terms_[ti];
+      double p = t.coeff;
+      for (std::uint32_t v : t.vars) {
+        if (v != i) {
+          p *= x[v] >= 0.0 ? 1.0 : -1.0;
+        }
+      }
+      g += p;
+    }
+    out[i] = g;
+  }
+}
+
+double PolyIsingModel::flip_delta(std::span<const std::int8_t> spins,
+                                  std::size_t i) const {
+  if (!finalized_) {
+    throw std::logic_error("PolyIsingModel: finalize() before flip_delta()");
+  }
+  // Flipping sigma_i negates every term containing i: delta = -2 * sum.
+  double affected = 0.0;
+  for (std::uint32_t ti : incidence_[i]) {
+    const Term& t = terms_[ti];
+    double p = t.coeff;
+    for (std::uint32_t v : t.vars) {
+      p *= spins[v];
+    }
+    affected += p;
+  }
+  return -2.0 * affected;
+}
+
+double PolyIsingModel::coeff_rms() const {
+  if (terms_.empty()) {
+    return 0.0;
+  }
+  double s = 0.0;
+  for (const auto& t : terms_) {
+    s += t.coeff * t.coeff;
+  }
+  return std::sqrt(s / static_cast<double>(terms_.size()));
+}
+
+// ----------------------------------------------------------------- SpinPoly
+
+SpinPoly SpinPoly::constant(double c) {
+  SpinPoly p;
+  if (c != 0.0) {
+    p.terms_[{}] = c;
+  }
+  return p;
+}
+
+SpinPoly SpinPoly::variable(std::size_t i) {
+  SpinPoly p;
+  p.terms_[{static_cast<std::uint32_t>(i)}] = 1.0;
+  return p;
+}
+
+SpinPoly SpinPoly::binary(std::size_t i) {
+  SpinPoly p;
+  p.terms_[{}] = 0.5;
+  p.terms_[{static_cast<std::uint32_t>(i)}] = 0.5;
+  return p;
+}
+
+SpinPoly& SpinPoly::operator+=(const SpinPoly& other) {
+  for (const auto& [vars, coeff] : other.terms_) {
+    const double next = (terms_[vars] += coeff);
+    if (next == 0.0) {
+      terms_.erase(vars);
+    }
+  }
+  return *this;
+}
+
+SpinPoly& SpinPoly::operator-=(const SpinPoly& other) {
+  for (const auto& [vars, coeff] : other.terms_) {
+    const double next = (terms_[vars] -= coeff);
+    if (next == 0.0) {
+      terms_.erase(vars);
+    }
+  }
+  return *this;
+}
+
+SpinPoly& SpinPoly::operator*=(const SpinPoly& other) {
+  *this = *this * other;
+  return *this;
+}
+
+SpinPoly SpinPoly::operator+(const SpinPoly& other) const {
+  SpinPoly out = *this;
+  out += other;
+  return out;
+}
+
+SpinPoly SpinPoly::operator-(const SpinPoly& other) const {
+  SpinPoly out = *this;
+  out -= other;
+  return out;
+}
+
+SpinPoly SpinPoly::operator*(const SpinPoly& other) const {
+  SpinPoly out;
+  for (const auto& [va, ca] : terms_) {
+    for (const auto& [vb, cb] : other.terms_) {
+      // Symmetric difference implements sigma^2 = 1 on sorted sets.
+      std::vector<std::uint32_t> prod;
+      std::set_symmetric_difference(va.begin(), va.end(), vb.begin(),
+                                    vb.end(), std::back_inserter(prod));
+      const double next = (out.terms_[prod] += ca * cb);
+      if (next == 0.0) {
+        out.terms_.erase(prod);
+      }
+    }
+  }
+  return out;
+}
+
+SpinPoly& SpinPoly::scale(double k) {
+  if (k == 0.0) {
+    terms_.clear();
+    return *this;
+  }
+  for (auto& [vars, coeff] : terms_) {
+    coeff *= k;
+  }
+  return *this;
+}
+
+double SpinPoly::evaluate(std::span<const std::int8_t> spins) const {
+  double e = 0.0;
+  for (const auto& [vars, coeff] : terms_) {
+    double p = coeff;
+    for (std::uint32_t v : vars) {
+      p *= spins[v];
+    }
+    e += p;
+  }
+  return e;
+}
+
+void SpinPoly::add_to(PolyIsingModel& model, double scale) const {
+  for (const auto& [vars, coeff] : terms_) {
+    if (vars.empty()) {
+      model.add_constant(coeff * scale);
+    } else {
+      std::vector<std::size_t> v(vars.begin(), vars.end());
+      model.add_term(std::move(v), coeff * scale);
+    }
+  }
+}
+
+}  // namespace adsd

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace adsd {
+
+/// Higher-order Ising model (a PUBO over spin variables):
+///
+///   E(sigma) = constant + sum_t coeff_t * prod_{i in vars_t} sigma_i,
+///
+/// with sigma_i in {-1, +1}. Order-1 and order-2 terms recover Eq. (1) (up
+/// to sign convention: here terms enter E directly, with no leading minus).
+///
+/// The paper's Sec. 3.1 observes that the *row-based* core COP needs a
+/// third-order model, which motivated the column-based reformulation; this
+/// class, together with solve_sb_poly(), reproduces that road-not-taken so
+/// the claim can be measured (see bench/ablation_order and
+/// core/row_cubic_cop).
+class PolyIsingModel {
+ public:
+  explicit PolyIsingModel(std::size_t num_spins);
+
+  std::size_t num_spins() const { return n_; }
+
+  /// Adds coeff * prod sigma_{vars}. Repeated variables cancel pairwise
+  /// (sigma^2 = 1). An empty (or fully cancelled) product folds into the
+  /// constant.
+  void add_term(std::vector<std::size_t> vars, double coeff);
+
+  void add_constant(double c) { constant_ += c; }
+  double constant() const { return constant_; }
+
+  /// Merges duplicate terms, drops zeros, and builds the per-variable
+  /// incidence index. Required before energy/gradient/flip_delta.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  std::size_t num_terms() const { return terms_.size(); }
+
+  /// Highest term order present (0 if only the constant).
+  std::size_t max_order() const;
+
+  /// E(sigma) (requires finalize()).
+  double energy(std::span<const std::int8_t> spins) const;
+
+  /// out[i] = dE/dx_i evaluated on continuous positions x: for each term
+  /// containing i, coeff * prod_{j != i} x_j. The SB force is -out[i].
+  void gradient(std::span<const double> x, std::span<double> out) const;
+
+  /// Same, with every other factor replaced by its sign (dSB variant).
+  void gradient_signed(std::span<const double> x,
+                       std::span<double> out) const;
+
+  /// Energy change of flipping spin i (requires finalize()).
+  double flip_delta(std::span<const std::int8_t> spins, std::size_t i) const;
+
+  /// Root-mean-square coefficient over non-constant terms (c0 scaling).
+  double coeff_rms() const;
+
+ private:
+  struct Term {
+    std::vector<std::uint32_t> vars;  // sorted, unique
+    double coeff;
+  };
+
+  std::size_t n_;
+  double constant_ = 0.0;
+  std::vector<Term> terms_;
+  bool finalized_ = false;
+
+  // incidence_[i] lists indices of terms containing spin i.
+  std::vector<std::vector<std::uint32_t>> incidence_;
+};
+
+/// Multilinear polynomial over spin variables used to *build* higher-order
+/// models symbolically: supports sum and product with automatic sigma^2 = 1
+/// reduction. Key = sorted variable set, value = coefficient.
+class SpinPoly {
+ public:
+  SpinPoly() = default;
+
+  /// The constant polynomial c.
+  static SpinPoly constant(double c);
+
+  /// The single-variable polynomial sigma_i.
+  static SpinPoly variable(std::size_t i);
+
+  /// The binary indicator (sigma_i + 1) / 2 in {0, 1}.
+  static SpinPoly binary(std::size_t i);
+
+  SpinPoly& operator+=(const SpinPoly& other);
+  SpinPoly& operator-=(const SpinPoly& other);
+  SpinPoly& operator*=(const SpinPoly& other);
+  SpinPoly operator+(const SpinPoly& other) const;
+  SpinPoly operator-(const SpinPoly& other) const;
+  SpinPoly operator*(const SpinPoly& other) const;
+  SpinPoly& scale(double k);
+
+  /// Value under a full spin assignment.
+  double evaluate(std::span<const std::int8_t> spins) const;
+
+  /// Adds every term (scaled by `scale`) into a model.
+  void add_to(PolyIsingModel& model, double scale = 1.0) const;
+
+  std::size_t num_terms() const { return terms_.size(); }
+
+  const std::map<std::vector<std::uint32_t>, double>& terms() const {
+    return terms_;
+  }
+
+ private:
+  // Invariant: keys sorted and duplicate-free; zero coefficients erased.
+  std::map<std::vector<std::uint32_t>, double> terms_;
+};
+
+}  // namespace adsd

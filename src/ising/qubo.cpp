@@ -1,0 +1,83 @@
+#include "ising/qubo.hpp"
+
+#include <stdexcept>
+
+namespace adsd {
+
+Qubo::Qubo(std::size_t num_vars) : n_(num_vars), linear_(num_vars, 0.0) {
+  if (num_vars == 0) {
+    throw std::invalid_argument("Qubo: need at least one variable");
+  }
+}
+
+void Qubo::add_linear(std::size_t i, double c) {
+  linear_.at(i) += c;
+}
+
+void Qubo::add_quadratic(std::size_t i, std::size_t j, double c) {
+  if (i >= n_ || j >= n_) {
+    throw std::out_of_range("Qubo::add_quadratic: variable out of range");
+  }
+  if (i == j) {
+    // x^2 = x for binary variables; fold into the linear term.
+    linear_[i] += c;
+    return;
+  }
+  if (c == 0.0) {
+    return;
+  }
+  quads_.push_back(
+      {static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j), c});
+}
+
+double Qubo::value(std::span<const std::uint8_t> x) const {
+  if (x.size() != n_) {
+    throw std::invalid_argument("Qubo::value: assignment size mismatch");
+  }
+  double v = constant_;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (x[i]) {
+      v += linear_[i];
+    }
+  }
+  for (const auto& q : quads_) {
+    if (x[q.i] && x[q.j]) {
+      v += q.value;
+    }
+  }
+  return v;
+}
+
+IsingModel Qubo::to_ising() const {
+  // With x_i = (sigma_i + 1)/2:
+  //   q_i x_i           = q_i/2 sigma_i + q_i/2
+  //   Q_ij x_i x_j      = Q_ij/4 (sigma_i sigma_j + sigma_i + sigma_j + 1).
+  // Matching E = -sum h sigma - sum_{i<j} J sigma sigma + const gives
+  //   h_i = -(q_i/2 + sum_j Q_ij/4),  J_ij = -Q_ij/4.
+  IsingModel m(n_);
+  double constant = constant_;
+  for (std::size_t i = 0; i < n_; ++i) {
+    m.add_bias(i, -linear_[i] / 2.0);
+    constant += linear_[i] / 2.0;
+  }
+  for (const auto& q : quads_) {
+    m.add_coupling(q.i, q.j, -q.value / 4.0);
+    m.add_bias(q.i, -q.value / 4.0);
+    m.add_bias(q.j, -q.value / 4.0);
+    constant += q.value / 4.0;
+  }
+  m.set_constant(constant);
+  m.finalize();
+  return m;
+}
+
+std::vector<std::uint8_t> Qubo::spins_to_binary(
+    std::span<const std::int8_t> spins) {
+  std::vector<std::uint8_t> x(spins.size());
+  for (std::size_t i = 0; i < spins.size(); ++i) {
+    x[i] = spins[i] > 0 ? 1 : 0;
+  }
+  return x;
+}
+
+}  // namespace adsd

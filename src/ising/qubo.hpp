@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ising/model.hpp"
+
+namespace adsd {
+
+/// Quadratic unconstrained binary optimization problem
+///
+///   minimize  f(x) = sum_i q_i x_i + sum_{i<j} Q_{i,j} x_i x_j + constant,
+///   x_i in {0, 1}.
+///
+/// Binary formulations (like the column-based core COP before the spin
+/// substitution of Eq. (8)) are naturally QUBOs; `to_ising()` applies the
+/// x = (sigma + 1) / 2 transform and tracks the constant so that QUBO
+/// objective values and Ising energies agree exactly.
+class Qubo {
+ public:
+  explicit Qubo(std::size_t num_vars);
+
+  std::size_t num_vars() const { return n_; }
+
+  void add_linear(std::size_t i, double c);
+  void add_quadratic(std::size_t i, std::size_t j, double c);  // i != j
+  void add_constant(double c) { constant_ += c; }
+
+  double linear(std::size_t i) const { return linear_[i]; }
+  double constant() const { return constant_; }
+
+  /// Objective value for a full assignment.
+  double value(std::span<const std::uint8_t> x) const;
+
+  /// Equivalent Ising model (energies equal objective values for
+  /// corresponding assignments x_i = (sigma_i + 1) / 2). The result is
+  /// finalized.
+  IsingModel to_ising() const;
+
+  /// Binary assignment corresponding to a spin vector.
+  static std::vector<std::uint8_t> spins_to_binary(
+      std::span<const std::int8_t> spins);
+
+ private:
+  std::size_t n_;
+  std::vector<double> linear_;
+  struct Quad {
+    std::uint32_t i;
+    std::uint32_t j;
+    double value;
+  };
+  std::vector<Quad> quads_;
+  double constant_ = 0.0;
+};
+
+}  // namespace adsd

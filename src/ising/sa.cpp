@@ -1,0 +1,65 @@
+#include "ising/sa.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace adsd {
+
+IsingSolveResult solve_sa(const IsingModel& model, const SaParams& params) {
+  if (!model.finalized()) {
+    throw std::invalid_argument("solve_sa: model must be finalized");
+  }
+  if (params.sweeps == 0 || params.beta_start <= 0.0 ||
+      params.beta_end < params.beta_start) {
+    throw std::invalid_argument("solve_sa: bad parameters");
+  }
+
+  const std::size_t n = model.num_spins();
+  Rng rng(params.seed);
+
+  std::vector<std::int8_t> spins(n);
+  for (auto& s : spins) {
+    s = static_cast<std::int8_t>(rng.next_spin());
+  }
+  double energy = model.energy(spins);
+
+  IsingSolveResult result;
+  result.spins = spins;
+  result.energy = energy;
+
+  DynamicStopMonitor monitor(params.stop);
+  const double ratio =
+      params.sweeps > 1 ? std::pow(params.beta_end / params.beta_start,
+                                   1.0 / static_cast<double>(params.sweeps - 1))
+                        : 1.0;
+  double beta = params.beta_start;
+
+  std::size_t sweep = 0;
+  for (; sweep < params.sweeps; ++sweep) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double delta = model.flip_delta(spins, i);
+      if (delta <= 0.0 || rng.next_double() < std::exp(-beta * delta)) {
+        spins[i] = static_cast<std::int8_t>(-spins[i]);
+        energy += delta;
+      }
+    }
+    if (energy < result.energy) {
+      result.energy = energy;
+      result.spins = spins;
+    }
+    if (monitor.observe(energy)) {
+      result.stopped_early = true;
+      ++sweep;
+      break;
+    }
+    beta *= ratio;
+  }
+
+  result.iterations = sweep;
+  return result;
+}
+
+}  // namespace adsd

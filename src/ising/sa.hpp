@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ising/model.hpp"
+#include "ising/stop.hpp"
+
+namespace adsd {
+
+/// Parameters for the simulated-annealing baseline solver [Kirkpatrick].
+///
+/// SA updates connected spins sequentially, which is the scalability
+/// contrast the paper draws against SB's parallel updates; it is included
+/// both as a solver baseline and for the BA-style decomposition baseline.
+struct SaParams {
+  std::size_t sweeps = 500;
+
+  /// Inverse temperature schedule: beta ramps geometrically from beta_start
+  /// to beta_end across the sweeps.
+  double beta_start = 0.1;
+  double beta_end = 10.0;
+
+  std::uint64_t seed = 1;
+
+  /// Optional dynamic stop on the per-sweep energy (same criterion as SB).
+  DynamicStopParams stop{};
+};
+
+/// Metropolis simulated annealing on a finalized model. Returns the best
+/// assignment visited. `iterations` counts executed sweeps.
+IsingSolveResult solve_sa(const IsingModel& model, const SaParams& params);
+
+}  // namespace adsd

@@ -1,0 +1,128 @@
+#include "lut/decomposed_lut.hpp"
+
+#include <stdexcept>
+
+namespace adsd {
+
+DecomposedLut::DecomposedLut(InputPartition w, Lut phi, Lut f)
+    : partition_(std::move(w)), phi_(std::move(phi)), f_(std::move(f)) {}
+
+DecomposedLut DecomposedLut::from_column_setting(const InputPartition& w,
+                                                 const ColumnSetting& cs) {
+  if (cs.t.size() != w.num_cols() || cs.v1.size() != w.num_rows() ||
+      cs.v2.size() != w.num_rows()) {
+    throw std::invalid_argument(
+        "DecomposedLut: column setting does not match the partition");
+  }
+  const auto free_bits = static_cast<unsigned>(w.free_vars().size());
+  const auto bound_bits = static_cast<unsigned>(w.bound_vars().size());
+
+  Lut phi(bound_bits, cs.t);
+
+  Lut f(free_bits + 1);
+  for (std::uint64_t i = 0; i < w.num_rows(); ++i) {
+    f.write(i, cs.v1.get(i));
+    f.write((std::uint64_t{1} << free_bits) | i, cs.v2.get(i));
+  }
+  return DecomposedLut(w, std::move(phi), std::move(f));
+}
+
+DecomposedLut DecomposedLut::from_row_setting(const InputPartition& w,
+                                              const RowSetting& rs) {
+  if (rs.pattern.size() != w.num_cols() || rs.types.size() != w.num_rows()) {
+    throw std::invalid_argument(
+        "DecomposedLut: row setting does not match the partition");
+  }
+  const auto free_bits = static_cast<unsigned>(w.free_vars().size());
+  const auto bound_bits = static_cast<unsigned>(w.bound_vars().size());
+
+  Lut phi(bound_bits, rs.pattern);
+
+  Lut f(free_bits + 1);
+  for (std::uint64_t i = 0; i < w.num_rows(); ++i) {
+    for (std::uint64_t p = 0; p <= 1; ++p) {
+      bool value = false;
+      switch (rs.types[i]) {
+        case RowType::kAllZero:
+          value = false;
+          break;
+        case RowType::kAllOne:
+          value = true;
+          break;
+        case RowType::kPattern:
+          value = p != 0;
+          break;
+        case RowType::kComplement:
+          value = p == 0;
+          break;
+      }
+      f.write((p << free_bits) | i, value);
+    }
+  }
+  return DecomposedLut(w, std::move(phi), std::move(f));
+}
+
+bool DecomposedLut::evaluate(std::uint64_t x) const {
+  const std::uint64_t col = partition_.col_of(x);
+  const std::uint64_t row = partition_.row_of(x);
+  const bool phi = phi_.read(col);
+  const auto free_bits = static_cast<unsigned>(partition_.free_vars().size());
+  return f_.read((static_cast<std::uint64_t>(phi) << free_bits) | row);
+}
+
+BitVec DecomposedLut::truth_table() const {
+  const std::uint64_t patterns = std::uint64_t{1} << partition_.num_inputs();
+  BitVec out(patterns);
+  for (std::uint64_t x = 0; x < patterns; ++x) {
+    out.set(x, evaluate(x));
+  }
+  return out;
+}
+
+void DecomposedLutNetwork::add_output(DecomposedLut lut) {
+  if (!outputs_.empty() &&
+      outputs_.front().partition().num_inputs() !=
+          lut.partition().num_inputs()) {
+    throw std::invalid_argument(
+        "DecomposedLutNetwork: all outputs must share the input width");
+  }
+  outputs_.push_back(std::move(lut));
+}
+
+std::uint64_t DecomposedLutNetwork::evaluate(std::uint64_t x) const {
+  std::uint64_t word = 0;
+  for (std::size_t k = 0; k < outputs_.size(); ++k) {
+    word |= static_cast<std::uint64_t>(outputs_[k].evaluate(x)) << k;
+  }
+  return word;
+}
+
+TruthTable DecomposedLutNetwork::to_truth_table() const {
+  if (outputs_.empty()) {
+    throw std::logic_error("DecomposedLutNetwork: no outputs");
+  }
+  const unsigned n = outputs_.front().partition().num_inputs();
+  TruthTable tt(n, static_cast<unsigned>(outputs_.size()));
+  for (unsigned k = 0; k < outputs_.size(); ++k) {
+    tt.set_output(k, outputs_[k].truth_table());
+  }
+  return tt;
+}
+
+std::uint64_t DecomposedLutNetwork::total_size_bits() const {
+  std::uint64_t total = 0;
+  for (const auto& o : outputs_) {
+    total += o.size_bits();
+  }
+  return total;
+}
+
+std::uint64_t DecomposedLutNetwork::total_flat_size_bits() const {
+  std::uint64_t total = 0;
+  for (const auto& o : outputs_) {
+    total += o.flat_size_bits();
+  }
+  return total;
+}
+
+}  // namespace adsd

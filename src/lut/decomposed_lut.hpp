@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "boolean/decomposition.hpp"
+#include "boolean/partition.hpp"
+#include "boolean/truth_table.hpp"
+#include "lut/lut.hpp"
+
+namespace adsd {
+
+/// One output bit implemented as the two-level LUT structure produced by a
+/// disjoint decomposition g(X) = F(phi(B), A):
+///
+///   * phi-LUT: 2^|B| bits, addressed by the bound-set assignment;
+///   * F-LUT:   2^(|A|+1) bits, addressed by (phi, free-set assignment).
+///
+/// Storage drops from 2^n to 2^|B| + 2^(|A|+1) bits (the Fig. 1 saving).
+class DecomposedLut {
+ public:
+  /// Builds the LUT pair realizing a column-based setting (phi = T,
+  /// F(0, i) = V1_i, F(1, i) = V2_i).
+  static DecomposedLut from_column_setting(const InputPartition& w,
+                                           const ColumnSetting& cs);
+
+  /// Builds the LUT pair realizing a row-based setting (phi = V; F follows
+  /// the row type).
+  static DecomposedLut from_row_setting(const InputPartition& w,
+                                        const RowSetting& rs);
+
+  const InputPartition& partition() const { return partition_; }
+  const Lut& phi_lut() const { return phi_; }
+  const Lut& f_lut() const { return f_; }
+
+  /// Reads the two tables for input pattern x exactly as hardware would.
+  bool evaluate(std::uint64_t x) const;
+
+  std::uint64_t size_bits() const { return phi_.size_bits() + f_.size_bits(); }
+
+  /// Storage of the undecomposed LUT for the same output.
+  std::uint64_t flat_size_bits() const {
+    return std::uint64_t{1} << partition_.num_inputs();
+  }
+
+  /// Full truth-table column recovered by evaluating every pattern.
+  BitVec truth_table() const;
+
+ private:
+  DecomposedLut(InputPartition w, Lut phi, Lut f);
+
+  InputPartition partition_;
+  Lut phi_;
+  Lut f_;
+};
+
+/// A complete m-output approximate LUT architecture: one decomposed LUT per
+/// output, each free to use its own input partition (as in the DALTA
+/// framework, where partitions are optimized per component function).
+class DecomposedLutNetwork {
+ public:
+  DecomposedLutNetwork() = default;
+
+  void add_output(DecomposedLut lut);
+
+  std::size_t num_outputs() const { return outputs_.size(); }
+  const DecomposedLut& output(std::size_t k) const { return outputs_[k]; }
+
+  /// m-bit output word for an input pattern (output k is bit k).
+  std::uint64_t evaluate(std::uint64_t x) const;
+
+  /// Truth table of the whole network.
+  TruthTable to_truth_table() const;
+
+  std::uint64_t total_size_bits() const;
+  std::uint64_t total_flat_size_bits() const;
+
+ private:
+  std::vector<DecomposedLut> outputs_;
+};
+
+}  // namespace adsd

@@ -1,0 +1,22 @@
+#include "lut/lut.hpp"
+
+#include <stdexcept>
+
+namespace adsd {
+
+Lut::Lut(unsigned address_bits)
+    : address_bits_(address_bits),
+      contents_(std::uint64_t{1} << address_bits) {
+  if (address_bits == 0 || address_bits > 30) {
+    throw std::invalid_argument("Lut: address bits must be in [1, 30]");
+  }
+}
+
+Lut::Lut(unsigned address_bits, BitVec contents) : Lut(address_bits) {
+  if (contents.size() != (std::uint64_t{1} << address_bits)) {
+    throw std::invalid_argument("Lut: contents size mismatch");
+  }
+  contents_ = std::move(contents);
+}
+
+}  // namespace adsd

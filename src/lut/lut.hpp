@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+#include "support/bitvec.hpp"
+
+namespace adsd {
+
+/// Flat single-output lookup table: 2^address_bits one-bit entries.
+///
+/// This is the storage model of computing-with-memory: the function value
+/// is fetched by addressing the table with the input pattern. The cost model
+/// is simply the number of stored bits.
+class Lut {
+ public:
+  explicit Lut(unsigned address_bits);
+  Lut(unsigned address_bits, BitVec contents);
+
+  unsigned address_bits() const { return address_bits_; }
+  std::uint64_t size_bits() const { return contents_.size(); }
+
+  bool read(std::uint64_t address) const { return contents_.get(address); }
+  void write(std::uint64_t address, bool v) { contents_.set(address, v); }
+
+  const BitVec& contents() const { return contents_; }
+
+ private:
+  unsigned address_bits_;
+  BitVec contents_;
+};
+
+}  // namespace adsd

@@ -1,0 +1,65 @@
+#include "lut/nondisjoint_lut.hpp"
+
+#include <stdexcept>
+
+namespace adsd {
+
+NonDisjointLut::NonDisjointLut(NonDisjointPartition w, Lut phi, Lut f)
+    : partition_(std::move(w)), phi_(std::move(phi)), f_(std::move(f)) {}
+
+NonDisjointLut NonDisjointLut::from_setting(const NonDisjointPartition& w,
+                                            const NonDisjointSetting& s) {
+  if (s.slices.size() != w.num_slices()) {
+    throw std::invalid_argument("NonDisjointLut: slice count mismatch");
+  }
+  const auto free_bits = static_cast<unsigned>(w.free_vars().size());
+  const auto bound_bits = static_cast<unsigned>(w.bound_vars().size());
+  const auto shared_bits = static_cast<unsigned>(w.shared_vars().size());
+
+  Lut phi(bound_bits + shared_bits);
+  Lut f(free_bits + shared_bits + 1);
+  for (std::uint64_t sl = 0; sl < w.num_slices(); ++sl) {
+    const ColumnSetting& cs = s.slices[sl];
+    if (cs.t.size() != w.num_cols() || cs.v1.size() != w.num_rows() ||
+        cs.v2.size() != w.num_rows()) {
+      throw std::invalid_argument("NonDisjointLut: setting shape mismatch");
+    }
+    for (std::uint64_t j = 0; j < w.num_cols(); ++j) {
+      phi.write((sl << bound_bits) | j, cs.t.get(j));
+    }
+    for (std::uint64_t i = 0; i < w.num_rows(); ++i) {
+      const std::uint64_t base = (sl << free_bits) | i;
+      f.write(base, cs.v1.get(i));
+      f.write((std::uint64_t{1} << (free_bits + shared_bits)) | base,
+              cs.v2.get(i));
+    }
+  }
+  return NonDisjointLut(w, std::move(phi), std::move(f));
+}
+
+bool NonDisjointLut::evaluate(std::uint64_t x) const {
+  const auto free_bits =
+      static_cast<unsigned>(partition_.free_vars().size());
+  const auto bound_bits =
+      static_cast<unsigned>(partition_.bound_vars().size());
+  const auto shared_bits =
+      static_cast<unsigned>(partition_.shared_vars().size());
+
+  const std::uint64_t slice = partition_.slice_of(x);
+  const bool phi = phi_.read((slice << bound_bits) | partition_.col_of(x));
+  const std::uint64_t f_addr =
+      (static_cast<std::uint64_t>(phi) << (free_bits + shared_bits)) |
+      (slice << free_bits) | partition_.row_of(x);
+  return f_.read(f_addr);
+}
+
+BitVec NonDisjointLut::truth_table() const {
+  const std::uint64_t patterns = std::uint64_t{1} << partition_.num_inputs();
+  BitVec out(patterns);
+  for (std::uint64_t x = 0; x < patterns; ++x) {
+    out.set(x, evaluate(x));
+  }
+  return out;
+}
+
+}  // namespace adsd

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+#include "boolean/nondisjoint.hpp"
+#include "lut/lut.hpp"
+
+namespace adsd {
+
+/// Hardware realization of a non-disjoint decomposition
+/// g(X) = F(phi(B' u S), A' u S):
+///
+///   * phi-LUT: 2^(|B'|+|S|) bits, addressed by (shared, bound) bits;
+///   * F-LUT:   2^(|A'|+|S|+1) bits, addressed by (phi, shared, free) bits.
+///
+/// With |S| = 0 this degenerates to the DecomposedLut pair. Each extra
+/// shared variable doubles both tables -- the accuracy/storage knob the
+/// BA framework (ref. [10]) explores.
+class NonDisjointLut {
+ public:
+  static NonDisjointLut from_setting(const NonDisjointPartition& w,
+                                     const NonDisjointSetting& s);
+
+  const NonDisjointPartition& partition() const { return partition_; }
+  const Lut& phi_lut() const { return phi_; }
+  const Lut& f_lut() const { return f_; }
+
+  /// Reads the two tables exactly as hardware would.
+  bool evaluate(std::uint64_t x) const;
+
+  std::uint64_t size_bits() const { return phi_.size_bits() + f_.size_bits(); }
+  std::uint64_t flat_size_bits() const {
+    return std::uint64_t{1} << partition_.num_inputs();
+  }
+
+  BitVec truth_table() const;
+
+ private:
+  NonDisjointLut(NonDisjointPartition w, Lut phi, Lut f);
+
+  NonDisjointPartition partition_;
+  Lut phi_;
+  Lut f_;
+};
+
+}  // namespace adsd

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "lut/decomposed_lut.hpp"
+#include "lut/nondisjoint_lut.hpp"
+
+namespace adsd {
+
+/// Emits a synthesizable Verilog-2001 module implementing the decomposed
+/// LUT network: per output, a phi-ROM and an F-ROM expressed as localparam
+/// bit vectors indexed by the (re-wired) input bits -- the literal
+/// computing-with-memory structure of Fig. 1.
+///
+/// Interface: `module <name>(input wire [n-1:0] x, output wire [m-1:0] y);`
+void write_verilog(std::ostream& os, const DecomposedLutNetwork& net,
+                   const std::string& module_name);
+
+/// Same for a single non-disjoint output:
+/// `module <name>(input wire [n-1:0] x, output wire y);`
+void write_verilog(std::ostream& os, const NonDisjointLut& lut,
+                   const std::string& module_name);
+
+/// Emits a self-checking testbench that drives every input pattern and
+/// compares against the expected truth table, `$fatal`-ing on mismatch.
+/// `expected` must have one entry (the m-bit word) per input pattern.
+void write_verilog_testbench(std::ostream& os, const std::string& dut_name,
+                             unsigned num_inputs, unsigned num_outputs,
+                             const TruthTable& expected);
+
+/// Writes a LUT's contents as a $readmemb-compatible memory image
+/// (one bit per line, address ascending).
+void write_mem_image(std::ostream& os, const Lut& lut);
+
+}  // namespace adsd

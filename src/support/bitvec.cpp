@@ -1,0 +1,118 @@
+#include "support/bitvec.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace adsd {
+
+namespace {
+std::size_t word_count(std::size_t bits) { return (bits + 63) / 64; }
+}  // namespace
+
+BitVec::BitVec(std::size_t n, bool value) : size_(n), words_(word_count(n), 0) {
+  if (value) {
+    fill(true);
+  }
+}
+
+BitVec BitVec::from_string(const std::string& s) {
+  BitVec b(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '1') {
+      b.set(i, true);
+    } else if (s[i] != '0') {
+      throw std::invalid_argument("BitVec::from_string: expected '0' or '1'");
+    }
+  }
+  return b;
+}
+
+void BitVec::fill(bool v) {
+  const std::uint64_t w = v ? ~std::uint64_t{0} : 0;
+  for (auto& word : words_) {
+    word = w;
+  }
+  clear_tail();
+}
+
+std::size_t BitVec::count() const {
+  std::size_t c = 0;
+  for (std::uint64_t w : words_) {
+    c += static_cast<std::size_t>(std::popcount(w));
+  }
+  return c;
+}
+
+std::size_t BitVec::hamming_distance(const BitVec& other) const {
+  if (size_ != other.size_) {
+    throw std::invalid_argument("BitVec::hamming_distance: size mismatch");
+  }
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    c += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  }
+  return c;
+}
+
+BitVec BitVec::complement() const {
+  BitVec out(size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = ~words_[i];
+  }
+  out.clear_tail();
+  return out;
+}
+
+void BitVec::push_back(bool v) {
+  resize(size_ + 1);
+  set(size_ - 1, v);
+}
+
+void BitVec::resize(std::size_t n) {
+  size_ = n;
+  words_.resize(word_count(n), 0);
+  clear_tail();
+}
+
+bool BitVec::operator==(const BitVec& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+bool BitVec::operator<(const BitVec& other) const {
+  if (size_ != other.size_) {
+    return size_ < other.size_;
+  }
+  return words_ < other.words_;
+}
+
+std::string BitVec::to_string() const {
+  std::string s(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (get(i)) {
+      s[i] = '1';
+    }
+  }
+  return s;
+}
+
+std::size_t BitVec::hash() const {
+  std::size_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(size_);
+  for (std::uint64_t w : words_) {
+    mix(w);
+  }
+  return h;
+}
+
+void BitVec::clear_tail() {
+  const std::size_t used = size_ & 63;
+  if (used != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << used) - 1;
+  }
+}
+
+}  // namespace adsd

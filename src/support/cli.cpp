@@ -1,0 +1,95 @@
+#include "support/cli.hpp"
+
+#include <stdexcept>
+
+namespace adsd {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) {
+    program_ = argv[0];
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--name value` unless the next token is itself an option or absent.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[i + 1];
+      ++i;
+    } else {
+      options_[arg] = "";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return options_.count(name) != 0;
+}
+
+std::optional<std::string> CliArgs::raw(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::string CliArgs::get_string(const std::string& name,
+                                std::string fallback) const {
+  const auto v = raw(name);
+  return v ? *v : fallback;
+}
+
+int CliArgs::get_int(const std::string& name, int fallback) const {
+  const auto v = raw(name);
+  if (!v || v->empty()) {
+    return fallback;
+  }
+  return std::stoi(*v);
+}
+
+std::size_t CliArgs::get_size(const std::string& name,
+                              std::size_t fallback) const {
+  const auto v = raw(name);
+  if (!v || v->empty()) {
+    return fallback;
+  }
+  const long long parsed = std::stoll(*v);
+  if (parsed < 0) {
+    throw std::invalid_argument("--" + name + " must be non-negative");
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto v = raw(name);
+  if (!v || v->empty()) {
+    return fallback;
+  }
+  return std::stod(*v);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto v = raw(name);
+  if (!v) {
+    return fallback;
+  }
+  if (v->empty() || *v == "1" || *v == "true" || *v == "yes" || *v == "on") {
+    return true;
+  }
+  if (*v == "0" || *v == "false" || *v == "no" || *v == "off") {
+    return false;
+  }
+  throw std::invalid_argument("--" + name + ": expected a boolean, got '" +
+                              *v + "'");
+}
+
+}  // namespace adsd

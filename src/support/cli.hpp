@@ -1,0 +1,41 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace adsd {
+
+/// Minimal command-line parser for the bench/example binaries.
+///
+/// Accepts `--name value`, `--name=value`, and bare `--flag` forms. Unknown
+/// options are collected rather than rejected so that harness scripts can
+/// pass experiment-specific knobs through a shared runner.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if `--name` appeared (with or without a value).
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name, std::string fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+  std::size_t get_size(const std::string& name, std::size_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non `--`) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::optional<std::string> raw(const std::string& name) const;
+
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace adsd

@@ -1,0 +1,42 @@
+#include "support/quantize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace adsd {
+
+Quantizer::Quantizer(double lo, double hi, unsigned bits)
+    : lo_(lo), hi_(hi), bits_(bits) {
+  if (bits == 0 || bits > 63) {
+    throw std::invalid_argument("Quantizer: bits must be in [1, 63]");
+  }
+  if (!(lo < hi)) {
+    throw std::invalid_argument("Quantizer: require lo < hi");
+  }
+  levels_ = std::uint64_t{1} << bits;
+  step_ = (hi_ - lo_) / static_cast<double>(levels_ - 1);
+}
+
+double Quantizer::decode(std::uint64_t u) const {
+  if (u >= levels_) {
+    throw std::out_of_range("Quantizer::decode: code out of range");
+  }
+  return lo_ + step_ * static_cast<double>(u);
+}
+
+std::uint64_t Quantizer::encode(double x) const {
+  if (std::isnan(x)) {
+    throw std::invalid_argument("Quantizer::encode: NaN input");
+  }
+  if (x <= lo_) {
+    return 0;
+  }
+  if (x >= hi_) {
+    return levels_ - 1;
+  }
+  const double idx = std::round((x - lo_) / step_);
+  const auto u = static_cast<std::uint64_t>(idx);
+  return u >= levels_ ? levels_ - 1 : u;
+}
+
+}  // namespace adsd

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace adsd {
+
+/// Uniform quantizer between a real interval and unsigned codes of `bits`
+/// bits.
+///
+/// The LUT benchmarks quantize a real function f : [lo, hi] -> [rlo, rhi]
+/// into an n-input, m-output Boolean function: the input code enumerates
+/// sample points of the domain, the output code is the rounded image under
+/// the range quantizer. Codes saturate at the range boundaries.
+class Quantizer {
+ public:
+  Quantizer(double lo, double hi, unsigned bits);
+
+  unsigned bits() const { return bits_; }
+  std::uint64_t levels() const { return levels_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Real value of code `u` (0 maps to lo, levels()-1 maps to hi).
+  double decode(std::uint64_t u) const;
+
+  /// Nearest code for value `x`, clamped into [0, levels()-1].
+  std::uint64_t encode(double x) const;
+
+  /// Width of one quantization step.
+  double step() const { return step_; }
+
+ private:
+  double lo_;
+  double hi_;
+  unsigned bits_;
+  std::uint64_t levels_;
+  double step_;
+};
+
+}  // namespace adsd

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace adsd {
+
+/// xoshiro256** pseudo-random generator.
+///
+/// Deterministic across platforms (unlike std::default_random_engine), cheap
+/// to fork for per-thread streams, and good enough statistically for Monte
+/// Carlo style use (SB initial states, SA proposals, random partitions).
+class Rng {
+ public:
+  /// Seeds via splitmix64 expansion of `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). Precondition: bound > 0. Uses rejection sampling
+  /// so the distribution is exactly uniform.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi);
+
+  /// Fair coin.
+  bool next_bool() { return (next_u64() >> 63) != 0; }
+
+  /// Random spin in {-1, +1}.
+  int next_spin() { return next_bool() ? 1 : -1; }
+
+  /// Standard normal via Box-Muller (caches the second deviate).
+  double next_gaussian();
+
+  /// Uniformly random permutation of {0, ..., n-1} (Fisher-Yates).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Independent generator derived from this one's stream; the fork and the
+  /// parent continue to produce decorrelated values.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace adsd

@@ -1,0 +1,112 @@
+#include "support/stats.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace adsd {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::sample_variance() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+void RunningStats::reset() {
+  n_ = 0;
+  mean_ = m2_ = min_ = max_ = 0.0;
+}
+
+WindowedVariance::WindowedVariance(std::size_t capacity)
+    : buf_(capacity == 0 ? 1 : capacity, 0.0) {
+  if (capacity == 0) {
+    throw std::invalid_argument("WindowedVariance: capacity must be positive");
+  }
+}
+
+void WindowedVariance::add(double x) {
+  buf_[head_] = x;
+  head_ = (head_ + 1) % buf_.size();
+  ++count_;
+}
+
+double WindowedVariance::mean() const {
+  const std::size_t n = count();
+  if (n == 0) {
+    return 0.0;
+  }
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    s += buf_[i];
+  }
+  return s / static_cast<double>(n);
+}
+
+double WindowedVariance::variance() const {
+  const std::size_t n = count();
+  if (n < 2) {
+    return 0.0;
+  }
+  // Two-pass over the (small) window: stable and exact enough for the stop
+  // criterion, which compares against thresholds like 1e-8.
+  const double m = mean();
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = buf_[i] - m;
+    s += d * d;
+  }
+  return s / static_cast<double>(n);
+}
+
+void WindowedVariance::reset() {
+  head_ = 0;
+  count_ = 0;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double s = 0.0;
+  for (double x : xs) {
+    s += x;
+  }
+  return s / static_cast<double>(xs.size());
+}
+
+double geometric_mean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) {
+      throw std::invalid_argument("geometric_mean: values must be positive");
+    }
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace adsd

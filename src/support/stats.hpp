@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace adsd {
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Population variance (divides by n). Zero until two samples are seen.
+  double variance() const;
+  /// Sample variance (divides by n-1). Zero until two samples are seen.
+  double sample_variance() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  void reset();
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Variance over a sliding window of the last `capacity` samples.
+///
+/// This is the statistic behind the paper's dynamic stop criterion
+/// (Sec. 3.3.1): sample the Ising energy every `f` iterations and stop when
+/// the variance over the last `s` samples falls below a threshold.
+class WindowedVariance {
+ public:
+  explicit WindowedVariance(std::size_t capacity);
+
+  void add(double x);
+
+  /// True once `capacity` samples have been observed.
+  bool full() const { return count_ >= capacity(); }
+  std::size_t count() const { return count_ < buf_.size() ? count_ : buf_.size(); }
+  std::size_t capacity() const { return buf_.size(); }
+
+  /// Population variance over the samples currently in the window.
+  /// Zero until two samples exist.
+  double variance() const;
+  double mean() const;
+
+  void reset();
+
+ private:
+  std::vector<double> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// Arithmetic mean of a vector; 0 for empty input.
+double mean_of(const std::vector<double>& xs);
+
+/// Geometric mean of strictly positive values; throws otherwise.
+double geometric_mean(const std::vector<double>& xs);
+
+}  // namespace adsd

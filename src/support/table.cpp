@@ -1,0 +1,94 @@
+#include "support/table.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace adsd {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table: need at least one column");
+  }
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size()) {
+    throw std::invalid_argument("Table::add_row: more cells than columns");
+  }
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << " " << std::left << std::setw(static_cast<int>(width[c]))
+         << row[c] << " |";
+    }
+    os << "\n";
+  };
+  auto print_rule = [&] {
+    os << "+";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << "+";
+    }
+    os << "\n";
+  };
+
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  print_rule();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) {
+        os << ",";
+      }
+      // Quote cells containing separators.
+      if (row[c].find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (char ch : row[c]) {
+          if (ch == '"') {
+            os << "\"\"";
+          } else {
+            os << ch;
+          }
+        }
+        os << '"';
+      } else {
+        os << row[c];
+      }
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+}  // namespace adsd

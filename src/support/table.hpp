@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace adsd {
+
+/// Column-aligned ASCII table used by the benchmark harnesses to print
+/// paper-style result tables; can also emit CSV for downstream plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row. Rows shorter than the header are padded with empty cells;
+  /// longer rows throw.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace adsd

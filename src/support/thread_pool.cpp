@@ -1,0 +1,116 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace adsd {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) {
+      threads = 4;
+    }
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) {
+        return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  if (n == 1 || workers_.size() == 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  std::condition_variable done_cv;
+  std::mutex done_mutex;
+
+  // One logical task per worker; each task drains indices from a shared
+  // counter, so uneven per-item costs balance automatically.
+  const std::size_t tasks = std::min(workers_.size(), n);
+  auto run = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) {
+        break;
+      }
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) {
+          error = std::current_exception();
+        }
+      }
+    }
+    if (done.fetch_add(1) + 1 == tasks) {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      done_cv.notify_all();
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Reserve one slice for the calling thread so it contributes work
+    // instead of idling.
+    for (std::size_t t = 0; t + 1 < tasks; ++t) {
+      tasks_.push(run);
+    }
+  }
+  cv_.notify_all();
+  run();
+
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return done.load() == tasks; });
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace adsd

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <chrono>
+
+namespace adsd {
+
+/// Wall-clock stopwatch, started at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Soft deadline for anytime algorithms (branch and bound, SA, bSB restarts).
+/// A non-positive budget means "no limit".
+class Deadline {
+ public:
+  explicit Deadline(double budget_seconds) : budget_(budget_seconds) {}
+
+  bool expired() const {
+    return budget_ > 0.0 && timer_.seconds() >= budget_;
+  }
+  double remaining() const {
+    if (budget_ <= 0.0) {
+      return 1e30;
+    }
+    const double r = budget_ - timer_.seconds();
+    return r > 0.0 ? r : 0.0;
+  }
+  double budget() const { return budget_; }
+
+ private:
+  double budget_;
+  Timer timer_;
+};
+
+}  // namespace adsd

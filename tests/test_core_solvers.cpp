@@ -1,0 +1,563 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "boolean/boolean_matrix.hpp"
+#include "boolean/decomposition.hpp"
+#include "boolean/truth_table.hpp"
+#include "core/column_cop.hpp"
+#include "core/cop_solvers.hpp"
+#include "core/row_ilp.hpp"
+#include "support/rng.hpp"
+
+namespace adsd {
+namespace {
+
+BooleanMatrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  BooleanMatrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      m.set(i, j, rng.next_bool());
+    }
+  }
+  return m;
+}
+
+std::vector<double> uniform_probs(std::size_t r, std::size_t c) {
+  return std::vector<double>(r * c, 1.0 / static_cast<double>(r * c));
+}
+
+ColumnCop small_separate_cop(Rng& rng, std::size_t r = 4, std::size_t c = 8) {
+  const auto m = random_matrix(r, c, rng);
+  return ColumnCop::separate(m, uniform_probs(r, c));
+}
+
+// ----------------------------------------------------------- Exhaustive
+
+TEST(ExhaustiveCore, RejectsLargeInstances) {
+  Rng rng(1);
+  const auto m = random_matrix(16, 16, rng);  // 48 spins
+  const auto cop = ColumnCop::separate(m, uniform_probs(16, 16));
+  const ExhaustiveCoreSolver solver;
+  EXPECT_THROW((void)solver.solve(cop, 0, nullptr), std::invalid_argument);
+}
+
+TEST(ExhaustiveCore, ZeroErrorOnDecomposableMatrix) {
+  Rng rng(2);
+  const auto w = InputPartition::trivial(6, 2);
+  TruthTable tt(6, 1);
+  tt.set_output(0, random_decomposable_output(w, rng));
+  const auto m = BooleanMatrix::from_function(tt, 0, w);
+  const auto cop = ColumnCop::separate(m, uniform_probs(4, 16));
+  const ExhaustiveCoreSolver solver;
+  CoreSolveStats stats;
+  (void)solver.solve(cop, 0, &stats);
+  EXPECT_NEAR(stats.objective, 0.0, 1e-15);
+  EXPECT_TRUE(stats.proven_optimal);
+}
+
+// ---------------------------------------------------- Heuristic solvers
+
+TEST(AlternatingCore, NeverWorseThanSingleStart) {
+  Rng rng(3);
+  const auto cop = small_separate_cop(rng);
+  const AlternatingCoreSolver one(1);
+  const AlternatingCoreSolver many(16);
+  CoreSolveStats s1;
+  CoreSolveStats s16;
+  (void)one.solve(cop, 7, &s1);
+  (void)many.solve(cop, 7, &s16);
+  EXPECT_LE(s16.objective, s1.objective + 1e-12);
+}
+
+TEST(AlternatingCore, ReachesOptimumOnTinyInstances) {
+  Rng rng(4);
+  int optimal_hits = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto m = random_matrix(3, 4, rng);
+    const auto cop = ColumnCop::separate(m, uniform_probs(3, 4));
+    const ExhaustiveCoreSolver exact;
+    CoreSolveStats es;
+    (void)exact.solve(cop, 0, &es);
+    const AlternatingCoreSolver alt(16);
+    CoreSolveStats as;
+    (void)alt.solve(cop, static_cast<std::uint64_t>(trial), &as);
+    EXPECT_GE(as.objective, es.objective - 1e-12);
+    optimal_hits += std::fabs(as.objective - es.objective) < 1e-12;
+  }
+  EXPECT_GE(optimal_hits, 8);
+}
+
+TEST(HeuristicCore, ZeroErrorOnDecomposableMatrix) {
+  Rng rng(5);
+  const auto w = InputPartition::trivial(7, 3);
+  TruthTable tt(7, 1);
+  tt.set_output(0, random_decomposable_output(w, rng));
+  const auto m = BooleanMatrix::from_function(tt, 0, w);
+  const auto cop =
+      ColumnCop::separate(m, uniform_probs(m.rows(), m.cols()));
+  const HeuristicCoreSolver solver;
+  CoreSolveStats stats;
+  (void)solver.solve(cop, 0, &stats);
+  // The two most frequent distinct columns ARE the two patterns here.
+  EXPECT_NEAR(stats.objective, 0.0, 1e-15);
+}
+
+TEST(HeuristicCore, ReturnsValidSetting) {
+  Rng rng(6);
+  const auto cop = small_separate_cop(rng, 8, 16);
+  const HeuristicCoreSolver solver;
+  const auto s = solver.solve(cop, 0, nullptr);
+  EXPECT_EQ(s.v1.size(), 8u);
+  EXPECT_EQ(s.v2.size(), 8u);
+  EXPECT_EQ(s.t.size(), 16u);
+  EXPECT_GE(cop.objective(s), cop.ideal_bound() - 1e-12);
+}
+
+TEST(AnnealCore, IncrementalDeltasConsistent) {
+  // The solver verifies its tracked objective at the end; a mismatch in the
+  // incremental deltas would surface as a suboptimal reported objective.
+  Rng rng(7);
+  const auto cop = small_separate_cop(rng, 5, 9);
+  const AnnealCoreSolver solver;
+  CoreSolveStats stats;
+  const auto s = solver.solve(cop, 3, &stats);
+  EXPECT_NEAR(stats.objective, cop.objective(s), 1e-12);
+}
+
+TEST(AnnealCore, NearOptimalOnTinyInstances) {
+  Rng rng(8);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto m = random_matrix(3, 4, rng);
+    const auto cop = ColumnCop::separate(m, uniform_probs(3, 4));
+    const ExhaustiveCoreSolver exact;
+    CoreSolveStats es;
+    (void)exact.solve(cop, 0, &es);
+    AnnealCoreSolver::Options opt;
+    opt.sweeps = 200;
+    opt.restarts = 3;
+    const AnnealCoreSolver solver(opt);
+    CoreSolveStats as;
+    (void)solver.solve(cop, static_cast<std::uint64_t>(trial), &as);
+    EXPECT_GE(as.objective, es.objective - 1e-12);
+    EXPECT_LE(as.objective, es.objective + 0.15);
+  }
+}
+
+// ------------------------------------------------------------ B&B (ILP)
+
+TEST(BnbCore, ExactOnSmallInstances) {
+  Rng rng(9);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto m = random_matrix(3, 5, rng);
+    const auto cop = ColumnCop::separate(m, uniform_probs(3, 5));
+    const ExhaustiveCoreSolver exact;
+    CoreSolveStats es;
+    (void)exact.solve(cop, 0, &es);
+    BnbCoreSolver::Options opt;
+    opt.time_budget_s = 0.0;  // run to proven optimality
+    const BnbCoreSolver bnb(opt);
+    CoreSolveStats bs;
+    (void)bnb.solve(cop, static_cast<std::uint64_t>(trial), &bs);
+    EXPECT_NEAR(bs.objective, es.objective, 1e-12);
+    EXPECT_TRUE(bs.proven_optimal);
+  }
+}
+
+TEST(BnbCore, ExactOnJointInstances) {
+  Rng rng(10);
+  const auto m = random_matrix(4, 4, rng);
+  std::vector<double> d(16);
+  for (auto& v : d) {
+    v = std::floor(rng.next_double(-6.0, 6.0));
+  }
+  const auto cop = ColumnCop::joint(m, uniform_probs(4, 4), d, 4.0);
+  const ExhaustiveCoreSolver exact;
+  CoreSolveStats es;
+  (void)exact.solve(cop, 0, &es);
+  BnbCoreSolver::Options opt;
+  opt.time_budget_s = 0.0;
+  const BnbCoreSolver bnb(opt);
+  CoreSolveStats bs;
+  (void)bnb.solve(cop, 1, &bs);
+  EXPECT_NEAR(bs.objective, es.objective, 1e-12);
+}
+
+TEST(BnbCore, AnytimeReturnsWarmIncumbentUnderTinyBudget) {
+  Rng rng(11);
+  const auto cop = small_separate_cop(rng, 8, 20);
+  BnbCoreSolver::Options opt;
+  opt.time_budget_s = 1e-9;
+  const BnbCoreSolver bnb(opt);
+  CoreSolveStats stats;
+  const auto s = bnb.solve(cop, 5, &stats);
+  EXPECT_NEAR(stats.objective, cop.objective(s), 1e-12);
+  EXPECT_FALSE(stats.proven_optimal);
+}
+
+TEST(BnbCore, MatchesExhaustiveAcrossSeeds) {
+  Rng rng(12);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto m = random_matrix(4, 6, rng);  // 14 spins: exhaustive ok
+    const auto cop = ColumnCop::separate(m, uniform_probs(4, 6));
+    const ExhaustiveCoreSolver exact;
+    CoreSolveStats es;
+    (void)exact.solve(cop, 0, &es);
+    BnbCoreSolver::Options opt;
+    opt.time_budget_s = 0.0;
+    const BnbCoreSolver bnb(opt);
+    CoreSolveStats bs;
+    (void)bnb.solve(cop, static_cast<std::uint64_t>(trial), &bs);
+    EXPECT_NEAR(bs.objective, es.objective, 1e-12);
+  }
+}
+
+// ------------------------------------------------------------ Ising/bSB
+
+TEST(IsingCore, PaperDefaultsMatchPaperParameters) {
+  const auto small = IsingCoreSolver::Options::paper_defaults(9);
+  EXPECT_EQ(small.sb.stop.sample_interval, 20u);
+  EXPECT_EQ(small.sb.stop.window, 20u);
+  EXPECT_DOUBLE_EQ(small.sb.stop.epsilon, 1e-8);
+  const auto large = IsingCoreSolver::Options::paper_defaults(16);
+  EXPECT_EQ(large.sb.stop.sample_interval, 10u);
+  EXPECT_EQ(large.sb.stop.window, 10u);
+}
+
+TEST(IsingCore, ZeroErrorOnDecomposableMatrix) {
+  Rng rng(13);
+  const auto w = InputPartition::trivial(7, 3);
+  TruthTable tt(7, 1);
+  tt.set_output(0, random_decomposable_output(w, rng));
+  const auto m = BooleanMatrix::from_function(tt, 0, w);
+  const auto cop =
+      ColumnCop::separate(m, uniform_probs(m.rows(), m.cols()));
+  const IsingCoreSolver solver(IsingCoreSolver::Options::paper_defaults(7));
+  CoreSolveStats stats;
+  (void)solver.solve(cop, 42, &stats);
+  EXPECT_NEAR(stats.objective, 0.0, 1e-15)
+      << "bSB must recover an exact decomposition when one exists";
+}
+
+TEST(IsingCore, NearOptimalOnTinyInstances) {
+  Rng rng(14);
+  int hits = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto m = random_matrix(3, 5, rng);
+    const auto cop = ColumnCop::separate(m, uniform_probs(3, 5));
+    const ExhaustiveCoreSolver exact;
+    CoreSolveStats es;
+    (void)exact.solve(cop, 0, &es);
+    const IsingCoreSolver solver(IsingCoreSolver::Options::paper_defaults(4));
+    CoreSolveStats is;
+    (void)solver.solve(cop, static_cast<std::uint64_t>(trial), &is);
+    EXPECT_GE(is.objective, es.objective - 1e-12);
+    hits += std::fabs(is.objective - es.objective) < 1e-12;
+  }
+  EXPECT_GE(hits, 8);
+}
+
+TEST(IsingCore, DynamicStopReducesIterations) {
+  Rng rng(15);
+  const auto cop = small_separate_cop(rng, 8, 16);
+  IsingCoreSolver::Options with_stop;
+  with_stop.sb.max_iterations = 50000;
+  with_stop.sb.stop.enabled = true;
+  with_stop.sb.stop.sample_interval = 20;
+  with_stop.sb.stop.window = 20;
+  with_stop.sb.stop.epsilon = 1e-8;
+  IsingCoreSolver::Options without = with_stop;
+  without.sb.stop.enabled = false;
+
+  CoreSolveStats s_with;
+  CoreSolveStats s_without;
+  (void)IsingCoreSolver(with_stop).solve(cop, 1, &s_with);
+  (void)IsingCoreSolver(without).solve(cop, 1, &s_without);
+  EXPECT_TRUE(s_with.stopped_early);
+  EXPECT_LT(s_with.iterations, s_without.iterations);
+  EXPECT_EQ(s_without.iterations, 50000u);
+}
+
+TEST(IsingCore, Theorem3InterventionHelpsOnStructuredInstances) {
+  // Noisy decomposable matrices: a planted two-pattern structure with a few
+  // flipped cells. These have the long flat basins where the Sec. 3.3.2
+  // feedback (and its anti-collapse strengthening) earns its keep; on
+  // fully random matrices the effect is noise-level.
+  Rng rng(16);
+  double with_sum = 0.0;
+  double without_sum = 0.0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto w = InputPartition::trivial(8, 3);
+    TruthTable tt(8, 1);
+    tt.set_output(0, random_decomposable_output(w, rng));
+    auto m = BooleanMatrix::from_function(tt, 0, w);
+    for (int noise = 0; noise < 6; ++noise) {
+      m.set(rng.next_below(m.rows()), rng.next_below(m.cols()),
+            rng.next_bool());
+    }
+    const auto cop =
+        ColumnCop::separate(m, uniform_probs(m.rows(), m.cols()));
+    IsingCoreSolver::Options base = IsingCoreSolver::Options::paper_defaults(8);
+    base.final_polish = false;
+    base.column_seed_init = false;  // isolate the intervention itself
+    IsingCoreSolver::Options with = base;
+    with.use_theorem3 = true;
+    IsingCoreSolver::Options without = base;
+    without.use_theorem3 = false;
+    without.anti_collapse = false;
+    CoreSolveStats sw;
+    CoreSolveStats so;
+    (void)IsingCoreSolver(with).solve(cop, static_cast<std::uint64_t>(trial),
+                                      &sw);
+    (void)IsingCoreSolver(without).solve(
+        cop, static_cast<std::uint64_t>(trial), &so);
+    with_sum += sw.objective;
+    without_sum += so.objective;
+  }
+  EXPECT_LE(with_sum, without_sum + 1e-9)
+      << "the Sec. 3.3.2 heuristic should help (or at worst tie) in total";
+}
+
+TEST(IsingCore, AntiCollapseEscapesRankOneFixedPoint) {
+  // A matrix whose columns split into two clusters but whose rows carry a
+  // strong common bias: plain bSB collapses to the single majority pattern
+  // (V1 == V2); the anti-collapse reseed must recover the two-pattern
+  // solution. Construct: 8 columns, half equal to pattern A (mostly ones),
+  // half equal to pattern B (A with the last three rows flipped).
+  const std::size_t r = 6;
+  const std::size_t c = 8;
+  BooleanMatrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      const bool a_bit = i < 4;  // pattern A = 111100
+      const bool b_bit = i < 2;  // pattern B = 110000
+      m.set(i, j, j < 4 ? a_bit : b_bit);
+    }
+  }
+  const auto cop = ColumnCop::separate(m, uniform_probs(r, c));
+  // The two-pattern optimum is exact (zero error).
+  const ExhaustiveCoreSolver exact;
+  CoreSolveStats es;
+  (void)exact.solve(cop, 0, &es);
+  ASSERT_NEAR(es.objective, 0.0, 1e-15);
+
+  auto opts = IsingCoreSolver::Options::paper_defaults(6);
+  opts.column_seed_init = false;
+  opts.final_polish = false;
+  opts.anti_collapse = true;
+  CoreSolveStats with;
+  (void)IsingCoreSolver(opts).solve(cop, 3, &with);
+  EXPECT_NEAR(with.objective, 0.0, 1e-15)
+      << "anti-collapse must recover the planted two-pattern solution";
+}
+
+TEST(IsingCore, DeterministicForFixedSeed) {
+  Rng rng(17);
+  const auto cop = small_separate_cop(rng, 6, 12);
+  const IsingCoreSolver solver(IsingCoreSolver::Options::paper_defaults(6));
+  CoreSolveStats a;
+  CoreSolveStats b;
+  const auto sa = solver.solve(cop, 99, &a);
+  const auto sb = solver.solve(cop, 99, &b);
+  EXPECT_EQ(sa.v1, sb.v1);
+  EXPECT_EQ(sa.v2, sb.v2);
+  EXPECT_EQ(sa.t, sb.t);
+  EXPECT_EQ(a.objective, b.objective);
+}
+
+TEST(IsingCore, RestartsImproveOrTie) {
+  Rng rng(18);
+  const auto cop = small_separate_cop(rng, 8, 16);
+  IsingCoreSolver::Options one = IsingCoreSolver::Options::paper_defaults(7);
+  one.restarts = 1;
+  IsingCoreSolver::Options four = one;
+  four.restarts = 4;
+  CoreSolveStats s1;
+  CoreSolveStats s4;
+  (void)IsingCoreSolver(one).solve(cop, 5, &s1);
+  (void)IsingCoreSolver(four).solve(cop, 5, &s4);
+  EXPECT_LE(s4.objective, s1.objective + 1e-12);
+}
+
+// ---------------------------------------------------------- Row-ILP path
+
+TEST(RowIlp, EncodingSolvesTinyCopExactly) {
+  Rng rng(19);
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto m = random_matrix(2, 3, rng);
+    std::vector<double> probs(6, 1.0 / 6.0);
+    const auto enc = encode_row_cop_separate(m, probs);
+    IlpParams params;
+    params.time_budget_s = 30.0;
+    const auto sol = solve_ilp(enc.problem, params);
+    ASSERT_EQ(sol.status, IlpStatus::kOptimal);
+
+    const RowSetting rs = decode_row_ilp(enc, sol.x);
+    // The decoded row setting's true weighted error equals the ILP value.
+    double err = 0.0;
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        err += probs[i * 3 + j] * (rs.value(i, j) != m.at(i, j) ? 1.0 : 0.0);
+      }
+    }
+    EXPECT_NEAR(err, sol.objective, 1e-9);
+
+    // And matches the exhaustive column-COP optimum (the two formulations
+    // describe the same search space).
+    const auto cop = ColumnCop::separate(m, probs);
+    const ExhaustiveCoreSolver exact;
+    CoreSolveStats es;
+    (void)exact.solve(cop, 0, &es);
+    EXPECT_NEAR(sol.objective, es.objective, 1e-9)
+        << "row-based ILP and column-based COP optima must agree";
+  }
+}
+
+TEST(RowIlp, EncodingShape) {
+  Rng rng(20);
+  const auto m = random_matrix(2, 4, rng);
+  const auto enc = encode_row_cop_separate(m, std::vector<double>(8, 0.125));
+  EXPECT_EQ(enc.rows, 2u);
+  EXPECT_EQ(enc.cols, 4u);
+  // Variables: 4 V + 8 s + 2*8 z.
+  EXPECT_EQ(enc.problem.lp.num_vars(), 4u + 8u + 16u);
+  // Binaries: V and s only.
+  std::size_t binaries = 0;
+  for (bool b : enc.problem.is_binary) {
+    binaries += b;
+  }
+  EXPECT_EQ(binaries, 12u);
+}
+
+TEST(RowIlp, JointEncodingMatchesExhaustiveOptimum) {
+  Rng rng(25);
+  const auto m = random_matrix(2, 3, rng);
+  std::vector<double> probs(6, 1.0 / 6.0);
+  std::vector<double> d(6);
+  for (auto& v : d) {
+    v = std::floor(rng.next_double(-5.0, 5.0));
+  }
+  const double weight = 2.0;
+
+  const auto enc = encode_row_cop_joint(m, probs, d, weight);
+  IlpParams params;
+  params.time_budget_s = 30.0;
+  const auto sol = solve_ilp(enc.problem, params);
+  ASSERT_EQ(sol.status, IlpStatus::kOptimal);
+
+  const auto cop = ColumnCop::joint(m, probs, d, weight);
+  const ExhaustiveCoreSolver exact;
+  CoreSolveStats es;
+  (void)exact.solve(cop, 0, &es);
+  EXPECT_NEAR(sol.objective, es.objective, 1e-9)
+      << "row-based joint ILP and column-based joint COP optima must agree";
+
+  // The decoded setting's true |2^k Ohat + D| cost equals the ILP value.
+  const RowSetting rs = decode_row_ilp(enc, sol.x);
+  double med = 0.0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double ohat = rs.value(i, j) ? 1.0 : 0.0;
+      med += probs[i * 3 + j] * std::fabs(weight * ohat + d[i * 3 + j]);
+    }
+  }
+  EXPECT_NEAR(med, sol.objective, 1e-9);
+}
+
+TEST(RowIlp, GeneralCostValidation) {
+  Rng rng(26);
+  const auto m = random_matrix(2, 2, rng);
+  EXPECT_THROW((void)encode_row_cop(m, std::vector<double>(3),
+                                    std::vector<double>(4)),
+               std::invalid_argument);
+  EXPECT_THROW((void)encode_row_cop_joint(m, std::vector<double>(4, 0.25),
+                                          std::vector<double>(4, 0.0), 0.0),
+               std::invalid_argument);
+}
+
+TEST(RowIlp, ProbsMismatchThrows) {
+  Rng rng(21);
+  const auto m = random_matrix(2, 4, rng);
+  EXPECT_THROW((void)encode_row_cop_separate(m, std::vector<double>(7)),
+               std::invalid_argument);
+}
+
+TEST(IsingCore, DiscreteVariantAlsoSolvesDecomposable) {
+  Rng rng(60);
+  const auto w = InputPartition::trivial(7, 3);
+  TruthTable tt(7, 1);
+  tt.set_output(0, random_decomposable_output(w, rng));
+  const auto m = BooleanMatrix::from_function(tt, 0, w);
+  const auto cop =
+      ColumnCop::separate(m, uniform_probs(m.rows(), m.cols()));
+  auto opts = IsingCoreSolver::Options::paper_defaults(7);
+  opts.sb.discrete = true;
+  CoreSolveStats stats;
+  (void)IsingCoreSolver(opts).solve(cop, 5, &stats);
+  EXPECT_NEAR(stats.objective, 0.0, 1e-15);
+}
+
+TEST(HeuristicCore, LiteralVariantNoWorseThanRefinedNever) {
+  // The refined greedy must dominate (or tie) the literal one-shot variant.
+  Rng rng(61);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto m = random_matrix(6, 10, rng);
+    const auto cop = ColumnCop::separate(m, uniform_probs(6, 10));
+    CoreSolveStats lit;
+    CoreSolveStats refined;
+    (void)HeuristicCoreSolver(0).solve(cop, 0, &lit);
+    (void)HeuristicCoreSolver(4).solve(cop, 0, &refined);
+    EXPECT_LE(refined.objective, lit.objective + 1e-12);
+  }
+}
+
+TEST(HeuristicCore, LiteralVariantUsesTheorem3Types) {
+  // Even the one-shot variant assigns column types optimally for its seed
+  // patterns (Theorem 3), so a manual T improvement must not exist.
+  Rng rng(62);
+  const auto m = random_matrix(4, 6, rng);
+  const auto cop = ColumnCop::separate(m, uniform_probs(4, 6));
+  CoreSolveStats stats;
+  auto s = HeuristicCoreSolver(0).solve(cop, 0, &stats);
+  const double before = cop.objective(s);
+  cop.reset_optimal_t(s);
+  EXPECT_NEAR(cop.objective(s), before, 1e-15);
+}
+
+// Cross-solver ordering property: exact <= bnb(unbounded) <= heuristics.
+class SolverOrderProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverOrderProperty, ObjectiveOrdering) {
+  Rng rng(static_cast<std::uint64_t>(3000 + GetParam()));
+  const auto m = random_matrix(4, 6, rng);
+  const auto cop = ColumnCop::separate(m, uniform_probs(4, 6));
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+
+  CoreSolveStats exact_s;
+  (void)ExhaustiveCoreSolver().solve(cop, seed, &exact_s);
+
+  BnbCoreSolver::Options bopt;
+  bopt.time_budget_s = 0.0;
+  CoreSolveStats bnb_s;
+  (void)BnbCoreSolver(bopt).solve(cop, seed, &bnb_s);
+
+  CoreSolveStats alt_s;
+  (void)AlternatingCoreSolver(4).solve(cop, seed, &alt_s);
+  CoreSolveStats heur_s;
+  (void)HeuristicCoreSolver().solve(cop, seed, &heur_s);
+  CoreSolveStats ising_s;
+  (void)IsingCoreSolver(IsingCoreSolver::Options::paper_defaults(5))
+      .solve(cop, seed, &ising_s);
+
+  EXPECT_NEAR(bnb_s.objective, exact_s.objective, 1e-12);
+  EXPECT_GE(alt_s.objective, exact_s.objective - 1e-12);
+  EXPECT_GE(heur_s.objective, exact_s.objective - 1e-12);
+  EXPECT_GE(ising_s.objective, exact_s.objective - 1e-12);
+  EXPECT_GE(cop.ideal_bound() - 1e-12, -1e-12);
+  EXPECT_LE(exact_s.objective, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverOrderProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace adsd

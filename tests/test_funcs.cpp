@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "funcs/arithmetic.hpp"
+#include "funcs/continuous.hpp"
+#include "funcs/registry.hpp"
+#include "support/quantize.hpp"
+
+namespace adsd {
+namespace {
+
+// ------------------------------------------------------------ Arithmetic
+
+TEST(BrentKung, MatchesMachineAdditionExhaustively8Bit) {
+  for (std::uint64_t a = 0; a < 256; a += 3) {
+    for (std::uint64_t b = 0; b < 256; b += 5) {
+      EXPECT_EQ(brent_kung_add(a, b, 8), a + b) << a << "+" << b;
+    }
+  }
+}
+
+TEST(BrentKung, NonPowerOfTwoWidths) {
+  for (unsigned bits : {1u, 3u, 5u, 6u, 7u, 11u}) {
+    const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+    for (std::uint64_t a = 0; a <= mask; a += std::max<std::uint64_t>(1, mask / 17)) {
+      for (std::uint64_t b = 0; b <= mask;
+           b += std::max<std::uint64_t>(1, mask / 13)) {
+        EXPECT_EQ(brent_kung_add(a, b, bits), a + b)
+            << "bits=" << bits << " " << a << "+" << b;
+      }
+    }
+  }
+}
+
+TEST(BrentKung, CarryOutProduced) {
+  EXPECT_EQ(brent_kung_add(255, 1, 8), 256u);
+  EXPECT_EQ(brent_kung_add(255, 255, 8), 510u);
+}
+
+TEST(ArrayMultiply, MatchesMachineMultiplication) {
+  for (std::uint64_t a = 0; a < 256; a += 7) {
+    for (std::uint64_t b = 0; b < 256; b += 11) {
+      EXPECT_EQ(array_multiply(a, b, 8), a * b) << a << "*" << b;
+    }
+  }
+  EXPECT_EQ(array_multiply(255, 255, 8), 255u * 255u);
+  EXPECT_EQ(array_multiply(0, 200, 8), 0u);
+}
+
+TEST(ArrayMultiply, WiderOperands) {
+  EXPECT_EQ(array_multiply(1023, 1023, 10), 1023u * 1023u);
+  EXPECT_EQ(array_multiply(4095, 17, 12), 4095u * 17u);
+}
+
+TEST(ArithmeticTables, BrentKungTableIsExactAdder) {
+  const auto tt = make_brent_kung_table(8, 5);
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    const std::uint64_t a = x & 0xF;
+    const std::uint64_t b = x >> 4;
+    EXPECT_EQ(tt.word(x), a + b);
+  }
+}
+
+TEST(ArithmeticTables, MultiplierTableIsExact) {
+  const auto tt = make_multiplier_table(8, 8);
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    EXPECT_EQ(tt.word(x), (x & 0xF) * (x >> 4));
+  }
+}
+
+TEST(ArithmeticTables, RejectsBadWidths) {
+  EXPECT_THROW((void)make_brent_kung_table(7, 4), std::invalid_argument);
+  EXPECT_THROW((void)make_brent_kung_table(8, 4), std::invalid_argument);
+  EXPECT_THROW((void)make_multiplier_table(8, 9), std::invalid_argument);
+}
+
+TEST(Kinematics, ForwardTableMonotonicAtZeroElbow) {
+  // With t2 = 0 the arm is straight: x = cos(t1), decreasing in t1.
+  const auto tt = make_forwardk2j_table(8, 8);
+  std::uint64_t prev = tt.word(0);
+  for (std::uint64_t t1 = 1; t1 < 16; ++t1) {
+    const std::uint64_t now = tt.word(t1);  // t2 bits are the high nibble
+    EXPECT_LE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(Kinematics, ForwardTableEndpoints) {
+  const auto tt = make_forwardk2j_table(8, 8);
+  // t1 = t2 = 0: x = 1 (max code). t1 = t2 = pi/2: x = -0.5 (code 0).
+  EXPECT_EQ(tt.word(0), 255u);
+  EXPECT_EQ(tt.word(255), 0u);
+}
+
+TEST(Kinematics, InverseTableWithinRange) {
+  const auto tt = make_inversek2j_table(8, 8);
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    EXPECT_LT(tt.word(x), 256u);
+  }
+  // Fully stretched arm (x^2 + y^2 = 1) has elbow angle 0: at the largest
+  // coordinates the acos argument saturates at 1.
+  EXPECT_EQ(tt.word(255), 0u);
+}
+
+// ------------------------------------------------------------ Continuous
+
+TEST(Continuous, SuiteHasSixFunctions) {
+  EXPECT_EQ(continuous_specs().size(), 6u);
+  for (const auto& s : continuous_specs()) {
+    EXPECT_LT(s.domain_lo, s.domain_hi);
+    EXPECT_LT(s.range_lo, s.range_hi);
+  }
+}
+
+TEST(Continuous, PaperDomainsAndRanges) {
+  const auto& cos_spec = continuous_spec("cos");
+  EXPECT_DOUBLE_EQ(cos_spec.domain_hi, std::numbers::pi / 2.0);
+  EXPECT_DOUBLE_EQ(cos_spec.range_hi, 1.0);
+  const auto& exp_spec = continuous_spec("exp");
+  EXPECT_DOUBLE_EQ(exp_spec.domain_hi, 3.0);
+  EXPECT_DOUBLE_EQ(exp_spec.range_hi, 20.09);
+  const auto& ln_spec = continuous_spec("ln");
+  EXPECT_DOUBLE_EQ(ln_spec.domain_lo, 1.0);
+  EXPECT_DOUBLE_EQ(ln_spec.domain_hi, 10.0);
+}
+
+TEST(Continuous, UnknownNameThrows) {
+  EXPECT_THROW((void)continuous_spec("sinh"), std::invalid_argument);
+}
+
+TEST(Continuous, QuantizedCosIsMonotoneDecreasing) {
+  const auto tt = make_continuous_table(continuous_spec("cos"), 9, 9);
+  std::uint64_t prev = tt.word(0);
+  EXPECT_EQ(prev, 511u);  // cos(0) = 1 = top of range
+  for (std::uint64_t u = 1; u < 512; ++u) {
+    EXPECT_LE(tt.word(u), prev);
+    prev = tt.word(u);
+  }
+  EXPECT_EQ(tt.word(511), 0u);  // cos(pi/2) = 0 = bottom of range
+}
+
+TEST(Continuous, QuantizationErrorWithinHalfStep) {
+  const auto& spec = continuous_spec("exp");
+  const auto tt = make_continuous_table(spec, 9, 9);
+  const Quantizer in(spec.domain_lo, spec.domain_hi, 9);
+  const Quantizer out(spec.range_lo, spec.range_hi, 9);
+  for (std::uint64_t u = 0; u < 512; u += 13) {
+    const double exactv = spec.fn(in.decode(u));
+    const double stored = out.decode(tt.word(u));
+    EXPECT_NEAR(stored, exactv, out.step() / 2.0 + 1e-12);
+  }
+}
+
+TEST(Continuous, DenoiseRangeRespected) {
+  const auto& spec = continuous_spec("denoise");
+  const auto tt = make_continuous_table(spec, 9, 9);
+  EXPECT_EQ(tt.word(0), 511u);  // peak 0.81 at x = 0
+  EXPECT_LT(tt.word(511), 8u);  // tail nearly zero
+}
+
+// -------------------------------------------------------------- Registry
+
+TEST(Registry, TenBenchmarksInPaperOrder) {
+  const auto& suite = benchmark_suite();
+  ASSERT_EQ(suite.size(), 10u);
+  EXPECT_EQ(suite[0].name, "cos");
+  EXPECT_EQ(suite[5].name, "denoise");
+  EXPECT_EQ(suite[6].name, "brent-kung");
+  EXPECT_EQ(suite[9].name, "multiplier");
+  int continuous = 0;
+  for (const auto& b : suite) {
+    continuous += b.continuous;
+  }
+  EXPECT_EQ(continuous, 6);
+}
+
+TEST(Registry, PaperOutputBits) {
+  EXPECT_EQ(paper_output_bits("brent-kung", 16), 9u);
+  EXPECT_EQ(paper_output_bits("multiplier", 16), 16u);
+  EXPECT_EQ(paper_output_bits("cos", 16), 16u);
+  EXPECT_EQ(paper_output_bits("cos", 9), 9u);
+}
+
+TEST(Registry, MakeBenchmarkDispatches) {
+  for (const auto& b : benchmark_suite()) {
+    const unsigned n = 8;
+    const unsigned m = paper_output_bits(b.name, n);
+    const auto tt = make_benchmark_table(b.name, n, m);
+    EXPECT_EQ(tt.num_inputs(), n);
+    EXPECT_EQ(tt.num_outputs(), m);
+  }
+}
+
+TEST(Registry, UnknownBenchmarkThrows) {
+  EXPECT_THROW((void)make_benchmark_table("nope", 8, 8),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adsd

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ilp/ilp.hpp"
+#include "ilp/lp.hpp"
+
+namespace adsd {
+namespace {
+
+// -------------------------------------------------------------------- LP
+
+TEST(Lp, SimpleTwoVarOptimum) {
+  // min -x - y  s.t. x + y <= 4, x <= 3, y <= 2  ->  x=3, y=1? No:
+  // optimum is x=3 wait x+y<=4 binds with y<=2: best x=2,y=2 value -4 or
+  // x=3,y=1 value -4; both optimal with value -4.
+  LpProblem p;
+  p.objective = {-1.0, -1.0};
+  p.add_le({1.0, 1.0}, 4.0);
+  p.add_le({1.0, 0.0}, 3.0);
+  p.add_le({0.0, 1.0}, 2.0);
+  const auto sol = solve_lp(p);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -4.0, 1e-9);
+  EXPECT_NEAR(sol.x[0] + sol.x[1], 4.0, 1e-9);
+}
+
+TEST(Lp, EqualityConstraint) {
+  // min x + 2y  s.t. x + y == 3  ->  x=3, y=0, value 3.
+  LpProblem p;
+  p.objective = {1.0, 2.0};
+  p.add_eq({1.0, 1.0}, 3.0);
+  const auto sol = solve_lp(p);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 0.0, 1e-9);
+}
+
+TEST(Lp, GreaterEqualConstraint) {
+  // min x  s.t. x >= 2.5  ->  2.5.
+  LpProblem p;
+  p.objective = {1.0};
+  p.add_ge({1.0}, 2.5);
+  const auto sol = solve_lp(p);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.5, 1e-9);
+}
+
+TEST(Lp, DetectsInfeasibility) {
+  LpProblem p;
+  p.objective = {1.0};
+  p.add_le({1.0}, 1.0);
+  p.add_ge({1.0}, 2.0);
+  const auto sol = solve_lp(p);
+  EXPECT_EQ(sol.status, LpStatus::kInfeasible);
+}
+
+TEST(Lp, DetectsUnboundedness) {
+  LpProblem p;
+  p.objective = {-1.0};
+  p.add_ge({1.0}, 0.0);
+  const auto sol = solve_lp(p);
+  EXPECT_EQ(sol.status, LpStatus::kUnbounded);
+}
+
+TEST(Lp, NegativeRhsNormalized) {
+  // min x  s.t. -x <= -3  (i.e. x >= 3).
+  LpProblem p;
+  p.objective = {1.0};
+  p.add_le({-1.0}, -3.0);
+  const auto sol = solve_lp(p);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 3.0, 1e-9);
+}
+
+TEST(Lp, DegenerateProblemTerminates) {
+  // Classic degeneracy: multiple constraints active at the optimum. Bland's
+  // rule must avoid cycling.
+  LpProblem p;
+  p.objective = {-0.75, 150.0, -0.02, 6.0};
+  p.add_le({0.25, -60.0, -0.04, 9.0}, 0.0);
+  p.add_le({0.5, -90.0, -0.02, 3.0}, 0.0);
+  p.add_le({0.0, 0.0, 1.0, 0.0}, 1.0);
+  const auto sol = solve_lp(p);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -0.05, 1e-9);  // Beale's cycling example
+}
+
+TEST(Lp, SolutionSatisfiesConstraints) {
+  LpProblem p;
+  p.objective = {2.0, 3.0, 1.0};
+  p.add_ge({1.0, 1.0, 1.0}, 10.0);
+  p.add_ge({2.0, 1.0, 0.0}, 8.0);
+  p.add_le({1.0, 0.0, 0.0}, 6.0);
+  const auto sol = solve_lp(p);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_GE(sol.x[0] + sol.x[1] + sol.x[2], 10.0 - 1e-9);
+  EXPECT_GE(2 * sol.x[0] + sol.x[1], 8.0 - 1e-9);
+  EXPECT_LE(sol.x[0], 6.0 + 1e-9);
+}
+
+TEST(Lp, EmptyObjectiveThrows) {
+  LpProblem p;
+  EXPECT_THROW((void)solve_lp(p), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- ILP
+
+TEST(Ilp, KnapsackSmall) {
+  // max 10a + 6b + 4c s.t. a+b+c <= 2 (binary)  ->  min form, answer 16.
+  IlpProblem p;
+  p.lp.objective = {-10.0, -6.0, -4.0};
+  p.lp.add_le({1.0, 1.0, 1.0}, 2.0);
+  p.is_binary = {true, true, true};
+  const auto sol = solve_ilp(p, IlpParams{});
+  ASSERT_EQ(sol.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -16.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-9);
+  EXPECT_NEAR(sol.x[2], 0.0, 1e-9);
+  EXPECT_TRUE(sol.proven_optimal);
+}
+
+TEST(Ilp, WeightedKnapsackNeedsBranching) {
+  // max 5a + 4b + 3c  s.t. 2a + 3b + c <= 3. LP relax is fractional;
+  // integer optimum picks a + c = 8.
+  IlpProblem p;
+  p.lp.objective = {-5.0, -4.0, -3.0};
+  p.lp.add_le({2.0, 3.0, 1.0}, 3.0);
+  p.is_binary = {true, true, true};
+  const auto sol = solve_ilp(p, IlpParams{});
+  ASSERT_EQ(sol.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -8.0, 1e-9);
+}
+
+TEST(Ilp, InfeasibleDetected) {
+  IlpProblem p;
+  p.lp.objective = {1.0};
+  p.lp.add_ge({1.0}, 2.0);  // binary x can be at most 1
+  p.is_binary = {true};
+  const auto sol = solve_ilp(p, IlpParams{});
+  EXPECT_EQ(sol.status, IlpStatus::kInfeasible);
+}
+
+TEST(Ilp, MixedIntegerContinuous) {
+  // min -x - 10y, x continuous <= 2.5, y binary, x + y <= 3.
+  IlpProblem p;
+  p.lp.objective = {-1.0, -10.0};
+  p.lp.add_le({1.0, 0.0}, 2.5);
+  p.lp.add_le({1.0, 1.0}, 3.0);
+  p.is_binary = {false, true};
+  const auto sol = solve_ilp(p, IlpParams{});
+  ASSERT_EQ(sol.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol.objective, -12.0, 1e-9);
+}
+
+TEST(Ilp, EqualityOneHot) {
+  // Choose exactly one of three with costs 3, 1, 2.
+  IlpProblem p;
+  p.lp.objective = {3.0, 1.0, 2.0};
+  p.lp.add_eq({1.0, 1.0, 1.0}, 1.0);
+  p.is_binary = {true, true, true};
+  const auto sol = solve_ilp(p, IlpParams{});
+  ASSERT_EQ(sol.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 1.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-9);
+}
+
+TEST(Ilp, WarmStartAccepted) {
+  IlpProblem p;
+  p.lp.objective = {-1.0, -1.0};
+  p.lp.add_le({1.0, 1.0}, 1.0);
+  p.is_binary = {true, true};
+  const std::vector<double> warm = {1.0, 0.0};
+  const auto sol = solve_ilp(p, IlpParams{}, &warm);
+  ASSERT_EQ(sol.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -1.0, 1e-9);
+}
+
+TEST(Ilp, AssignmentProblemThreeByThree) {
+  // Costs: worker w to task t = c[w][t]; one-hot rows and columns.
+  const double c[3][3] = {{4, 2, 8}, {4, 3, 7}, {3, 1, 6}};
+  IlpProblem p;
+  p.lp.objective.assign(9, 0.0);
+  for (int w = 0; w < 3; ++w) {
+    for (int t = 0; t < 3; ++t) {
+      p.lp.objective[static_cast<std::size_t>(3 * w + t)] = c[w][t];
+    }
+  }
+  p.is_binary.assign(9, true);
+  for (int w = 0; w < 3; ++w) {
+    std::vector<double> row(9, 0.0);
+    for (int t = 0; t < 3; ++t) {
+      row[static_cast<std::size_t>(3 * w + t)] = 1.0;
+    }
+    p.lp.add_eq(std::move(row), 1.0);
+  }
+  for (int t = 0; t < 3; ++t) {
+    std::vector<double> col(9, 0.0);
+    for (int w = 0; w < 3; ++w) {
+      col[static_cast<std::size_t>(3 * w + t)] = 1.0;
+    }
+    p.lp.add_eq(std::move(col), 1.0);
+  }
+  const auto sol = solve_ilp(p, IlpParams{});
+  ASSERT_EQ(sol.status, IlpStatus::kOptimal);
+  // Optimal assignment: w0->t1 (2), w1->t2 (7), w2->t0 (3) = 12 or better.
+  EXPECT_NEAR(sol.objective, 12.0, 1e-9);
+}
+
+TEST(Ilp, TimeBudgetReturnsIncumbent) {
+  // A nontrivial instance with an immediate warm start and a zero budget:
+  // the solver must return the incumbent rather than nothing.
+  IlpProblem p;
+  p.lp.objective = {-5.0, -4.0, -3.0};
+  p.lp.add_le({2.0, 3.0, 1.0}, 3.0);
+  p.is_binary = {true, true, true};
+  IlpParams params;
+  params.time_budget_s = 1e-9;
+  const std::vector<double> warm = {0.0, 0.0, 1.0};
+  const auto sol = solve_ilp(p, params, &warm);
+  EXPECT_EQ(sol.status, IlpStatus::kFeasible);
+  EXPECT_FALSE(sol.proven_optimal);
+  EXPECT_LE(sol.objective, -3.0 + 1e-9);
+}
+
+TEST(Ilp, BinarySizeMismatchThrows) {
+  IlpProblem p;
+  p.lp.objective = {1.0, 1.0};
+  p.is_binary = {true};
+  EXPECT_THROW((void)solve_ilp(p, IlpParams{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adsd

@@ -1,0 +1,568 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ising/bsb.hpp"
+#include "ising/exhaustive.hpp"
+#include "ising/model.hpp"
+#include "ising/qubo.hpp"
+#include "ising/sa.hpp"
+#include "ising/stop.hpp"
+#include "support/rng.hpp"
+
+namespace adsd {
+namespace {
+
+std::vector<std::int8_t> spins_from_bits(std::uint64_t bits, std::size_t n) {
+  std::vector<std::int8_t> s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = ((bits >> i) & 1) ? std::int8_t{1} : std::int8_t{-1};
+  }
+  return s;
+}
+
+/// Random small model for property sweeps.
+IsingModel random_model(std::size_t n, double density, Rng& rng) {
+  IsingModel m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.set_bias(i, rng.next_double(-1.0, 1.0));
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.next_double() < density) {
+        m.add_coupling(i, j, rng.next_double(-1.0, 1.0));
+      }
+    }
+  }
+  m.finalize();
+  return m;
+}
+
+// ------------------------------------------------------------ IsingModel
+
+TEST(IsingModel, EnergyOfTwoSpinFerromagnet) {
+  IsingModel m(2);
+  m.add_coupling(0, 1, 1.0);
+  m.finalize();
+  // Aligned spins: E = -J = -1. Anti-aligned: +1.
+  EXPECT_DOUBLE_EQ(m.energy(spins_from_bits(0b11, 2)), -1.0);
+  EXPECT_DOUBLE_EQ(m.energy(spins_from_bits(0b00, 2)), -1.0);
+  EXPECT_DOUBLE_EQ(m.energy(spins_from_bits(0b01, 2)), 1.0);
+}
+
+TEST(IsingModel, BiasTermSign) {
+  IsingModel m(1);
+  m.set_bias(0, 2.0);
+  m.finalize();
+  EXPECT_DOUBLE_EQ(m.energy(spins_from_bits(1, 1)), -2.0);
+  EXPECT_DOUBLE_EQ(m.energy(spins_from_bits(0, 1)), 2.0);
+}
+
+TEST(IsingModel, ConstantShiftsEnergy) {
+  IsingModel m(1);
+  m.set_constant(5.0);
+  m.finalize();
+  EXPECT_DOUBLE_EQ(m.energy(spins_from_bits(0, 1)), 5.0);
+}
+
+TEST(IsingModel, DuplicateCouplingsAccumulate) {
+  IsingModel m(2);
+  m.add_coupling(0, 1, 0.5);
+  m.add_coupling(1, 0, 0.25);  // symmetric add merges
+  m.finalize();
+  EXPECT_EQ(m.num_couplings(), 1u);
+  EXPECT_DOUBLE_EQ(m.energy(spins_from_bits(0b11, 2)), -0.75);
+}
+
+TEST(IsingModel, FlipDeltaMatchesEnergyDifference) {
+  Rng rng(3);
+  const auto m = random_model(8, 0.6, rng);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto s = spins_from_bits(rng.next_u64(), 8);
+    const std::size_t i = rng.next_below(8);
+    const double before = m.energy(s);
+    const double delta = m.flip_delta(s, i);
+    s[i] = static_cast<std::int8_t>(-s[i]);
+    EXPECT_NEAR(m.energy(s) - before, delta, 1e-12);
+  }
+}
+
+TEST(IsingModel, LocalFieldsMatchDefinition) {
+  IsingModel m(3);
+  m.set_bias(0, 0.5);
+  m.add_coupling(0, 1, 1.0);
+  m.add_coupling(0, 2, -2.0);
+  m.finalize();
+  std::vector<double> x = {0.1, 0.5, -0.5};
+  std::vector<double> f(3);
+  m.local_fields(x, f);
+  EXPECT_DOUBLE_EQ(f[0], 0.5 + 1.0 * 0.5 + (-2.0) * (-0.5));
+  EXPECT_DOUBLE_EQ(f[1], 1.0 * 0.1);
+  EXPECT_DOUBLE_EQ(f[2], -2.0 * 0.1);
+}
+
+TEST(IsingModel, SignedFieldsUseSigns) {
+  IsingModel m(2);
+  m.add_coupling(0, 1, 1.0);
+  m.finalize();
+  std::vector<double> x = {0.0, -0.3};
+  std::vector<double> f(2);
+  m.local_fields_signed(x, f);
+  EXPECT_DOUBLE_EQ(f[0], -1.0);  // sign(-0.3) = -1
+  EXPECT_DOUBLE_EQ(f[1], 1.0);   // sign(0.0) treated as +1
+}
+
+TEST(IsingModel, CouplingRms) {
+  IsingModel m(3);
+  m.add_coupling(0, 1, 3.0);
+  m.add_coupling(1, 2, -4.0);
+  m.finalize();
+  EXPECT_NEAR(m.coupling_rms(), std::sqrt((9.0 + 16.0) / 2.0), 1e-12);
+}
+
+TEST(IsingModel, NeighborsAdjacency) {
+  IsingModel m(4);
+  m.add_coupling(0, 2, 1.5);
+  m.add_coupling(0, 3, -1.0);
+  m.finalize();
+  const auto nb = m.neighbors(0);
+  EXPECT_EQ(nb.size(), 2u);
+  EXPECT_EQ(m.neighbors(1).size(), 0u);
+  EXPECT_EQ(m.neighbors(2).size(), 1u);
+}
+
+TEST(IsingModel, GuardsAndValidation) {
+  EXPECT_THROW(IsingModel(0), std::invalid_argument);
+  IsingModel m(2);
+  EXPECT_THROW(m.add_coupling(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.add_coupling(0, 5, 1.0), std::out_of_range);
+  EXPECT_THROW((void)m.energy(spins_from_bits(0, 2)), std::logic_error);
+  m.finalize();
+  EXPECT_THROW((void)m.energy(spins_from_bits(0, 1)), std::invalid_argument);
+}
+
+TEST(IsingModel, ZeroCouplingsDropped) {
+  IsingModel m(2);
+  m.add_coupling(0, 1, 0.5);
+  m.add_coupling(0, 1, -0.5);  // cancels to zero
+  m.finalize();
+  EXPECT_EQ(m.num_couplings(), 0u);
+}
+
+// ------------------------------------------------------------------ QUBO
+
+TEST(Qubo, ValueComputation) {
+  Qubo q(3);
+  q.add_linear(0, 1.0);
+  q.add_linear(2, -2.0);
+  q.add_quadratic(0, 1, 3.0);
+  q.add_constant(0.5);
+  std::vector<std::uint8_t> x = {1, 1, 1};
+  EXPECT_DOUBLE_EQ(q.value(x), 1.0 - 2.0 + 3.0 + 0.5);
+  x = {1, 0, 0};
+  EXPECT_DOUBLE_EQ(q.value(x), 1.5);
+}
+
+TEST(Qubo, SelfQuadraticFoldsToLinear) {
+  Qubo q(1);
+  q.add_quadratic(0, 0, 2.0);
+  std::vector<std::uint8_t> x = {1};
+  EXPECT_DOUBLE_EQ(q.value(x), 2.0);
+}
+
+TEST(Qubo, IsingConversionPreservesValues) {
+  Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    Qubo q(6);
+    for (std::size_t i = 0; i < 6; ++i) {
+      q.add_linear(i, rng.next_double(-2.0, 2.0));
+      for (std::size_t j = i + 1; j < 6; ++j) {
+        if (rng.next_bool()) {
+          q.add_quadratic(i, j, rng.next_double(-2.0, 2.0));
+        }
+      }
+    }
+    q.add_constant(rng.next_double(-1.0, 1.0));
+    const IsingModel m = q.to_ising();
+    for (std::uint64_t bits = 0; bits < 64; ++bits) {
+      const auto spins = spins_from_bits(bits, 6);
+      const auto x = Qubo::spins_to_binary(spins);
+      EXPECT_NEAR(m.energy(spins), q.value(x), 1e-9)
+          << "bits=" << bits << " trial=" << trial;
+    }
+  }
+}
+
+TEST(Qubo, SpinsToBinary) {
+  std::vector<std::int8_t> spins = {1, -1, 1};
+  const auto x = Qubo::spins_to_binary(spins);
+  EXPECT_EQ(x[0], 1);
+  EXPECT_EQ(x[1], 0);
+  EXPECT_EQ(x[2], 1);
+}
+
+// ------------------------------------------------------------ Exhaustive
+
+TEST(Exhaustive, FindsGroundStateOfFrustratedTriangle) {
+  IsingModel m(3);
+  // Antiferromagnetic triangle: ground energy = -1 (one bond frustrated).
+  m.add_coupling(0, 1, -1.0);
+  m.add_coupling(1, 2, -1.0);
+  m.add_coupling(0, 2, -1.0);
+  m.finalize();
+  const auto res = solve_exhaustive(m);
+  EXPECT_DOUBLE_EQ(res.energy, -1.0);
+}
+
+TEST(Exhaustive, MatchesBruteForceRecomputation) {
+  Rng rng(5);
+  const auto m = random_model(10, 0.5, rng);
+  const auto res = solve_exhaustive(m);
+  double best = 1e300;
+  for (std::uint64_t bits = 0; bits < 1024; ++bits) {
+    best = std::min(best, m.energy(spins_from_bits(bits, 10)));
+  }
+  EXPECT_NEAR(res.energy, best, 1e-9);
+  EXPECT_NEAR(m.energy(res.spins), res.energy, 1e-9);
+}
+
+TEST(Exhaustive, RejectsLargeModels) {
+  IsingModel m(25);
+  m.finalize();
+  EXPECT_THROW((void)solve_exhaustive(m), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- bSB
+
+TEST(Bsb, SolvesFerromagneticChainExactly) {
+  IsingModel m(16);
+  for (std::size_t i = 0; i + 1 < 16; ++i) {
+    m.add_coupling(i, i + 1, 1.0);
+  }
+  m.finalize();
+  SbParams p;
+  p.max_iterations = 500;
+  p.seed = 7;
+  const auto res = solve_sb(m, p);
+  EXPECT_DOUBLE_EQ(res.energy, -15.0);  // all aligned
+}
+
+TEST(Bsb, ReachesGroundStateOnSmallRandomInstances) {
+  Rng rng(11);
+  int hits = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto m = random_model(12, 0.5, rng);
+    const auto exact = solve_exhaustive(m);
+    SbParams p;
+    p.max_iterations = 2000;
+    p.seed = 100 + trial;
+    const auto res = solve_sb(m, p);
+    EXPECT_GE(res.energy, exact.energy - 1e-9);
+    hits += std::fabs(res.energy - exact.energy) < 1e-9;
+  }
+  EXPECT_GE(hits, 7) << "bSB should find most small ground states";
+}
+
+TEST(Bsb, DiscreteVariantAlsoWorks) {
+  Rng rng(13);
+  const auto m = random_model(12, 0.5, rng);
+  const auto exact = solve_exhaustive(m);
+  SbParams p;
+  p.max_iterations = 2000;
+  p.discrete = true;
+  p.seed = 3;
+  const auto res = solve_sb(m, p);
+  EXPECT_GE(res.energy, exact.energy - 1e-9);
+  EXPECT_LE(res.energy, exact.energy + 2.0);
+}
+
+TEST(Bsb, DynamicStopTerminatesEarly) {
+  IsingModel m(8);
+  for (std::size_t i = 0; i + 1 < 8; ++i) {
+    m.add_coupling(i, i + 1, 1.0);
+  }
+  m.finalize();
+  SbParams p;
+  p.max_iterations = 100000;
+  p.stop.enabled = true;
+  p.stop.sample_interval = 10;
+  p.stop.window = 10;
+  p.stop.epsilon = 1e-8;
+  p.seed = 5;
+  const auto res = solve_sb(m, p);
+  EXPECT_TRUE(res.stopped_early);
+  EXPECT_LT(res.iterations, 100000u);
+  EXPECT_DOUBLE_EQ(res.energy, -7.0);
+}
+
+TEST(Bsb, DeterministicForFixedSeed) {
+  Rng rng(17);
+  const auto m = random_model(10, 0.5, rng);
+  SbParams p;
+  p.max_iterations = 300;
+  p.seed = 42;
+  const auto a = solve_sb(m, p);
+  const auto b = solve_sb(m, p);
+  EXPECT_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.spins, b.spins);
+}
+
+TEST(Bsb, HookCalledAtEverySamplePoint) {
+  IsingModel m(4);
+  m.add_coupling(0, 1, 1.0);
+  m.finalize();
+  SbParams p;
+  p.max_iterations = 100;
+  p.stop.sample_interval = 5;
+  p.seed = 1;
+  int calls = 0;
+  const auto res =
+      solve_sb(m, p, [&](std::span<double> x, std::span<double> y) {
+        ++calls;
+        ASSERT_EQ(x.size(), 4u);
+        ASSERT_EQ(y.size(), 4u);
+      });
+  EXPECT_EQ(calls, 100 / 5);
+  EXPECT_NEAR(m.energy(res.spins), res.energy, 1e-12);
+}
+
+TEST(Bsb, HookPinningImprovesDegenerateSearch) {
+  // Bias wants spin 3 down, but a huge detuning freeze keeps the oscillator
+  // near its initial (positive-sign) position; the hook supplies the fix
+  // and best-seen tracking must retain it. Mirrors the Theorem-3 feedback.
+  IsingModel m(4);
+  m.set_bias(3, -5.0);
+  m.finalize();
+  SbParams p;
+  p.max_iterations = 20;
+  p.stop.sample_interval = 5;
+  p.c0 = 1e-9;  // forces effectively disabled: bSB alone cannot flip spin 3
+  p.seed = 1;
+  const auto plain = solve_sb(m, p);
+  const auto hooked =
+      solve_sb(m, p, [](std::span<double> x, std::span<double> y) {
+        x[3] = -1.0;
+        y[3] = 0.0;
+      });
+  EXPECT_LE(hooked.energy, plain.energy);
+  EXPECT_DOUBLE_EQ(hooked.energy, -5.0);  // pinned state is the ground state
+  EXPECT_EQ(hooked.spins[3], -1);
+}
+
+TEST(Bsb, RejectsBadParameters) {
+  IsingModel m(2);
+  m.finalize();
+  SbParams p;
+  p.max_iterations = 0;
+  EXPECT_THROW((void)solve_sb(m, p), std::invalid_argument);
+  IsingModel unfinalized(2);
+  EXPECT_THROW((void)solve_sb(unfinalized, SbParams{}), std::invalid_argument);
+}
+
+TEST(Bsb, EnergyReportedMatchesSpins) {
+  Rng rng(19);
+  const auto m = random_model(14, 0.4, rng);
+  SbParams p;
+  p.max_iterations = 500;
+  p.seed = 23;
+  const auto res = solve_sb(m, p);
+  EXPECT_NEAR(m.energy(res.spins), res.energy, 1e-9);
+}
+
+// ---------------------------------------------------------- Ensemble bSB
+
+TEST(BsbEnsemble, SingleReplicaReproducesSolveSb) {
+  Rng rng(41);
+  const auto m = random_model(12, 0.5, rng);
+  SbParams p;
+  p.max_iterations = 400;
+  p.seed = 9;
+  const auto solo = solve_sb(m, p);
+  const auto ens = solve_sb_ensemble(m, p, 1);
+  EXPECT_EQ(ens.energy, solo.energy);
+  EXPECT_EQ(ens.spins, solo.spins);
+}
+
+TEST(BsbEnsemble, MatchesBestOfIndependentRestarts) {
+  Rng rng(43);
+  const auto m = random_model(10, 0.6, rng);
+  SbParams p;
+  p.max_iterations = 300;
+  p.seed = 17;
+  const std::size_t k = 4;
+  double best = 1e300;
+  for (std::size_t r = 0; r < k; ++r) {
+    SbParams pr = p;
+    pr.seed = p.seed + 0x9e3779b9u * r;
+    best = std::min(best, solve_sb(m, pr).energy);
+  }
+  const auto ens = solve_sb_ensemble(m, p, k);
+  EXPECT_DOUBLE_EQ(ens.energy, best);
+  EXPECT_EQ(ens.iterations, 300u * k);
+}
+
+TEST(BsbEnsemble, MoreReplicasNeverWorse) {
+  Rng rng(47);
+  const auto m = random_model(14, 0.5, rng);
+  SbParams p;
+  p.max_iterations = 300;
+  p.seed = 3;
+  const auto one = solve_sb_ensemble(m, p, 1);
+  const auto eight = solve_sb_ensemble(m, p, 8);
+  EXPECT_LE(eight.energy, one.energy);
+}
+
+TEST(BsbEnsemble, HookAppliedPerReplica) {
+  IsingModel m(4);
+  m.set_bias(3, -5.0);
+  m.finalize();
+  SbParams p;
+  p.max_iterations = 20;
+  p.stop.sample_interval = 5;
+  p.c0 = 1e-9;
+  p.seed = 1;
+  int calls = 0;
+  const auto res = solve_sb_ensemble(
+      m, p, 3, [&](std::span<double> x, std::span<double> y) {
+        ++calls;
+        x[3] = -1.0;
+        y[3] = 0.0;
+      });
+  EXPECT_EQ(calls, (20 / 5) * 3);
+  EXPECT_DOUBLE_EQ(res.energy, -5.0);
+}
+
+TEST(BsbEnsemble, Validation) {
+  IsingModel m(2);
+  m.finalize();
+  SbParams p;
+  EXPECT_THROW((void)solve_sb_ensemble(m, p, 0), std::invalid_argument);
+  IsingModel unfinalized(2);
+  EXPECT_THROW((void)solve_sb_ensemble(unfinalized, p, 2),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- SA
+
+TEST(Sa, SolvesFerromagneticChain) {
+  IsingModel m(16);
+  for (std::size_t i = 0; i + 1 < 16; ++i) {
+    m.add_coupling(i, i + 1, 1.0);
+  }
+  m.finalize();
+  SaParams p;
+  p.sweeps = 300;
+  p.seed = 3;
+  const auto res = solve_sa(m, p);
+  EXPECT_DOUBLE_EQ(res.energy, -15.0);
+}
+
+TEST(Sa, NearGroundOnRandomInstances) {
+  Rng rng(29);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto m = random_model(12, 0.5, rng);
+    const auto exact = solve_exhaustive(m);
+    SaParams p;
+    p.sweeps = 500;
+    p.seed = 50 + trial;
+    const auto res = solve_sa(m, p);
+    EXPECT_GE(res.energy, exact.energy - 1e-9);
+    EXPECT_LE(res.energy, exact.energy + 1.0);
+  }
+}
+
+TEST(Sa, DeterministicForFixedSeed) {
+  Rng rng(31);
+  const auto m = random_model(10, 0.5, rng);
+  SaParams p;
+  p.sweeps = 100;
+  p.seed = 9;
+  const auto a = solve_sa(m, p);
+  const auto b = solve_sa(m, p);
+  EXPECT_EQ(a.energy, b.energy);
+}
+
+TEST(Sa, RejectsBadSchedule) {
+  IsingModel m(2);
+  m.finalize();
+  SaParams p;
+  p.beta_start = 5.0;
+  p.beta_end = 1.0;
+  EXPECT_THROW((void)solve_sa(m, p), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- Dynamic stop
+
+TEST(DynamicStop, DisabledNeverStops) {
+  DynamicStopMonitor mon(DynamicStopParams{});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(mon.observe(1.0));
+  }
+}
+
+TEST(DynamicStop, StopsOnConstantEnergy) {
+  DynamicStopParams p;
+  p.enabled = true;
+  p.sample_interval = 1;
+  p.window = 5;
+  p.epsilon = 1e-8;
+  DynamicStopMonitor mon(p);
+  bool stopped = false;
+  for (int i = 0; i < 5; ++i) {
+    stopped = mon.observe(3.0);
+  }
+  EXPECT_TRUE(stopped);
+}
+
+TEST(DynamicStop, DoesNotStopWhileVarying) {
+  DynamicStopParams p;
+  p.enabled = true;
+  p.sample_interval = 1;
+  p.window = 4;
+  p.epsilon = 1e-8;
+  DynamicStopMonitor mon(p);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(mon.observe(static_cast<double>(i)));
+  }
+}
+
+TEST(DynamicStop, NeedsFullWindow) {
+  DynamicStopParams p;
+  p.enabled = true;
+  p.sample_interval = 1;
+  p.window = 10;
+  DynamicStopMonitor mon(p);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_FALSE(mon.observe(0.0));
+  }
+  EXPECT_TRUE(mon.observe(0.0));
+}
+
+TEST(DynamicStop, BadParamsThrow) {
+  DynamicStopParams p;
+  p.enabled = true;
+  p.window = 1;
+  EXPECT_THROW(DynamicStopMonitor mon(p), std::invalid_argument);
+}
+
+// Property: on random instances bSB with the Theorem-free plain setup never
+// reports an energy below the true ground state.
+class SolverBoundProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverBoundProperty, NoSolverBeatsExhaustive) {
+  Rng rng(static_cast<std::uint64_t>(1000 + GetParam()));
+  const auto m = random_model(11, 0.6, rng);
+  const auto exact = solve_exhaustive(m);
+  SbParams bp;
+  bp.max_iterations = 500;
+  bp.seed = static_cast<std::uint64_t>(GetParam());
+  EXPECT_GE(solve_sb(m, bp).energy, exact.energy - 1e-9);
+  SaParams sp;
+  sp.sweeps = 200;
+  sp.seed = static_cast<std::uint64_t>(GetParam());
+  EXPECT_GE(solve_sa(m, sp).energy, exact.energy - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverBoundProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace adsd

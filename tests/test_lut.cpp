@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "boolean/boolean_matrix.hpp"
+#include "boolean/decomposition.hpp"
+#include "boolean/partition.hpp"
+#include "boolean/truth_table.hpp"
+#include "lut/decomposed_lut.hpp"
+#include "lut/lut.hpp"
+#include "support/rng.hpp"
+
+namespace adsd {
+namespace {
+
+ColumnSetting random_column_setting(const InputPartition& w, Rng& rng) {
+  ColumnSetting cs;
+  cs.v1 = BitVec(w.num_rows());
+  cs.v2 = BitVec(w.num_rows());
+  cs.t = BitVec(w.num_cols());
+  for (std::size_t i = 0; i < cs.v1.size(); ++i) {
+    cs.v1.set(i, rng.next_bool());
+    cs.v2.set(i, rng.next_bool());
+  }
+  for (std::size_t j = 0; j < cs.t.size(); ++j) {
+    cs.t.set(j, rng.next_bool());
+  }
+  return cs;
+}
+
+// ------------------------------------------------------------------- Lut
+
+TEST(Lut, ReadWrite) {
+  Lut lut(3);
+  EXPECT_EQ(lut.size_bits(), 8u);
+  lut.write(5, true);
+  EXPECT_TRUE(lut.read(5));
+  EXPECT_FALSE(lut.read(4));
+}
+
+TEST(Lut, ContentsConstructor) {
+  Lut lut(2, BitVec::from_string("1010"));
+  EXPECT_TRUE(lut.read(0));
+  EXPECT_FALSE(lut.read(1));
+  EXPECT_TRUE(lut.read(2));
+}
+
+TEST(Lut, RejectsBadShapes) {
+  EXPECT_THROW(Lut(0), std::invalid_argument);
+  EXPECT_THROW(Lut(31), std::invalid_argument);
+  EXPECT_THROW(Lut(3, BitVec(4)), std::invalid_argument);
+}
+
+// --------------------------------------------------------- DecomposedLut
+
+TEST(DecomposedLut, SizeMatchesFigure1) {
+  // Fig. 1 of the paper: 5-input function, |B| = 3, |A| = 2:
+  // 32-bit flat LUT vs 8 + 8 = 16 bits decomposed (2x saving).
+  const InputPartition w({3, 4}, {0, 1, 2});
+  Rng rng(1);
+  const auto cs = random_column_setting(w, rng);
+  const auto d = DecomposedLut::from_column_setting(w, cs);
+  EXPECT_EQ(d.flat_size_bits(), 32u);
+  EXPECT_EQ(d.phi_lut().size_bits(), 8u);
+  EXPECT_EQ(d.f_lut().size_bits(), 8u);
+  EXPECT_EQ(d.size_bits(), 16u);
+}
+
+TEST(DecomposedLut, EvaluatesColumnSettingExactly) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto w = InputPartition::random(7, 3, rng);
+    const auto cs = random_column_setting(w, rng);
+    const auto d = DecomposedLut::from_column_setting(w, cs);
+    const BitVec expect = compose_output(cs, w);
+    EXPECT_EQ(d.truth_table(), expect);
+  }
+}
+
+TEST(DecomposedLut, RowSettingAgreesWithColumnSetting) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto w = InputPartition::random(6, 2, rng);
+    const auto cs = random_column_setting(w, rng);
+    const RowSetting rs = to_row_setting(cs);
+    const auto from_col = DecomposedLut::from_column_setting(w, cs);
+    const auto from_row = DecomposedLut::from_row_setting(w, rs);
+    EXPECT_EQ(from_col.truth_table(), from_row.truth_table());
+  }
+}
+
+TEST(DecomposedLut, ExactlyDecomposableFunctionRecovered) {
+  Rng rng(4);
+  const auto w = InputPartition::random(8, 4, rng);
+  const BitVec f = random_decomposable_output(w, rng);
+  TruthTable tt(8, 1);
+  tt.set_output(0, f);
+  const auto m = BooleanMatrix::from_function(tt, 0, w);
+  const auto cs = check_column_decomposition(m);
+  ASSERT_TRUE(cs.has_value());
+  const auto d = DecomposedLut::from_column_setting(w, *cs);
+  EXPECT_EQ(d.truth_table(), f) << "lossless decomposition must round-trip";
+}
+
+TEST(DecomposedLut, MismatchedSettingRejected) {
+  const InputPartition w({0, 1}, {2, 3});
+  ColumnSetting cs;
+  cs.v1 = BitVec(3);  // wrong: needs 4 rows
+  cs.v2 = BitVec(4);
+  cs.t = BitVec(4);
+  EXPECT_THROW((void)DecomposedLut::from_column_setting(w, cs),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------- DecomposedLutNetwork
+
+TEST(DecomposedLutNetwork, MultiOutputEvaluation) {
+  Rng rng(5);
+  const unsigned n = 6;
+  DecomposedLutNetwork net;
+  std::vector<BitVec> expected;
+  for (unsigned k = 0; k < 3; ++k) {
+    const auto w = InputPartition::random(n, 3, rng);
+    const auto cs = random_column_setting(w, rng);
+    expected.push_back(compose_output(cs, w));
+    net.add_output(DecomposedLut::from_column_setting(w, cs));
+  }
+  EXPECT_EQ(net.num_outputs(), 3u);
+  for (std::uint64_t x = 0; x < (1u << n); ++x) {
+    std::uint64_t word = 0;
+    for (unsigned k = 0; k < 3; ++k) {
+      word |= static_cast<std::uint64_t>(expected[k].get(x)) << k;
+    }
+    EXPECT_EQ(net.evaluate(x), word);
+  }
+}
+
+TEST(DecomposedLutNetwork, ToTruthTableMatchesEvaluate) {
+  Rng rng(6);
+  DecomposedLutNetwork net;
+  for (unsigned k = 0; k < 4; ++k) {
+    const auto w = InputPartition::random(5, 2, rng);
+    net.add_output(
+        DecomposedLut::from_column_setting(w, random_column_setting(w, rng)));
+  }
+  const TruthTable tt = net.to_truth_table();
+  for (std::uint64_t x = 0; x < 32; ++x) {
+    EXPECT_EQ(tt.word(x), net.evaluate(x));
+  }
+}
+
+TEST(DecomposedLutNetwork, SizeAccounting) {
+  Rng rng(7);
+  DecomposedLutNetwork net;
+  const auto w = InputPartition::trivial(9, 4);  // paper scheme 1: 4 / 5
+  net.add_output(
+      DecomposedLut::from_column_setting(w, random_column_setting(w, rng)));
+  // phi: 2^5 = 32 bits, F: 2^(4+1) = 32 bits; flat: 512 bits per output.
+  EXPECT_EQ(net.total_size_bits(), 64u);
+  EXPECT_EQ(net.total_flat_size_bits(), 512u);
+}
+
+TEST(DecomposedLutNetwork, RejectsMixedInputWidths) {
+  Rng rng(8);
+  DecomposedLutNetwork net;
+  const auto w5 = InputPartition::trivial(5, 2);
+  const auto w6 = InputPartition::trivial(6, 2);
+  net.add_output(
+      DecomposedLut::from_column_setting(w5, random_column_setting(w5, rng)));
+  EXPECT_THROW(net.add_output(DecomposedLut::from_column_setting(
+                   w6, random_column_setting(w6, rng))),
+               std::invalid_argument);
+}
+
+TEST(DecomposedLutNetwork, EmptyToTruthTableThrows) {
+  DecomposedLutNetwork net;
+  EXPECT_THROW((void)net.to_truth_table(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace adsd

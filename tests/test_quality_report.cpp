@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/dalta.hpp"
+#include "core/quality_report.hpp"
+#include "funcs/continuous.hpp"
+#include "support/rng.hpp"
+
+namespace adsd {
+namespace {
+
+TEST(QualityReport, MetricsMatchDirectComputation) {
+  const auto exact = make_continuous_table(continuous_spec("exp"), 6, 6);
+  auto approx = exact;
+  Rng rng(3);
+  for (int flips = 0; flips < 20; ++flips) {
+    approx.set_bit(static_cast<unsigned>(rng.next_below(6)),
+                   rng.next_below(64), rng.next_bool());
+  }
+  const auto dist = InputDistribution::uniform(6);
+  const auto report = make_quality_report(exact, approx, dist, 100);
+
+  EXPECT_DOUBLE_EQ(report.med, mean_error_distance(exact, approx, dist));
+  EXPECT_DOUBLE_EQ(report.error_rate, error_rate(exact, approx, dist));
+  EXPECT_EQ(report.worst_case_error, worst_case_error(exact, approx));
+  ASSERT_EQ(report.bit_flip_rate.size(), 6u);
+  for (unsigned k = 0; k < 6; ++k) {
+    EXPECT_DOUBLE_EQ(report.bit_flip_rate[k],
+                     error_rate(exact.output(k), approx.output(k), dist));
+  }
+  EXPECT_EQ(report.flat_bits, 64u * 6u);
+  EXPECT_EQ(report.stored_bits, 100u);
+  EXPECT_NEAR(report.saving(), 384.0 / 100.0, 1e-12);
+}
+
+TEST(QualityReport, ExactApproximationIsAllZero) {
+  const auto exact = make_continuous_table(continuous_spec("cos"), 5, 5);
+  const auto dist = InputDistribution::uniform(5);
+  const auto report = make_quality_report(exact, exact, dist, 0);
+  EXPECT_EQ(report.med, 0.0);
+  EXPECT_EQ(report.error_rate, 0.0);
+  EXPECT_EQ(report.worst_case_error, 0u);
+  for (double r : report.bit_flip_rate) {
+    EXPECT_EQ(r, 0.0);
+  }
+  EXPECT_EQ(report.saving(), 0.0);  // stored_bits == 0 guard
+  // med_share with zero MED must not divide by zero.
+  for (double s : report.med_share_upper_bound()) {
+    EXPECT_EQ(s, 0.0);
+  }
+}
+
+TEST(QualityReport, BitFlipRatesBoundTheMed) {
+  // MED <= sum_k flip_rate[k] * 2^k (triangle inequality on bit flips);
+  // the med_share upper bounds therefore sum to >= 1 when MED > 0.
+  const auto exact = make_continuous_table(continuous_spec("ln"), 7, 7);
+  const auto dist = InputDistribution::uniform(7);
+  DaltaParams params;
+  params.free_size = 3;
+  params.num_partitions = 4;
+  params.rounds = 1;
+  params.mode = DecompMode::kJoint;
+  const AlternatingCoreSolver solver(4);
+  const auto res = run_dalta(exact, dist, params, solver);
+  const auto report =
+      make_quality_report(exact, res.approx, dist,
+                          res.to_lut_network().total_size_bits());
+  double bound = 0.0;
+  for (std::size_t k = 0; k < report.bit_flip_rate.size(); ++k) {
+    bound += report.bit_flip_rate[k] *
+             static_cast<double>(std::uint64_t{1} << k);
+  }
+  EXPECT_LE(report.med, bound + 1e-12);
+  if (report.med > 0.0) {
+    double shares = 0.0;
+    for (double s : report.med_share_upper_bound()) {
+      shares += s;
+    }
+    EXPECT_GE(shares, 1.0 - 1e-9);
+  }
+  EXPECT_GT(report.saving(), 1.0);
+}
+
+TEST(QualityReport, PrintContainsAllSections) {
+  const auto exact = make_continuous_table(continuous_spec("erf"), 5, 4);
+  auto approx = exact;
+  approx.set_word(3, exact.word(3) ^ 0x5);
+  const auto dist = InputDistribution::uniform(5);
+  const auto report = make_quality_report(exact, approx, dist, 48);
+  std::ostringstream os;
+  report.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("MED"), std::string::npos);
+  EXPECT_NE(s.find("saving"), std::string::npos);
+  EXPECT_NE(s.find("per-output-bit flip rates"), std::string::npos);
+  EXPECT_NE(s.find("worst-case error"), std::string::npos);
+}
+
+TEST(QualityReport, ShapeMismatchThrows) {
+  const auto a = make_continuous_table(continuous_spec("cos"), 5, 5);
+  const auto b = make_continuous_table(continuous_spec("cos"), 5, 4);
+  const auto dist = InputDistribution::uniform(5);
+  EXPECT_THROW((void)make_quality_report(a, b, dist, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adsd

@@ -1,0 +1,259 @@
+// adsd command-line driver: the downstream-user entry point to the
+// approximate-decomposition flow without writing C++.
+//
+//   adsd_cli info
+//       List built-in benchmark functions and solvers.
+//
+//   adsd_cli decompose --function exp --n 9 --free 4 [options]
+//   adsd_cli decompose --hex table.tt --free 4 [options]
+//       Run the approximate decomposition and print the accuracy/storage
+//       report. Options:
+//         --m <bits>        output width (default: paper convention)
+//         --shared <s>      non-disjoint shared variables (default 0)
+//         --mode joint|separate (default joint)
+//         --solver prop|dalta|dalta-lit|ilp|ba|alt (default prop)
+//         --p/--rounds/--seed   framework knobs
+//         --dist <file>     profile-driven input distribution (.dist format)
+//         --verilog <file>  write a synthesizable module
+//         --testbench <file> write a self-checking testbench (n <= 12)
+//         --hex-out <file>  write the approximate table (.tt hex)
+//
+//   adsd_cli compare --exact a.tt --approx b.tt
+//       Report ER / MED / WCE / MRE between two tables.
+
+#include <fstream>
+#include <iostream>
+
+#include "boolean/error_metrics.hpp"
+#include "boolean/table_io.hpp"
+#include "core/dalta.hpp"
+#include "core/nondisjoint_dalta.hpp"
+#include "core/quality_report.hpp"
+#include "funcs/registry.hpp"
+#include "lut/verilog_export.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace adsd;
+
+std::unique_ptr<CoreCopSolver> make_solver(const std::string& name,
+                                           unsigned n, double ilp_budget) {
+  if (name == "prop") {
+    return std::make_unique<IsingCoreSolver>(
+        IsingCoreSolver::Options::paper_defaults(n));
+  }
+  if (name == "dalta") {
+    return std::make_unique<HeuristicCoreSolver>();
+  }
+  if (name == "dalta-lit") {
+    return std::make_unique<HeuristicCoreSolver>(0);
+  }
+  if (name == "ilp") {
+    BnbCoreSolver::Options opt;
+    opt.time_budget_s = ilp_budget;
+    return std::make_unique<BnbCoreSolver>(opt);
+  }
+  if (name == "ba") {
+    return std::make_unique<AnnealCoreSolver>();
+  }
+  if (name == "alt") {
+    return std::make_unique<AlternatingCoreSolver>();
+  }
+  throw std::invalid_argument("unknown solver '" + name + "'");
+}
+
+TruthTable load_table(const CliArgs& args) {
+  if (args.has("hex")) {
+    std::ifstream f(args.get_string("hex", ""));
+    if (!f) {
+      throw std::runtime_error("cannot open --hex file");
+    }
+    return read_hex(f);
+  }
+  if (args.has("pla")) {
+    std::ifstream f(args.get_string("pla", ""));
+    if (!f) {
+      throw std::runtime_error("cannot open --pla file");
+    }
+    return read_pla(f);
+  }
+  const std::string fn = args.get_string("function", "");
+  if (fn.empty()) {
+    throw std::invalid_argument(
+        "need one of --function / --hex / --pla to define the table");
+  }
+  const auto n = static_cast<unsigned>(args.get_size("n", 9));
+  const auto m = static_cast<unsigned>(
+      args.get_size("m", paper_output_bits(fn, n)));
+  return make_benchmark_table(fn, n, m);
+}
+
+TruthTable load_table_from(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    throw std::runtime_error("cannot open '" + path + "'");
+  }
+  return read_hex(f);
+}
+
+int cmd_info() {
+  std::cout << "benchmark functions (paper suite):\n";
+  Table fns({"name", "kind", "paper m at n=16"});
+  for (const auto& b : benchmark_suite()) {
+    fns.add_row({b.name, b.continuous ? "continuous" : "arithmetic",
+                 std::to_string(paper_output_bits(b.name, 16))});
+  }
+  fns.print(std::cout);
+  std::cout << "\nsolvers: prop (Ising/bSB, proposed), dalta (greedy), "
+               "dalta-lit (one-shot greedy), ilp (anytime B&B), ba "
+               "(annealing), alt (alternating minimization)\n";
+  return 0;
+}
+
+InputDistribution load_distribution(const CliArgs& args, unsigned n) {
+  if (!args.has("dist")) {
+    return InputDistribution::uniform(n);
+  }
+  std::ifstream f(args.get_string("dist", ""));
+  if (!f) {
+    throw std::runtime_error("cannot open --dist file");
+  }
+  InputDistribution d = read_distribution(f);
+  if (d.num_inputs() != n) {
+    throw std::invalid_argument("--dist width does not match the table");
+  }
+  return d;
+}
+
+int cmd_decompose(const CliArgs& args) {
+  const TruthTable exact = load_table(args);
+  const unsigned n = exact.num_inputs();
+  const unsigned m = exact.num_outputs();
+  const InputDistribution dist = load_distribution(args, n);
+
+  const auto free_size = static_cast<unsigned>(args.get_size("free", 4));
+  const auto shared = static_cast<unsigned>(args.get_size("shared", 0));
+  const std::string mode_name = args.get_string("mode", "joint");
+  const DecompMode mode =
+      mode_name == "separate" ? DecompMode::kSeparate : DecompMode::kJoint;
+  const auto solver = make_solver(args.get_string("solver", "prop"), n,
+                                  args.get_double("ilp-budget", 0.25));
+
+  Table report({"metric", "value"});
+  TruthTable approx(n, m);
+  std::uint64_t stored_bits = 0;
+  std::uint64_t flat_bits = 0;
+  double seconds = 0.0;
+
+  if (shared == 0) {
+    DaltaParams params;
+    params.free_size = free_size;
+    params.num_partitions = args.get_size("p", 8);
+    params.rounds = args.get_size("rounds", 1);
+    params.mode = mode;
+    params.seed = args.get_size("seed", 42);
+    const auto res = run_dalta(exact, dist, params, *solver);
+    approx = res.approx;
+    seconds = res.seconds;
+    const auto net = res.to_lut_network();
+    stored_bits = net.total_size_bits();
+    flat_bits = net.total_flat_size_bits();
+
+    if (args.has("verilog")) {
+      std::ofstream f(args.get_string("verilog", ""));
+      write_verilog(f, net, "adsd_approx_lut");
+      std::cout << "wrote " << args.get_string("verilog", "") << "\n";
+    }
+    if (args.has("testbench")) {
+      std::ofstream f(args.get_string("testbench", ""));
+      write_verilog_testbench(f, "adsd_approx_lut", n, m, approx);
+      std::cout << "wrote " << args.get_string("testbench", "") << "\n";
+    }
+  } else {
+    NdDaltaParams params;
+    params.free_size = free_size;
+    params.shared_size = shared;
+    params.num_partitions = args.get_size("p", 8);
+    params.rounds = args.get_size("rounds", 1);
+    params.mode = mode;
+    params.seed = args.get_size("seed", 42);
+    const auto res = run_dalta_nd(exact, dist, params, *solver);
+    approx = res.approx;
+    seconds = res.seconds;
+    stored_bits = res.total_size_bits();
+    flat_bits = res.total_flat_size_bits();
+
+    if (args.has("verilog")) {
+      // One module per output for the non-disjoint flow.
+      std::ofstream f(args.get_string("verilog", ""));
+      for (unsigned k = 0; k < m; ++k) {
+        const auto lut = NonDisjointLut::from_setting(
+            res.outputs[k].partition, res.outputs[k].setting);
+        write_verilog(f, lut, "adsd_approx_lut_y" + std::to_string(k));
+        f << "\n";
+      }
+      std::cout << "wrote " << args.get_string("verilog", "") << "\n";
+    }
+  }
+
+  if (args.has("hex-out")) {
+    std::ofstream f(args.get_string("hex-out", ""));
+    write_hex(f, approx);
+    std::cout << "wrote " << args.get_string("hex-out", "") << "\n";
+  }
+
+  report.add_row({"inputs / outputs",
+                  std::to_string(n) + " / " + std::to_string(m)});
+  report.add_row({"time (s)", Table::num(seconds, 2)});
+  report.print(std::cout);
+
+  QualityReport quality =
+      make_quality_report(exact, approx, dist, stored_bits);
+  (void)flat_bits;  // make_quality_report recomputes the flat ledger
+  quality.print(std::cout);
+  return 0;
+}
+
+int cmd_compare(const CliArgs& args) {
+  const TruthTable exact = load_table_from(args.get_string("exact", ""));
+  const TruthTable approx = load_table_from(args.get_string("approx", ""));
+  const InputDistribution dist =
+      load_distribution(args, exact.num_inputs());
+  Table report({"metric", "value"});
+  report.add_row({"ER", Table::num(error_rate(exact, approx, dist), 6)});
+  report.add_row(
+      {"MED", Table::num(mean_error_distance(exact, approx, dist), 6)});
+  report.add_row(
+      {"WCE", std::to_string(worst_case_error(exact, approx))});
+  report.add_row(
+      {"MRE", Table::num(mean_relative_error(exact, approx, dist), 6)});
+  report.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const adsd::CliArgs args(argc, argv);
+    const std::string cmd =
+        args.positional().empty() ? "help" : args.positional()[0];
+    if (cmd == "info") {
+      return cmd_info();
+    }
+    if (cmd == "decompose") {
+      return cmd_decompose(args);
+    }
+    if (cmd == "compare") {
+      return cmd_compare(args);
+    }
+    std::cout << "usage: adsd_cli <info|decompose|compare> [options]\n"
+                 "see the header of tools/adsd_cli.cpp for the full list\n";
+    return cmd == "help" ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
