@@ -11,6 +11,7 @@
 #include "core/column_cop.hpp"
 #include "funcs/continuous.hpp"
 #include "ising/bsb.hpp"
+#include "ising/bsb_batch.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -63,9 +64,25 @@ void BM_BsbSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_BsbSolve)->Arg(9)->Arg(16)->Unit(benchmark::kMillisecond);
 
+void BM_BsbSolveScalar(benchmark::State& state) {
+  // Seed (scalar reference) implementation on the same model as BM_BsbSolve.
+  const auto n = static_cast<unsigned>(state.range(0));
+  const auto cop = make_cop(n, n == 16 ? 7 : 4, 3);
+  const IsingModel model = cop.to_ising();
+  SbParams params;
+  params.max_iterations = 200;
+  params.seed = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_sb_scalar(model, params));
+  }
+  state.SetItemsProcessed(state.iterations() * 200 *
+                          static_cast<std::int64_t>(model.num_couplings()));
+}
+BENCHMARK(BM_BsbSolveScalar)->Arg(9)->Arg(16)->Unit(benchmark::kMillisecond);
+
 void BM_BsbEnsembleVsRestarts(benchmark::State& state) {
   // Throughput of 8 replicas integrated in lockstep (arg 1) vs 8 sequential
-  // restarts (arg 0) on the n = 16 core-COP model.
+  // scalar restarts (arg 0) on the n = 16 core-COP model.
   const bool ensemble = state.range(0) != 0;
   const auto cop = make_cop(16, 7, 29);
   const IsingModel model = cop.to_ising();
@@ -80,13 +97,108 @@ void BM_BsbEnsembleVsRestarts(benchmark::State& state) {
       for (std::size_t r = 0; r < 8; ++r) {
         SbParams pr = params;
         pr.seed = params.seed + 0x9e3779b9u * r;
-        best = std::min(best, solve_sb(model, pr).energy);
+        best = std::min(best, solve_sb_scalar(model, pr).energy);
       }
       benchmark::DoNotOptimize(best);
     }
   }
 }
 BENCHMARK(BM_BsbEnsembleVsRestarts)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_ForceKernelScalar(benchmark::State& state) {
+  // R independent scalar force evaluations (one CSR traversal each) on the
+  // n = 9 core-COP model (64 spins) -- the per-step cost of R sequential
+  // restarts in the seed implementation.
+  const auto replicas = static_cast<std::size_t>(state.range(0));
+  const auto cop = make_cop(9, 4, 31);
+  const IsingModel model = cop.to_ising();
+  const std::size_t n = model.num_spins();
+  Rng rng(41);
+  std::vector<std::vector<double>> x(replicas, std::vector<double>(n));
+  for (auto& xr : x) {
+    for (auto& v : xr) {
+      v = rng.next_double(-1.0, 1.0);
+    }
+  }
+  std::vector<double> force(n);
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < replicas; ++r) {
+      model.local_fields(x[r], force);
+      benchmark::DoNotOptimize(force.data());
+    }
+  }
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(replicas) *
+      static_cast<std::int64_t>(model.num_couplings()));
+}
+BENCHMARK(BM_ForceKernelScalar)->Arg(8)->Arg(32);
+
+void BM_ForceKernelBatch(benchmark::State& state) {
+  // Same R force evaluations through the batched engine: one flattened CSR
+  // traversal with a replica-contiguous inner loop.
+  const auto replicas = static_cast<std::size_t>(state.range(0));
+  const auto cop = make_cop(9, 4, 31);
+  const IsingModel model = cop.to_ising();
+  SbParams params;
+  params.seed = 41;
+  BsbBatchEngine engine(model, params, replicas);
+  Rng rng(41);
+  auto x = engine.positions();
+  for (auto& v : x) {
+    v = rng.next_double(-1.0, 1.0);
+  }
+  for (auto _ : state) {
+    engine.compute_forces();
+    benchmark::DoNotOptimize(engine.forces().data());
+  }
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(replicas) *
+      static_cast<std::int64_t>(model.num_couplings()));
+}
+BENCHMARK(BM_ForceKernelBatch)->Arg(8)->Arg(32);
+
+void BM_SampleEnergyScratch(benchmark::State& state) {
+  // Per-sampling-point energy refresh of the seed ensemble: every replica's
+  // energy recomputed from scratch, O(edges) each.
+  const auto replicas = static_cast<std::size_t>(state.range(0));
+  const auto cop = make_cop(9, 4, 37);
+  const IsingModel model = cop.to_ising();
+  const std::size_t n = model.num_spins();
+  SbParams params;
+  params.max_iterations = 1u << 30;  // keep the pump ramp flat
+  params.seed = 43;
+  BsbBatchEngine engine(model, params, replicas);
+  std::vector<std::int8_t> spins(n);
+  for (auto _ : state) {
+    engine.step();
+    auto x = engine.positions();
+    for (std::size_t r = 0; r < replicas; ++r) {
+      for (std::size_t i = 0; i < n; ++i) {
+        spins[i] = x[i * replicas + r] >= 0.0 ? std::int8_t{1} : std::int8_t{-1};
+      }
+      benchmark::DoNotOptimize(model.energy(spins));
+    }
+  }
+}
+
+void BM_SampleEnergyIncremental(benchmark::State& state) {
+  // The batched engine's incremental refresh: flip telescopes only for the
+  // spins whose sign actually changed since the last sampling point.
+  const auto replicas = static_cast<std::size_t>(state.range(0));
+  const auto cop = make_cop(9, 4, 37);
+  const IsingModel model = cop.to_ising();
+  SbParams params;
+  params.max_iterations = 1u << 30;
+  params.seed = 43;
+  BsbBatchEngine engine(model, params, replicas);
+  for (auto _ : state) {
+    engine.step();
+    engine.sample();
+    benchmark::DoNotOptimize(engine.energies().data());
+  }
+}
+BENCHMARK(BM_SampleEnergyScratch)->Arg(8);
+BENCHMARK(BM_SampleEnergyIncremental)->Arg(8);
 
 void BM_IsingEnergy(benchmark::State& state) {
   const auto n = static_cast<unsigned>(state.range(0));

@@ -73,9 +73,12 @@ int main(int argc, char** argv) {
   const auto net = chosen.to_lut_network();
   std::cout << "\nsample additions (a + b = exact / approx):\n";
   const std::uint64_t mask = (std::uint64_t{1} << half) - 1;
-  for (std::uint64_t x : {std::uint64_t{0}, std::uint64_t{33},
-                          std::uint64_t{341},
-                          (std::uint64_t{1} << n) - 1}) {
+  for (std::uint64_t sample : {std::uint64_t{0}, std::uint64_t{33},
+                               std::uint64_t{341},
+                               (std::uint64_t{1} << n) - 1}) {
+    // Fold the fixed sample points into the input domain (n depends on
+    // --half, so a literal can exceed the table).
+    const std::uint64_t x = sample & ((std::uint64_t{1} << n) - 1);
     const std::uint64_t a = x & mask;
     const std::uint64_t b = (x >> half) & mask;
     std::cout << "  " << a << " + " << b << " = " << exact.word(x) << " / "

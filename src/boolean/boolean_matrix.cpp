@@ -14,6 +14,15 @@ BooleanMatrix::BooleanMatrix(std::size_t rows, std::size_t cols)
 
 BooleanMatrix BooleanMatrix::from_function(const TruthTable& tt, unsigned k,
                                            const InputPartition& w) {
+  BooleanMatrix m(w.num_rows(), w.num_cols());
+  from_function_into(tt, k, w, PartitionIndexer(w), m);
+  return m;
+}
+
+void BooleanMatrix::from_function_into(const TruthTable& tt, unsigned k,
+                                       const InputPartition& w,
+                                       const PartitionIndexer& idx,
+                                       BooleanMatrix& out) {
   if (w.num_inputs() != tt.num_inputs()) {
     throw std::invalid_argument(
         "BooleanMatrix::from_function: partition does not match the table");
@@ -21,15 +30,25 @@ BooleanMatrix BooleanMatrix::from_function(const TruthTable& tt, unsigned k,
   if (k >= tt.num_outputs()) {
     throw std::invalid_argument("BooleanMatrix::from_function: bad output");
   }
-  BooleanMatrix m(w.num_rows(), w.num_cols());
+  out.reshape(w.num_rows(), w.num_cols());
   const BitVec& g = tt.output(k);
-  // Iterate over input patterns once rather than over (row, col) pairs;
-  // row_of/col_of are cheap bit gathers.
+  // Iterate over input patterns once rather than over (row, col) pairs; the
+  // indexer resolves each pattern's (row, col) with byte-LUT gathers.
   const std::uint64_t patterns = tt.num_patterns();
+  const std::size_t cols = out.cols_;
   for (std::uint64_t x = 0; x < patterns; ++x) {
-    m.set(w.row_of(x), w.col_of(x), g.get(x));
+    out.bits_.set(idx.row_of(x) * cols + idx.col_of(x), g.get(x));
   }
-  return m;
+}
+
+void BooleanMatrix::reshape(std::size_t rows, std::size_t cols) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("BooleanMatrix: empty shape");
+  }
+  rows_ = rows;
+  cols_ = cols;
+  bits_.resize(rows * cols);
+  bits_.fill(false);
 }
 
 BitVec BooleanMatrix::row(std::size_t i) const {

@@ -21,6 +21,19 @@ class BooleanMatrix {
   static BooleanMatrix from_function(const TruthTable& tt, unsigned k,
                                      const InputPartition& w);
 
+  /// Allocation-free variant for hot loops: materializes the matrix of
+  /// output `k` under `w` into `out`, reshaping it as needed (reusing its
+  /// bit storage when the capacity already fits). `idx` must be the indexer
+  /// of `w`; the caller keeps it alive across the outputs of one partition
+  /// so the byte LUTs are built once per candidate, not once per output.
+  static void from_function_into(const TruthTable& tt, unsigned k,
+                                 const InputPartition& w,
+                                 const PartitionIndexer& idx,
+                                 BooleanMatrix& out);
+
+  /// Resizes to rows x cols and clears every bit.
+  void reshape(std::size_t rows, std::size_t cols);
+
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
 

@@ -90,6 +90,29 @@ std::uint64_t InputPartition::input_of(std::uint64_t row,
   return x;
 }
 
+PartitionIndexer::PartitionIndexer(const InputPartition& w)
+    : bytes_((w.num_inputs() + 7) / 8),
+      row_lut_(bytes_ * 256, 0),
+      col_lut_(bytes_ * 256, 0) {
+  // Table for byte b maps the byte's 256 values to their contribution to the
+  // gathered index: destination bit i of the row (column) receives source
+  // bit free_vars[i] (bound_vars[i]) of the pattern whenever that source bit
+  // falls inside byte b.
+  auto fill = [&](std::vector<std::uint64_t>& lut,
+                  const std::vector<unsigned>& vars) {
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      const std::size_t b = vars[i] / 8;
+      const unsigned bit = vars[i] % 8;
+      std::uint64_t* table = &lut[b * 256];
+      for (std::size_t v = 0; v < 256; ++v) {
+        table[v] |= ((v >> bit) & 1) << i;
+      }
+    }
+  };
+  fill(row_lut_, w.free_vars());
+  fill(col_lut_, w.bound_vars());
+}
+
 std::string InputPartition::to_string() const {
   std::ostringstream os;
   auto emit = [&](const char* name, const std::vector<unsigned>& vars) {

@@ -56,4 +56,38 @@ class InputPartition {
   std::vector<unsigned> bound_vars_;
 };
 
+/// Precomputed byte-wise lookup tables for a partition's (row_of, col_of)
+/// maps. row_of/col_of gather scattered bits one at a time — O(free + bound)
+/// shifts per pattern — and the DALTA hot loop calls them for all 2^n
+/// patterns of every candidate partition. The indexer instead splits the
+/// pattern into bytes and ORs one 256-entry table lookup per byte: the
+/// tables fold the entire bit scatter of that byte into a single load, so a
+/// full (row, col) pair costs 2 * ceil(n / 8) table loads.
+class PartitionIndexer {
+ public:
+  explicit PartitionIndexer(const InputPartition& w);
+
+  /// Identical to w.row_of(x) / w.col_of(x) for every x in [0, 2^n).
+  std::uint64_t row_of(std::uint64_t x) const {
+    return lookup(row_lut_, x);
+  }
+  std::uint64_t col_of(std::uint64_t x) const {
+    return lookup(col_lut_, x);
+  }
+
+ private:
+  std::uint64_t lookup(const std::vector<std::uint64_t>& lut,
+                       std::uint64_t x) const {
+    std::uint64_t out = 0;
+    for (std::size_t b = 0; b < bytes_; ++b) {
+      out |= lut[b * 256 + ((x >> (8 * b)) & 0xff)];
+    }
+    return out;
+  }
+
+  std::size_t bytes_;
+  std::vector<std::uint64_t> row_lut_;  // bytes_ * 256
+  std::vector<std::uint64_t> col_lut_;  // bytes_ * 256
+};
+
 }  // namespace adsd

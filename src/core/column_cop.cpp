@@ -7,25 +7,31 @@ namespace adsd {
 
 std::vector<double> matrix_probs(const InputDistribution& dist,
                                  const InputPartition& w) {
+  std::vector<double> p;
+  matrix_probs_into(dist, w, PartitionIndexer(w), p);
+  return p;
+}
+
+void matrix_probs_into(const InputDistribution& dist, const InputPartition& w,
+                       const PartitionIndexer& idx, std::vector<double>& out) {
   if (dist.num_inputs() != w.num_inputs()) {
     throw std::invalid_argument("matrix_probs: shape mismatch");
   }
   const std::size_t r = w.num_rows();
   const std::size_t c = w.num_cols();
-  std::vector<double> p(r * c);
+  out.assign(r * c, 0.0);
   if (dist.is_uniform()) {
     const double u = dist.prob(0);
-    for (auto& v : p) {
+    for (auto& v : out) {
       v = u;
     }
-    return p;
+    return;
   }
-  for (std::size_t i = 0; i < r; ++i) {
-    for (std::size_t j = 0; j < c; ++j) {
-      p[i * c + j] = dist.prob(w.input_of(i, j));
-    }
+  // One pass over the input patterns: each pattern owns exactly one cell.
+  const std::uint64_t patterns = std::uint64_t{1} << w.num_inputs();
+  for (std::uint64_t x = 0; x < patterns; ++x) {
+    out[idx.row_of(x) * c + idx.col_of(x)] = dist.prob(x);
   }
-  return p;
 }
 
 ColumnCop::ColumnCop(const BooleanMatrix& exact, std::vector<double> base,

@@ -23,6 +23,14 @@ enum class DecompMode { kSeparate, kJoint };
 std::vector<double> matrix_probs(const InputDistribution& dist,
                                  const InputPartition& w);
 
+/// Allocation-free variant for hot loops: fills `out` (resized to
+/// rows * cols) with the cell probabilities under `w`. `idx` must be the
+/// indexer of `w`; the non-uniform path scatters pattern probabilities
+/// through its byte LUTs in one pass over the 2^n patterns instead of
+/// calling input_of per cell.
+void matrix_probs_into(const InputDistribution& dist, const InputPartition& w,
+                       const PartitionIndexer& idx, std::vector<double>& out);
+
 /// The column-based core COP for one (component function, partition) pair:
 ///
 ///   minimize  sum_ij ( base_ij + gain_ij * Ohat_ij ),

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "ising/bsb_batch.hpp"
 #include "ising/exhaustive.hpp"
 #include "support/rng.hpp"
 
@@ -65,7 +66,7 @@ ColumnSetting IsingCoreSolver::solve(const ColumnCop& cop, std::uint64_t seed,
   const std::size_t r = cop.rows();
   const std::size_t c = cop.cols();
 
-  SbSampleHook hook;
+  SbBatchHook hook;
   if (options_.use_theorem3) {
     // Sec. 3.3.2: read the current V1/V2 off the oscillator signs, compute
     // the Theorem-3 optimal column types, and pin the T oscillators to the
@@ -73,17 +74,18 @@ ColumnSetting IsingCoreSolver::solve(const ColumnCop& cop, std::uint64_t seed,
     // anti_collapse, a degenerate reset (all columns on one pattern, or
     // identical patterns) additionally re-seeds the unused pattern's
     // oscillators with the worst-served exact column, escaping the rank-1
-    // fixed point the mean-field dynamics otherwise cannot leave.
+    // fixed point the mean-field dynamics otherwise cannot leave. The hook
+    // works on the engine's strided replica view in place, so running many
+    // replicas adds no gather/scatter cost at sampling points.
     const bool anti_collapse = options_.anti_collapse;
-    hook = [&cop, r, c, anti_collapse](std::span<double> x,
-                                       std::span<double> y) {
+    hook = [&cop, r, c, anti_collapse](std::size_t, ReplicaView v) {
       ColumnSetting s;
       s.v1 = BitVec(r);
       s.v2 = BitVec(r);
       s.t = BitVec(c);
       for (std::size_t i = 0; i < r; ++i) {
-        s.v1.set(i, x[cop.v1_spin(i)] >= 0.0);
-        s.v2.set(i, x[cop.v2_spin(i)] >= 0.0);
+        s.v1.set(i, v.x(cop.v1_spin(i)) >= 0.0);
+        s.v2.set(i, v.x(cop.v2_spin(i)) >= 0.0);
       }
       cop.reset_optimal_t(s);
 
@@ -109,8 +111,8 @@ ColumnSetting IsingCoreSolver::solve(const ColumnCop& cop, std::uint64_t seed,
             const bool bit = m.at(i, worst_col);
             const std::size_t idx =
                 reseed_v2 ? cop.v2_spin(i) : cop.v1_spin(i);
-            x[idx] = bit ? 1.0 : -1.0;
-            y[idx] = 0.0;
+            v.x(idx) = bit ? 1.0 : -1.0;
+            v.y(idx) = 0.0;
             if (reseed_v2) {
               s.v2.set(i, bit);
             } else {
@@ -123,8 +125,8 @@ ColumnSetting IsingCoreSolver::solve(const ColumnCop& cop, std::uint64_t seed,
 
       for (std::size_t j = 0; j < c; ++j) {
         const std::size_t idx = cop.t_spin(j);
-        x[idx] = s.t.get(j) ? 1.0 : -1.0;
-        y[idx] = 0.0;
+        v.x(idx) = s.t.get(j) ? 1.0 : -1.0;
+        v.y(idx) = 0.0;
       }
     };
   }
@@ -166,7 +168,8 @@ ColumnSetting IsingCoreSolver::solve(const ColumnCop& cop, std::uint64_t seed,
     if (attempt == 0 && !seeded_x.empty()) {
       params.initial_positions = seeded_x;
     }
-    const IsingSolveResult res = solve_sb(model, params, hook);
+    const IsingSolveResult res = solve_sb_batch(
+        model, params, std::max<std::size_t>(1, options_.replicas), hook);
     total_iters += res.iterations;
     any_early = any_early || res.stopped_early;
 

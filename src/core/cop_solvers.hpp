@@ -42,6 +42,13 @@ class IsingCoreSolver final : public CoreCopSolver {
     bool final_polish = true;
     std::size_t restarts = 1;
 
+    /// Lockstep bSB replicas per restart (batched engine). Replica 0 of the
+    /// first restart reproduces the single-trajectory solve exactly; extra
+    /// replicas explore from shifted seeds and the best one wins. Cheaper
+    /// than the same number of `restarts` because the coupling structure is
+    /// traversed once for all replicas.
+    std::size_t replicas = 1;
+
     /// Start the V1/V2 oscillators at small amplitudes spelling the two
     /// most frequent distinct columns of the exact matrix. The Ising
     /// formulation is invariant under (V1 <-> V2, T -> -T); from the

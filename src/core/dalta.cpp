@@ -27,6 +27,15 @@ struct Candidate {
   CoreSolveStats stats;
 };
 
+/// Thread-local buffers of one candidate evaluation, reused across
+/// candidates by the pool workers (all candidates of a run share the
+/// r x c shape, so reuse means zero steady-state allocation).
+struct EvalScratch {
+  std::optional<BooleanMatrix> matrix;
+  std::vector<double> probs;
+  std::vector<double> d;
+};
+
 std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
                        std::uint64_t c) {
   std::uint64_t x = seed ^ (a * 0x9e3779b97f4a7c15ull) ^
@@ -106,24 +115,32 @@ DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
 
       std::vector<std::optional<Candidate>> candidates(params.num_partitions);
       auto evaluate = [&](std::size_t p) {
+        // Per-worker scratch reused across candidate partitions (and across
+        // rounds): the Boolean matrix, the probability table, and the joint
+        // D table are all shape r x c for every candidate, so only the first
+        // evaluation on each thread allocates.
+        thread_local EvalScratch scratch;
         const InputPartition& w = candidates_w[p];
-        const BooleanMatrix matrix =
-            BooleanMatrix::from_function(exact, k, w);
-        const std::vector<double> probs = matrix_probs(dist, w);
+        const PartitionIndexer idx(w);
+        if (!scratch.matrix) {
+          scratch.matrix.emplace(w.num_rows(), w.num_cols());
+        }
+        BooleanMatrix& matrix = *scratch.matrix;
+        BooleanMatrix::from_function_into(exact, k, w, idx, matrix);
+        matrix_probs_into(dist, w, idx, scratch.probs);
 
         ColumnCop cop = [&] {
           if (params.mode == DecompMode::kSeparate) {
-            return ColumnCop::separate(matrix, probs);
+            return ColumnCop::separate(matrix, scratch.probs);
           }
-          const std::size_t r = w.num_rows();
           const std::size_t c = w.num_cols();
-          std::vector<double> d(r * c);
-          for (std::size_t i = 0; i < r; ++i) {
-            for (std::size_t j = 0; j < c; ++j) {
-              d[i * c + j] = d_by_input[w.input_of(i, j)];
-            }
+          scratch.d.resize(w.num_rows() * c);
+          // Every input pattern owns exactly one (row, col) cell, so one
+          // pass with the byte-LUT indexer fills the whole D table.
+          for (std::uint64_t x = 0; x < patterns; ++x) {
+            scratch.d[idx.row_of(x) * c + idx.col_of(x)] = d_by_input[x];
           }
-          return ColumnCop::joint(matrix, probs, d,
+          return ColumnCop::joint(matrix, scratch.probs, scratch.d,
                                   static_cast<double>(std::int64_t{1} << k));
         }();
 
@@ -142,16 +159,30 @@ DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
         }
       }
 
-      std::size_t best_p = 0;
-      for (std::size_t p = 1; p < params.num_partitions; ++p) {
-        if (candidates[p]->stats.objective <
-            candidates[best_p]->stats.objective - 1e-15) {
+      // A candidate slot stays disengaged if its evaluation never ran
+      // (e.g. a sibling threw and parallel_for rethrew after this round's
+      // remaining work was drained) — never dereference blindly.
+      std::size_t best_p = params.num_partitions;
+      for (std::size_t p = 0; p < params.num_partitions; ++p) {
+        if (!candidates[p].has_value()) {
+          continue;
+        }
+        if (best_p == params.num_partitions ||
+            candidates[p]->stats.objective <
+                candidates[best_p]->stats.objective - 1e-15) {
           best_p = p;
         }
+      }
+      if (best_p == params.num_partitions) {
+        throw std::runtime_error(
+            "run_dalta: no candidate partition was evaluated");
       }
 
       Candidate& best = *candidates[best_p];
       for (const auto& cand : candidates) {
+        if (!cand.has_value()) {
+          continue;
+        }
         result.cop_solves += 1;
         result.solver_iterations += cand->stats.iterations;
         result.early_stops += cand->stats.stopped_early ? 1 : 0;

@@ -108,10 +108,14 @@ NdDaltaResult run_dalta_nd(const TruthTable& exact,
         const std::size_t r = w.num_rows();
         const std::size_t c = w.num_cols();
 
+        // Per-worker buffers reused across slices and candidates (every
+        // slice matrix of a run has the same r x c shape).
+        thread_local std::vector<double> probs;
+        thread_local std::vector<double> d;
         for (std::uint64_t sl = 0; sl < w.num_slices(); ++sl) {
           const BooleanMatrix matrix = slice_matrix(exact, k, w, sl);
-          std::vector<double> probs(r * c);
-          std::vector<double> d;
+          probs.assign(r * c, 0.0);
+          d.clear();
           if (params.mode == DecompMode::kJoint) {
             d.resize(r * c);
           }
@@ -151,14 +155,25 @@ NdDaltaResult run_dalta_nd(const TruthTable& exact,
         }
       }
 
-      std::size_t best_p = 0;
-      for (std::size_t p = 1; p < params.num_partitions; ++p) {
-        if (candidates[p]->objective <
-            candidates[best_p]->objective - 1e-15) {
+      // Guard disengaged slots (evaluation skipped after a sibling threw).
+      std::size_t best_p = params.num_partitions;
+      for (std::size_t p = 0; p < params.num_partitions; ++p) {
+        if (!candidates[p].has_value()) {
+          continue;
+        }
+        if (best_p == params.num_partitions ||
+            candidates[p]->objective < candidates[best_p]->objective - 1e-15) {
           best_p = p;
         }
       }
+      if (best_p == params.num_partitions) {
+        throw std::runtime_error(
+            "run_dalta_nd: no candidate partition was evaluated");
+      }
       for (const auto& cand : candidates) {
+        if (!cand.has_value()) {
+          continue;
+        }
         result.cop_solves += cand->setting.slices.size();
         result.solver_iterations += cand->iterations;
       }

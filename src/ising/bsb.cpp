@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "ising/bsb_batch.hpp"
+
 namespace adsd {
 
 namespace {
@@ -18,8 +20,9 @@ std::vector<std::int8_t> signs_of(std::span<const double> x) {
 
 }  // namespace
 
-IsingSolveResult solve_sb(const IsingModel& model, const SbParams& params,
-                          const SbSampleHook& hook) {
+IsingSolveResult solve_sb_scalar(const IsingModel& model,
+                                 const SbParams& params,
+                                 const SbSampleHook& hook) {
   if (!model.finalized()) {
     throw std::invalid_argument("solve_sb: model must be finalized");
   }
@@ -59,12 +62,18 @@ IsingSolveResult solve_sb(const IsingModel& model, const SbParams& params,
   result.spins = signs_of(x);
   result.energy = model.energy(result.spins);
 
+  // Sampling-point scratch: the sign vector is materialized into a reused
+  // buffer and only copied out when it actually improves the incumbent.
+  std::vector<std::int8_t> sample_spins(n);
   auto consider = [&](std::span<const double> positions) {
-    auto spins = signs_of(positions);
-    const double e = model.energy(spins);
+    for (std::size_t i = 0; i < n; ++i) {
+      sample_spins[i] =
+          positions[i] >= 0.0 ? std::int8_t{1} : std::int8_t{-1};
+    }
+    const double e = model.energy(sample_spins);
     if (e < result.energy) {
       result.energy = e;
-      result.spins = std::move(spins);
+      result.spins = sample_spins;
     }
     return e;
   };
@@ -115,6 +124,33 @@ IsingSolveResult solve_sb(const IsingModel& model, const SbParams& params,
   return result;
 }
 
+IsingSolveResult solve_sb(const IsingModel& model, const SbParams& params,
+                          const SbSampleHook& hook) {
+  if (!model.finalized()) {
+    throw std::invalid_argument("solve_sb: model must be finalized");
+  }
+  if (params.max_iterations == 0 || params.dt <= 0.0 ||
+      params.detuning <= 0.0) {
+    throw std::invalid_argument("solve_sb: bad parameters");
+  }
+  if (!params.initial_positions.empty() &&
+      params.initial_positions.size() != model.num_spins()) {
+    throw std::invalid_argument("solve_sb: initial_positions size");
+  }
+
+  SbBatchHook batch_hook;
+  if (hook) {
+    // With one replica the SoA planes are contiguous (stride 1), so the
+    // legacy span-based hook sees the live state without any copy.
+    batch_hook = [&hook](std::size_t, ReplicaView view) {
+      hook(std::span<double>(&view.x(0), view.size()),
+           std::span<double>(&view.y(0), view.size()));
+    };
+  }
+  BsbBatchEngine engine(model, params, 1);
+  return engine.run(batch_hook);
+}
+
 IsingSolveResult solve_sb_ensemble(const IsingModel& model,
                                    const SbParams& params,
                                    std::size_t replicas,
@@ -129,135 +165,34 @@ IsingSolveResult solve_sb_ensemble(const IsingModel& model,
       params.detuning <= 0.0) {
     throw std::invalid_argument("solve_sb_ensemble: bad parameters");
   }
-
-  const std::size_t n = model.num_spins();
-  const std::size_t R = replicas;
-  double c0 = params.c0;
-  if (c0 <= 0.0) {
-    const double rms = model.coupling_rms();
-    c0 = rms > 0.0
-             ? 0.5 * params.detuning / (rms * std::sqrt(static_cast<double>(n)))
-             : 1.0;
+  if (!params.initial_positions.empty() &&
+      params.initial_positions.size() != model.num_spins()) {
+    throw std::invalid_argument("solve_sb_ensemble: initial_positions");
   }
 
-  // Replica-contiguous layout: x[i * R + r] is spin i of replica r, so the
-  // coupling loop streams R consecutive doubles per neighbor access.
-  std::vector<double> x(n * R, 0.0);
-  std::vector<double> y(n * R);
-  for (std::size_t r = 0; r < R; ++r) {
-    Rng rng(params.seed + 0x9e3779b9u * r);
-    if (!params.initial_positions.empty()) {
-      if (params.initial_positions.size() != n) {
-        throw std::invalid_argument("solve_sb_ensemble: initial_positions");
+  SbBatchHook batch_hook;
+  std::vector<double> xr;
+  std::vector<double> yr;
+  if (hook) {
+    // Legacy contiguous-span hook: gather/scatter one replica at a time.
+    // New code should pass a strided SbBatchHook to solve_sb_batch instead.
+    const std::size_t n = model.num_spins();
+    xr.resize(n);
+    yr.resize(n);
+    batch_hook = [&hook, &xr, &yr](std::size_t, ReplicaView view) {
+      const std::size_t n_spins = view.size();
+      for (std::size_t i = 0; i < n_spins; ++i) {
+        xr[i] = view.x(i);
+        yr[i] = view.y(i);
       }
-      for (std::size_t i = 0; i < n; ++i) {
-        x[i * R + r] = params.initial_positions[i];
+      hook(std::span<double>(xr), std::span<double>(yr));
+      for (std::size_t i = 0; i < n_spins; ++i) {
+        view.x(i) = xr[i];
+        view.y(i) = yr[i];
       }
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      y[i * R + r] = rng.next_double(-0.1, 0.1);
-    }
+    };
   }
-  std::vector<double> force(n * R);
-  std::vector<double> xr(n);
-  std::vector<double> yr(n);
-  std::vector<std::int8_t> spins(n);
-
-  const std::size_t sample_every =
-      params.stop.sample_interval > 0 ? params.stop.sample_interval : 10;
-  DynamicStopMonitor monitor(params.stop);
-
-  IsingSolveResult result;
-  auto replica_energy = [&](std::size_t r) {
-    for (std::size_t i = 0; i < n; ++i) {
-      spins[i] = x[i * R + r] >= 0.0 ? std::int8_t{1} : std::int8_t{-1};
-    }
-    return model.energy(spins);
-  };
-  result.spins.assign(n, 1);
-  result.energy = replica_energy(0);
-  for (std::size_t i = 0; i < n; ++i) {
-    result.spins[i] = spins[i];
-  }
-
-  auto consider_all = [&] {
-    double best = 1e300;
-    for (std::size_t r = 0; r < R; ++r) {
-      const double e = replica_energy(r);
-      best = std::min(best, e);
-      if (e < result.energy) {
-        result.energy = e;
-        result.spins = spins;
-      }
-    }
-    return best;
-  };
-
-  const auto total = static_cast<double>(params.max_iterations);
-  std::size_t iter = 0;
-  for (; iter < params.max_iterations; ++iter) {
-    const double a =
-        params.detuning * (static_cast<double>(iter) + 1.0) / total;
-    const double stiffness = params.detuning - a;
-
-    // Shared coupling traversal, replica-contiguous inner loops.
-    for (std::size_t i = 0; i < n; ++i) {
-      const double h = model.bias(i);
-      double* fi = &force[i * R];
-      for (std::size_t r = 0; r < R; ++r) {
-        fi[r] = h;
-      }
-      for (const auto& [j, w] : model.neighbors(i)) {
-        const double* xj = &x[static_cast<std::size_t>(j) * R];
-        if (params.discrete) {
-          for (std::size_t r = 0; r < R; ++r) {
-            fi[r] += w * (xj[r] >= 0.0 ? 1.0 : -1.0);
-          }
-        } else {
-          for (std::size_t r = 0; r < R; ++r) {
-            fi[r] += w * xj[r];
-          }
-        }
-      }
-    }
-    for (std::size_t k = 0; k < n * R; ++k) {
-      y[k] += params.dt * (-stiffness * x[k] + c0 * force[k]);
-      x[k] += params.dt * params.detuning * y[k];
-      if (x[k] > 1.0) {
-        x[k] = 1.0;
-        y[k] = 0.0;
-      } else if (x[k] < -1.0) {
-        x[k] = -1.0;
-        y[k] = 0.0;
-      }
-    }
-
-    if ((iter + 1) % sample_every == 0) {
-      if (hook) {
-        for (std::size_t r = 0; r < R; ++r) {
-          for (std::size_t i = 0; i < n; ++i) {
-            xr[i] = x[i * R + r];
-            yr[i] = y[i * R + r];
-          }
-          hook(std::span<double>(xr), std::span<double>(yr));
-          for (std::size_t i = 0; i < n; ++i) {
-            x[i * R + r] = xr[i];
-            y[i * R + r] = yr[i];
-          }
-        }
-      }
-      const double best = consider_all();
-      if (monitor.observe(best)) {
-        result.stopped_early = true;
-        ++iter;
-        break;
-      }
-    }
-  }
-
-  consider_all();
-  result.iterations = iter * R;
-  return result;
+  return solve_sb_batch(model, params, replicas, batch_hook);
 }
 
 }  // namespace adsd

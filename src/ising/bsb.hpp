@@ -56,8 +56,18 @@ using SbSampleHook =
 
 /// Ballistic (or discrete) simulated bifurcation on a finalized model.
 /// Returns the best solution seen at any sampling point or at termination.
+/// Delegates to the batched lockstep engine (ising/bsb_batch.hpp) with a
+/// single replica; bit-identical to solve_sb_scalar() for the same seed.
 IsingSolveResult solve_sb(const IsingModel& model, const SbParams& params,
                           const SbSampleHook& hook = nullptr);
+
+/// Scalar reference implementation of solve_sb (the seed implementation,
+/// one replica, per-sample from-scratch energies). Kept as the ground truth
+/// for the batched engine's parity tests and as the baseline of the
+/// batched-vs-scalar micro-benchmarks; not used on any hot path.
+IsingSolveResult solve_sb_scalar(const IsingModel& model,
+                                 const SbParams& params,
+                                 const SbSampleHook& hook = nullptr);
 
 /// `replicas` independent SB trajectories integrated in lockstep: the CSR
 /// coupling structure is traversed once per step with a replica-contiguous
@@ -67,7 +77,9 @@ IsingSolveResult solve_sb(const IsingModel& model, const SbParams& params,
 /// params.seed + r * 0x9e3779b9 exactly; the best replica's best solution
 /// is returned. `iterations` sums Euler steps across replicas. The dynamic
 /// stop is evaluated on the ensemble-best energy. The hook (if any) is
-/// applied to each replica at sampling points.
+/// applied to each replica at sampling points (through a gather/scatter
+/// adapter — prefer solve_sb_batch() and its strided SbBatchHook for new
+/// code, which avoids the per-sample copies).
 IsingSolveResult solve_sb_ensemble(const IsingModel& model,
                                    const SbParams& params,
                                    std::size_t replicas,

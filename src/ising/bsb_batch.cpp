@@ -1,0 +1,291 @@
+#include "ising/bsb_batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ising/stop.hpp"
+#include "support/rng.hpp"
+
+namespace adsd {
+
+BsbBatchEngine::BsbBatchEngine(const IsingModel& model, const SbParams& params,
+                               std::size_t replicas)
+    : model_(model), params_(params), n_(model.num_spins()), R_(replicas) {
+  if (!model.finalized()) {
+    throw std::invalid_argument("BsbBatchEngine: model must be finalized");
+  }
+  if (replicas == 0) {
+    throw std::invalid_argument("BsbBatchEngine: need >= 1 replica");
+  }
+  if (params.max_iterations == 0 || params.dt <= 0.0 ||
+      params.detuning <= 0.0) {
+    throw std::invalid_argument("BsbBatchEngine: bad parameters");
+  }
+  if (!params.initial_positions.empty() &&
+      params.initial_positions.size() != n_) {
+    throw std::invalid_argument("BsbBatchEngine: initial_positions size");
+  }
+
+  c0_ = params.c0;
+  if (c0_ <= 0.0) {
+    const double rms = model.coupling_rms();
+    c0_ = rms > 0.0 ? 0.5 * params.detuning /
+                          (rms * std::sqrt(static_cast<double>(n_)))
+                    : 1.0;
+  }
+
+  // Flatten the CSR adjacency into separate index/weight planes so the hot
+  // loop streams two homogeneous arrays instead of interleaved pairs.
+  row_start_.assign(n_ + 1, 0);
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    nnz += model.neighbors(i).size();
+    row_start_[i + 1] = nnz;
+  }
+  cols_.resize(nnz);
+  weights_.resize(nnz);
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::size_t e = row_start_[i];
+    for (const auto& [j, w] : model.neighbors(i)) {
+      cols_[e] = j;
+      weights_[e] = w;
+      ++e;
+    }
+  }
+  h_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    h_[i] = model.bias(i);
+  }
+
+  // Replica-contiguous state; replica r reproduces the scalar reference with
+  // seed params.seed + r * 0x9e3779b9 (same draw order: x first, then the
+  // momenta sweep).
+  x_.assign(n_ * R_, 0.0);
+  y_.assign(n_ * R_, 0.0);
+  force_.assign(n_ * R_, 0.0);
+  for (std::size_t r = 0; r < R_; ++r) {
+    Rng rng(params_.seed + 0x9e3779b9u * r);
+    if (!params_.initial_positions.empty()) {
+      for (std::size_t i = 0; i < n_; ++i) {
+        x_[i * R_ + r] = params_.initial_positions[i];
+      }
+    }
+    for (std::size_t i = 0; i < n_; ++i) {
+      y_[i * R_ + r] = rng.next_double(-0.1, 0.1);
+    }
+  }
+
+  spins_.resize(n_ * R_);
+  for (std::size_t k = 0; k < n_ * R_; ++k) {
+    spins_[k] = x_[k] >= 0.0 ? std::int8_t{1} : std::int8_t{-1};
+  }
+  scratch_spins_.resize(n_);
+  energies_.resize(R_);
+  for (std::size_t r = 0; r < R_; ++r) {
+    energies_[r] = exact_energy(r);
+  }
+  // Tracked energies start as from-scratch values, so every replica is in
+  // sync with IsingModel::energy() until the first flip.
+  dirty_.assign(R_, 0);
+}
+
+template <int W, bool Discrete>
+void BsbBatchEngine::force_lanes(std::size_t lane0) {
+  // W is a compile-time lane-block width, so `acc` is a register file: the
+  // edge loop reads W consecutive replicas of x per coupling and never
+  // touches the force plane until the row is finished. W = 1 degenerates to
+  // the scalar reference kernel (same accumulation order per lane, which is
+  // what keeps replica trajectories bit-identical to solve_sb_scalar).
+  const std::size_t R = R_;
+  const double* x = x_.data() + lane0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc[W];
+    const double hi = h_[i];
+    for (int t = 0; t < W; ++t) {
+      acc[t] = hi;
+    }
+    const std::size_t e_end = row_start_[i + 1];
+    for (std::size_t e = row_start_[i]; e < e_end; ++e) {
+      const double w = weights_[e];
+      const double* xj = x + static_cast<std::size_t>(cols_[e]) * R;
+      for (int t = 0; t < W; ++t) {
+        if constexpr (Discrete) {
+          acc[t] += w * (xj[t] >= 0.0 ? 1.0 : -1.0);
+        } else {
+          acc[t] += w * xj[t];
+        }
+      }
+    }
+    double* fi = &force_[i * R + lane0];
+    for (int t = 0; t < W; ++t) {
+      fi[t] = acc[t];
+    }
+  }
+}
+
+template <bool Discrete>
+void BsbBatchEngine::compute_forces_impl() {
+  std::size_t lane = 0;
+  while (lane + 8 <= R_) {
+    force_lanes<8, Discrete>(lane);
+    lane += 8;
+  }
+  if (lane + 4 <= R_) {
+    force_lanes<4, Discrete>(lane);
+    lane += 4;
+  }
+  if (lane + 2 <= R_) {
+    force_lanes<2, Discrete>(lane);
+    lane += 2;
+  }
+  if (lane < R_) {
+    force_lanes<1, Discrete>(lane);
+  }
+}
+
+void BsbBatchEngine::compute_forces() {
+  if (params_.discrete) {
+    compute_forces_impl<true>();
+  } else {
+    compute_forces_impl<false>();
+  }
+}
+
+void BsbBatchEngine::step() {
+  const auto total = static_cast<double>(params_.max_iterations);
+  // Same ramp expression as the scalar reference (bit-for-bit parity).
+  const double a =
+      params_.detuning * (static_cast<double>(step_) + 1.0) / total;
+  const double stiffness = params_.detuning - a;
+
+  compute_forces();
+
+  const double dt = params_.dt;
+  const double detuning = params_.detuning;
+  const std::size_t total_lanes = n_ * R_;
+  for (std::size_t k = 0; k < total_lanes; ++k) {
+    y_[k] += dt * (-stiffness * x_[k] + c0_ * force_[k]);
+    const double xk = x_[k] + dt * detuning * y_[k];
+    // Branchless inelastic walls: clamp x to [-1, 1] and zero the momentum
+    // of any lane that hit a wall (select, not branch, so the loop
+    // vectorizes).
+    const double lo = xk < -1.0 ? -1.0 : xk;
+    const double clamped = lo > 1.0 ? 1.0 : lo;
+    y_[k] = clamped == xk ? y_[k] : 0.0;
+    x_[k] = clamped;
+  }
+  ++step_;
+}
+
+void BsbBatchEngine::flip(std::size_t i, std::size_t r, std::int8_t new_sign) {
+  // Exact flip telescope: the energy delta of flipping spin i is
+  // 2 * s_i * (h_i + sum_j J_ij s_j) with the *current* tracked signs, so
+  // applying flips one at a time keeps the tracked energy equal to a full
+  // recomputation (up to accumulation rounding).
+  const std::int8_t old_sign = spins_[i * R_ + r];
+  double field = h_[i];
+  for (std::size_t e = row_start_[i]; e < row_start_[i + 1]; ++e) {
+    field += weights_[e] *
+             static_cast<double>(
+                 spins_[static_cast<std::size_t>(cols_[e]) * R_ + r]);
+  }
+  energies_[r] += 2.0 * static_cast<double>(old_sign) * field;
+  spins_[i * R_ + r] = new_sign;
+  dirty_[r] = 1;
+}
+
+void BsbBatchEngine::sample() {
+  const std::size_t R = R_;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double* xi = &x_[i * R];
+    const std::int8_t* si = &spins_[i * R];
+    for (std::size_t r = 0; r < R; ++r) {
+      const std::int8_t ns = xi[r] >= 0.0 ? std::int8_t{1} : std::int8_t{-1};
+      if (ns != si[r]) {
+        flip(i, r, ns);
+      }
+    }
+  }
+}
+
+double BsbBatchEngine::exact_energy(std::size_t r) {
+  copy_replica_spins(r, scratch_spins_);
+  return model_.energy(scratch_spins_);
+}
+
+void BsbBatchEngine::copy_replica_spins(std::size_t r,
+                                        std::vector<std::int8_t>& out) const {
+  out.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    out[i] = spins_[i * R_ + r];
+  }
+}
+
+IsingSolveResult BsbBatchEngine::run(const SbBatchHook& hook) {
+  IsingSolveResult result;
+  copy_replica_spins(0, result.spins);
+  result.energy = energies_[0];
+
+  const std::size_t sample_every =
+      params_.stop.sample_interval > 0 ? params_.stop.sample_interval : 10;
+  DynamicStopMonitor monitor(params_.stop);
+
+  // A replica's tracked energy can drift from the from-scratch value only by
+  // flip-accumulation rounding (~1e-15 relative), so a tracked energy within
+  // this slack of the incumbent triggers one exact recomputation; everything
+  // else is filtered in O(1). The recomputed value is snapped back into the
+  // tracker, which also re-synchronizes the drift.
+  auto consider_all = [&] {
+    double best_now = energies_[0];
+    for (std::size_t r = 0; r < R_; ++r) {
+      const double slack = 1e-9 + 1e-12 * std::fabs(result.energy);
+      if (dirty_[r] != 0 && energies_[r] < result.energy + slack) {
+        const double es = exact_energy(r);
+        energies_[r] = es;
+        dirty_[r] = 0;
+        if (es < result.energy) {
+          result.energy = es;
+          copy_replica_spins(r, result.spins);
+        }
+      }
+      best_now = std::min(best_now, energies_[r]);
+    }
+    return best_now;
+  };
+
+  std::size_t iter = 0;
+  for (; iter < params_.max_iterations; ++iter) {
+    step();
+    if ((iter + 1) % sample_every == 0) {
+      if (hook) {
+        for (std::size_t r = 0; r < R_; ++r) {
+          hook(r, view(r));
+        }
+      }
+      sample();
+      const double best_now = consider_all();
+      if (monitor.observe(best_now)) {
+        result.stopped_early = true;
+        ++iter;
+        break;
+      }
+    }
+  }
+
+  sample();
+  consider_all();
+  result.iterations = iter;
+  return result;
+}
+
+IsingSolveResult solve_sb_batch(const IsingModel& model, const SbParams& params,
+                                std::size_t replicas,
+                                const SbBatchHook& hook) {
+  BsbBatchEngine engine(model, params, replicas);
+  IsingSolveResult result = engine.run(hook);
+  result.iterations *= replicas;
+  return result;
+}
+
+}  // namespace adsd

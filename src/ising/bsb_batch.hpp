@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "ising/bsb.hpp"
+#include "ising/model.hpp"
+#include "support/aligned.hpp"
+
+namespace adsd {
+
+/// Mutable view of one replica inside the batched engine's
+/// replica-contiguous (structure-of-arrays) state: element i of the replica
+/// lives at offset i * stride. Intervention hooks (the Theorem-3 reset of
+/// Sec. 3.3.2) read and write oscillators through this view directly, so no
+/// O(n * R) gather/scatter copy is needed per sampling point.
+class ReplicaView {
+ public:
+  ReplicaView(double* x, double* y, std::size_t n, std::size_t stride)
+      : x_(x), y_(y), n_(n), stride_(stride) {}
+
+  std::size_t size() const { return n_; }
+  std::size_t stride() const { return stride_; }
+
+  double& x(std::size_t i) { return x_[i * stride_]; }
+  double x(std::size_t i) const { return x_[i * stride_]; }
+  double& y(std::size_t i) { return y_[i * stride_]; }
+  double y(std::size_t i) const { return y_[i * stride_]; }
+
+ private:
+  double* x_;
+  double* y_;
+  std::size_t n_;
+  std::size_t stride_;
+};
+
+/// Per-replica intervention hook of the batched engine; called at every
+/// sampling point with the replica index and a strided view of its state.
+using SbBatchHook = std::function<void(std::size_t replica, ReplicaView view)>;
+
+/// Batched ballistic/discrete simulated bifurcation: R replicas advanced in
+/// lockstep over a single flattened CSR traversal.
+///
+/// Layout: all state is structure-of-arrays with replicas contiguous —
+/// x[i * R + r] is oscillator i of replica r — so the coupling loop loads
+/// the weight of edge (i, j) once and streams R consecutive doubles of x,
+/// which GCC/Clang auto-vectorize. The CSR adjacency is split into separate
+/// column-index and weight planes (no interleaved pairs) and all planes are
+/// 64-byte aligned.
+///
+/// Replica r reproduces the scalar reference solve_sb_scalar() with seed
+/// params.seed + r * 0x9e3779b9 bit-for-bit: the per-replica arithmetic uses
+/// the same expression trees and the same operation order per element, and
+/// the wall clamp is a branchless select with identical semantics.
+///
+/// Energy sampling is incremental: the engine tracks the sign vector and
+/// energy of every replica and, at each sampling point, updates the energy
+/// by the exact flip telescope in O(flipped spins * degree) instead of
+/// recomputing O(edges) per replica (invariant: tracked energy equals
+/// IsingModel::energy() of the tracked signs up to accumulation rounding).
+/// When a replica's tracked energy threatens the incumbent, the energy is
+/// recomputed from scratch once and the tracked value snapped to it, so the
+/// reported best is always a from-scratch IsingModel::energy() value.
+class BsbBatchEngine {
+ public:
+  /// The model reference must outlive the engine.
+  BsbBatchEngine(const IsingModel& model, const SbParams& params,
+                 std::size_t replicas);
+
+  std::size_t num_spins() const { return n_; }
+  std::size_t replicas() const { return R_; }
+  std::size_t steps_done() const { return step_; }
+
+  /// One Euler step for all replicas (pump ramp from the step counter).
+  void step();
+
+  /// Force evaluation alone (fills the internal force plane from the
+  /// current positions); exposed for the micro-benchmarks.
+  void compute_forces();
+
+  /// Refreshes the tracked signs and per-replica energies from the current
+  /// positions via incremental flip updates. Call after external position
+  /// edits (hooks) and before reading energies()/spins().
+  void sample();
+
+  /// Tracked per-replica energies (valid after sample()).
+  std::span<const double> energies() const { return energies_; }
+
+  /// Tracked signs, SoA layout: spins()[i * R + r] (valid after sample()).
+  std::span<const std::int8_t> spins() const { return spins_; }
+
+  /// Strided state view of replica r.
+  ReplicaView view(std::size_t r) {
+    return ReplicaView(x_.data() + r, y_.data() + r, n_, R_);
+  }
+
+  /// Raw SoA position/momentum planes (size n * R), for benchmarks/tests.
+  std::span<double> positions() { return x_; }
+  std::span<double> momenta() { return y_; }
+  std::span<const double> forces() const { return force_; }
+
+  /// Full solve loop (integration, sampling, dynamic stop, best tracking);
+  /// `iterations` of the result counts Euler steps of one replica — callers
+  /// scale by replicas() if they want the ensemble total.
+  IsingSolveResult run(const SbBatchHook& hook = nullptr);
+
+ private:
+  template <int W, bool Discrete>
+  void force_lanes(std::size_t lane0);
+  template <bool Discrete>
+  void compute_forces_impl();
+  void flip(std::size_t i, std::size_t r, std::int8_t new_sign);
+  double exact_energy(std::size_t r);
+  void copy_replica_spins(std::size_t r, std::vector<std::int8_t>& out) const;
+
+  const IsingModel& model_;
+  SbParams params_;
+  std::size_t n_;
+  std::size_t R_;
+  double c0_;
+  std::size_t step_ = 0;
+
+  // Flattened CSR planes: separate index and weight arrays.
+  std::vector<std::size_t> row_start_;       // n_ + 1
+  AlignedVector<std::uint32_t> cols_;
+  AlignedVector<double> weights_;
+  AlignedVector<double> h_;
+
+  // SoA replica-contiguous state, n_ * R_ each.
+  AlignedVector<double> x_;
+  AlignedVector<double> y_;
+  AlignedVector<double> force_;
+
+  // Incremental-energy tracking.
+  AlignedVector<std::int8_t> spins_;   // n_ * R_
+  std::vector<double> energies_;       // R_
+  std::vector<std::uint8_t> dirty_;    // R_: flips since last scratch sync
+  std::vector<std::int8_t> scratch_spins_;  // n_, gather buffer
+};
+
+/// Batched counterpart of solve_sb_ensemble() built on BsbBatchEngine: R
+/// replicas in lockstep, best replica's best solution returned, dynamic stop
+/// on the ensemble-best energy, `iterations` summed over replicas. The hook
+/// (if any) is applied to every replica at each sampling point through a
+/// strided view (no copies).
+IsingSolveResult solve_sb_batch(const IsingModel& model, const SbParams& params,
+                                std::size_t replicas,
+                                const SbBatchHook& hook = nullptr);
+
+}  // namespace adsd

@@ -1,7 +1,7 @@
 #include "support/thread_pool.hpp"
 
-#include <atomic>
-#include <exception>
+#include <algorithm>
+#include <memory>
 
 namespace adsd {
 
@@ -31,17 +31,87 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Job* job = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (stopping_ && tasks_.empty()) {
+      cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      if (stopping_ && jobs_.empty()) {
         return;
       }
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      job = jobs_.front();
+      jobs_.pop();
     }
-    task();
+    run_job(*job);
+  }
+}
+
+void ThreadPool::run_job(Job& job) {
+  for (;;) {
+    const std::size_t begin = job.next.fetch_add(job.grain);
+    if (begin >= job.n) {
+      break;
+    }
+    const std::size_t end = std::min(begin + job.grain, job.n);
+    try {
+      (*job.body)(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (!job.error) {
+        job.error = std::current_exception();
+      }
+    }
+  }
+  if (job.done.fetch_add(1) + 1 == job.tasks) {
+    std::lock_guard<std::mutex> lock(job.done_mutex);
+    job.done_cv.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  if (grain == 0) {
+    grain = std::max<std::size_t>(1, n / (4 * workers_.size()));
+  }
+  const std::size_t chunks = (n + grain - 1) / grain;
+  if (chunks == 1 || workers_.size() == 1) {
+    for (std::size_t begin = 0; begin < n; begin += grain) {
+      body(begin, std::min(begin + grain, n));
+    }
+    return;
+  }
+
+  Job job;
+  job.n = n;
+  job.grain = grain;
+  job.body = &body;
+  // The calling thread takes one participant slot, so only tasks - 1
+  // pointers are queued; the Job outlives them because this call blocks
+  // until every participant has checked in.
+  job.tasks = std::min(workers_.size(), chunks);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t t = 0; t + 1 < job.tasks; ++t) {
+      jobs_.push(&job);
+    }
+  }
+  if (job.tasks > 2) {
+    cv_.notify_all();
+  } else {
+    cv_.notify_one();
+  }
+  run_job(job);
+
+  {
+    std::unique_lock<std::mutex> lock(job.done_mutex);
+    job.done_cv.wait(lock, [&] { return job.done.load() == job.tasks; });
+  }
+  if (job.error) {
+    std::rethrow_exception(job.error);
   }
 }
 
@@ -56,61 +126,41 @@ void ThreadPool::parallel_for(std::size_t n,
     }
     return;
   }
-
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> done{0};
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  std::condition_variable done_cv;
-  std::mutex done_mutex;
-
-  // One logical task per worker; each task drains indices from a shared
-  // counter, so uneven per-item costs balance automatically.
-  const std::size_t tasks = std::min(workers_.size(), n);
-  auto run = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= n) {
-        break;
-      }
-      try {
-        body(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) {
-          error = std::current_exception();
-        }
-      }
+  // Index granularity (grain 1) preserves the original dynamic balancing of
+  // coarse, uneven items like DALTA candidate evaluations.
+  parallel_for_chunks(n, 1, [&body](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      body(i);
     }
-    if (done.fetch_add(1) + 1 == tasks) {
-      std::lock_guard<std::mutex> lock(done_mutex);
-      done_cv.notify_all();
-    }
-  };
-
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    // Reserve one slice for the calling thread so it contributes work
-    // instead of idling.
-    for (std::size_t t = 0; t + 1 < tasks; ++t) {
-      tasks_.push(run);
-    }
-  }
-  cv_.notify_all();
-  run();
-
-  {
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] { return done.load() == tasks; });
-  }
-  if (error) {
-    std::rethrow_exception(error);
-  }
+  });
 }
 
-ThreadPool& ThreadPool::shared() {
-  static ThreadPool pool;
+namespace {
+
+std::unique_ptr<ThreadPool>& shared_slot() {
+  static std::unique_ptr<ThreadPool> pool;
   return pool;
+}
+
+std::mutex& shared_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::shared() {
+  std::lock_guard<std::mutex> lock(shared_mutex());
+  auto& slot = shared_slot();
+  if (!slot) {
+    slot = std::make_unique<ThreadPool>();
+  }
+  return *slot;
+}
+
+void ThreadPool::configure_shared(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(shared_mutex());
+  shared_slot() = std::make_unique<ThreadPool>(threads);
 }
 
 }  // namespace adsd

@@ -154,6 +154,33 @@ TEST(InputPartition, ToStringMentionsVariables) {
   EXPECT_NE(s.find("x2"), std::string::npos);
 }
 
+// ------------------------------------------------------ PartitionIndexer
+
+TEST(PartitionIndexer, MatchesRowColOfExhaustively) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const unsigned n = 4 + static_cast<unsigned>(rng.next_below(8));
+    const unsigned free =
+        1 + static_cast<unsigned>(rng.next_below(n - 1));
+    const auto w = InputPartition::random(n, free, rng);
+    const PartitionIndexer idx(w);
+    for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+      ASSERT_EQ(idx.row_of(x), w.row_of(x)) << w.to_string() << " x=" << x;
+      ASSERT_EQ(idx.col_of(x), w.col_of(x)) << w.to_string() << " x=" << x;
+    }
+  }
+}
+
+TEST(PartitionIndexer, HandlesMultiBytePatterns) {
+  // 12 inputs span two LUT bytes; interleave the sets across the byte edge.
+  const InputPartition w({0, 7, 8, 11}, {1, 2, 3, 4, 5, 6, 9, 10});
+  const PartitionIndexer idx(w);
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << 12); ++x) {
+    ASSERT_EQ(idx.row_of(x), w.row_of(x));
+    ASSERT_EQ(idx.col_of(x), w.col_of(x));
+  }
+}
+
 // --------------------------------------------------------- BooleanMatrix
 
 TEST(BooleanMatrix, FromFunctionMatchesTable) {
@@ -167,6 +194,37 @@ TEST(BooleanMatrix, FromFunctionMatchesTable) {
   for (std::uint64_t x = 0; x < 16; ++x) {
     EXPECT_EQ(m.at(w.row_of(x), w.col_of(x)), tt.bit(0, x));
   }
+}
+
+TEST(BooleanMatrix, FromFunctionIntoReusesStorage) {
+  auto tt = TruthTable::from_function(6, 2, [](std::uint64_t x) {
+    return (x * 5 + 1) & 3;
+  });
+  Rng rng(7);
+  BooleanMatrix scratch(1, 1);
+  for (int trial = 0; trial < 8; ++trial) {
+    const unsigned free = 1 + static_cast<unsigned>(rng.next_below(5));
+    const auto w = InputPartition::random(6, free, rng);
+    const PartitionIndexer idx(w);
+    for (unsigned k = 0; k < 2; ++k) {
+      BooleanMatrix::from_function_into(tt, k, w, idx, scratch);
+      EXPECT_EQ(scratch, BooleanMatrix::from_function(tt, k, w));
+    }
+  }
+}
+
+TEST(BooleanMatrix, ReshapeClearsBits) {
+  BooleanMatrix m(2, 2);
+  m.set(1, 1, true);
+  m.reshape(4, 2);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 2u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_FALSE(m.at(i, j));
+    }
+  }
+  EXPECT_THROW(m.reshape(0, 2), std::invalid_argument);
 }
 
 TEST(BooleanMatrix, RowAndColumnViews) {

@@ -373,6 +373,70 @@ TEST(ThreadPool, ReusableAcrossCalls) {
   }
 }
 
+TEST(ThreadPool, ChunksCoverRangeExactlyOnce) {
+  ThreadPool pool(4);
+  for (std::size_t grain : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                            std::size_t{64}, std::size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(333);
+    pool.parallel_for_chunks(333, grain, [&](std::size_t b, std::size_t e) {
+      ASSERT_LT(b, e);
+      ASSERT_LE(e, std::size_t{333});
+      for (std::size_t i = b; i < e; ++i) {
+        hits[i].fetch_add(1);
+      }
+    });
+    for (const auto& h : hits) {
+      EXPECT_EQ(h.load(), 1) << "grain " << grain;
+    }
+  }
+}
+
+TEST(ThreadPool, ChunksRespectGrainSize) {
+  ThreadPool pool(4);
+  std::atomic<int> oversized{0};
+  pool.parallel_for_chunks(100, 8, [&](std::size_t b, std::size_t e) {
+    if (e - b > 8) {
+      oversized.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(oversized.load(), 0);
+}
+
+TEST(ThreadPool, ChunksPropagateException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for_chunks(64, 4,
+                               [](std::size_t b, std::size_t) {
+                                 if (b >= 32) {
+                                   throw std::runtime_error("boom");
+                                 }
+                               }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ChunksWorkOnSingleWorkerPool) {
+  ThreadPool pool(1);
+  std::vector<int> hits(50, 0);  // serial path: no atomics needed
+  pool.parallel_for_chunks(50, 0, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      ++hits[i];
+    }
+  });
+  for (int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPool, ConfigureSharedResizesPool) {
+  ThreadPool::configure_shared(3);
+  EXPECT_EQ(ThreadPool::shared().thread_count(), 3u);
+  std::atomic<int> n{0};
+  ThreadPool::shared().parallel_for(20, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 20);
+  ThreadPool::configure_shared(0);  // restore default for other tests
+  EXPECT_GT(ThreadPool::shared().thread_count(), 0u);
+}
+
 // ------------------------------------------------------------------- CLI
 
 TEST(CliArgs, ParsesSeparateAndEqualsForms) {

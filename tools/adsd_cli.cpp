@@ -13,6 +13,9 @@
 //         --mode joint|separate (default joint)
 //         --solver prop|dalta|dalta-lit|ilp|ba|alt (default prop)
 //         --p/--rounds/--seed   framework knobs
+//         --replicas <r>    lockstep bSB replicas for the prop solver
+//         --threads <t>     worker threads for the partition fan-out
+//                           (0 = hardware concurrency, the default)
 //         --dist <file>     profile-driven input distribution (.dist format)
 //         --verilog <file>  write a synthesizable module
 //         --testbench <file> write a self-checking testbench (n <= 12)
@@ -33,16 +36,19 @@
 #include "lut/verilog_export.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
 using namespace adsd;
 
 std::unique_ptr<CoreCopSolver> make_solver(const std::string& name,
-                                           unsigned n, double ilp_budget) {
+                                           unsigned n, double ilp_budget,
+                                           std::size_t replicas) {
   if (name == "prop") {
-    return std::make_unique<IsingCoreSolver>(
-        IsingCoreSolver::Options::paper_defaults(n));
+    auto options = IsingCoreSolver::Options::paper_defaults(n);
+    options.replicas = std::max<std::size_t>(1, replicas);
+    return std::make_unique<IsingCoreSolver>(options);
   }
   if (name == "dalta") {
     return std::make_unique<HeuristicCoreSolver>();
@@ -138,8 +144,12 @@ int cmd_decompose(const CliArgs& args) {
   const std::string mode_name = args.get_string("mode", "joint");
   const DecompMode mode =
       mode_name == "separate" ? DecompMode::kSeparate : DecompMode::kJoint;
+  if (args.has("threads")) {
+    ThreadPool::configure_shared(args.get_size("threads", 0));
+  }
   const auto solver = make_solver(args.get_string("solver", "prop"), n,
-                                  args.get_double("ilp-budget", 0.25));
+                                  args.get_double("ilp-budget", 0.25),
+                                  args.get_size("replicas", 1));
 
   Table report({"metric", "value"});
   TruthTable approx(n, m);
