@@ -17,10 +17,11 @@ int main(int argc, char** argv) {
   const unsigned free_size = static_cast<unsigned>(args.get_size("free", 4));
   const std::size_t per_bench = args.get_size("instances", 8);
   const std::uint64_t seed = args.get_size("seed", 42);
+  const std::size_t replicas = args.get_positive_size("replicas", 4);
 
   std::cout << "== Ablation A2: Theorem-3 intervention in bSB ==\n"
             << "per-benchmark instances: " << per_bench << " (n=" << n
-            << ", joint mode)\n\n";
+            << ", joint mode, replicas=" << replicas << ")\n\n";
 
   const auto dist = InputDistribution::uniform(n);
 
@@ -73,15 +74,17 @@ int main(int argc, char** argv) {
 
     std::vector<std::string> row{name};
     for (int ci = 0; ci < 4; ++ci) {
-      auto opts = IsingCoreSolver::Options::paper_defaults(n);
-      opts.use_theorem3 = configs[ci].theorem3;
-      opts.final_polish = configs[ci].polish;
-      opts.column_seed_init = configs[ci].seed_init;
-      const IsingCoreSolver solver(opts);
+      const std::string spec =
+          std::string("prop") +
+          ",theorem3=" + (configs[ci].theorem3 ? "1" : "0") +
+          ",anti-collapse=" + (configs[ci].theorem3 ? "1" : "0") +
+          ",polish=" + (configs[ci].polish ? "1" : "0") +
+          ",seed-init=" + (configs[ci].seed_init ? "1" : "0");
+      const auto solver = bench::make_solver(spec, n, 0.0, replicas);
       double sum = 0.0;
       for (std::size_t i = 0; i < pool.size(); ++i) {
         CoreSolveStats stats;
-        (void)solver.solve(pool[i], seed + i, &stats);
+        (void)solver->solve(pool[i], seed + i, &stats);
         sum += stats.objective;
       }
       totals[ci] += sum;

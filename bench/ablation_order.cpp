@@ -46,10 +46,9 @@ int main(int argc, char** argv) {
     {
       const auto cop = ColumnCop::separate(m, probs);
       Timer t;
-      const IsingCoreSolver solver(
-          IsingCoreSolver::Options::paper_defaults(n));
+      const auto solver = bench::make_solver("prop", n, 0.0);
       CoreSolveStats stats;
-      (void)solver.solve(cop, seed + i, &stats);
+      (void)solver->solve(cop, seed + i, &stats);
       col_time += t.seconds();
       col_obj += stats.objective;
       col_terms += cop.to_ising().num_couplings();

@@ -19,11 +19,13 @@ int main(int argc, char** argv) {
   const unsigned free_size = static_cast<unsigned>(args.get_size("free", 4));
   const std::size_t instances = args.get_size("instances", 16);
   const std::uint64_t seed = args.get_size("seed", 42);
+  const std::size_t replicas = args.get_positive_size("replicas", 4);
 
   std::cout << "== Ablation A3: solver comparison on identical core-COP "
                "instances ==\n"
             << "instances: " << instances << " (ln, n=" << n
-            << ", free=" << free_size << ", separate mode)\n\n";
+            << ", free=" << free_size << ", separate mode, bSB replicas="
+            << replicas << ")\n\n";
 
   const auto exact = make_continuous_table(continuous_spec("ln"), n, n);
   const auto dist = InputDistribution::uniform(n);
@@ -39,27 +41,23 @@ int main(int argc, char** argv) {
   Table table({"solver", "avg objective", "total time (s)", "notes"});
 
   auto run_cop_solver = [&](const std::string& label,
-                            const CoreCopSolver& solver,
+                            const std::string& spec,
                             const std::string& notes) {
+    const auto solver = bench::make_solver(
+        spec, n, args.get_double("ilp-budget", 0.5), replicas);
     double sum = 0.0;
     Timer timer;
     for (std::size_t i = 0; i < pool.size(); ++i) {
       CoreSolveStats stats;
-      (void)solver.solve(pool[i], seed + i, &stats);
+      (void)solver->solve(pool[i], seed + i, &stats);
       sum += stats.objective;
     }
     table.add_row({label, Table::num(sum / static_cast<double>(pool.size()), 5),
                    Table::num(timer.seconds(), 3), notes});
   };
 
-  run_cop_solver("bSB (proposed)",
-                 IsingCoreSolver(IsingCoreSolver::Options::paper_defaults(n)),
-                 "dynamic stop + Theorem 3");
-  {
-    auto opts = IsingCoreSolver::Options::paper_defaults(n);
-    opts.sb.discrete = true;
-    run_cop_solver("dSB", IsingCoreSolver(opts), "discrete SB variant");
-  }
+  run_cop_solver("bSB (proposed)", "prop", "dynamic stop + Theorem 3");
+  run_cop_solver("dSB", "prop,discrete=1", "discrete SB variant");
   {
     // SA directly on the Ising formulation (not the BA setting-level SA).
     double sum = 0.0;
@@ -78,15 +76,10 @@ int main(int argc, char** argv) {
                    Table::num(timer.seconds(), 3),
                    "sequential spin updates"});
   }
-  run_cop_solver("alternating min", AlternatingCoreSolver(8), "Lloyd-style");
-  run_cop_solver("BA anneal", AnnealCoreSolver(), "setting-level SA");
-  run_cop_solver("greedy (DALTA)", HeuristicCoreSolver(), "one-shot");
-  {
-    BnbCoreSolver::Options opt;
-    opt.time_budget_s = args.get_double("ilp-budget", 0.5);
-    run_cop_solver("B&B (ILP stand-in)", BnbCoreSolver(opt),
-                   "anytime exact");
-  }
+  run_cop_solver("alternating min", "alt", "Lloyd-style");
+  run_cop_solver("BA anneal", "ba", "setting-level SA");
+  run_cop_solver("greedy (DALTA)", "dalta", "one-shot");
+  run_cop_solver("B&B (ILP stand-in)", "ilp", "anytime exact");
   table.print(std::cout);
   std::cout << "\nexpected shape: B&B gives the reference optimum; bSB/dSB "
                "land on or near it orders of magnitude faster than B&B and "

@@ -37,18 +37,17 @@ int main(int argc, char** argv) {
 
   Table table({"configuration", "avg objective (ER)", "avg Euler steps",
                "total time (s)"});
-  auto run_config = [&](const std::string& label,
-                        IsingCoreSolver::Options opts) {
+  auto run_config = [&](const std::string& label, const std::string& spec) {
     // Isolate the stop criterion: the warm column-seed incumbent would
     // otherwise floor every configuration at the same quality.
-    opts.column_seed_init = false;
-    const IsingCoreSolver solver(opts);
+    const auto solver =
+        bench::make_solver(spec + ",seed-init=0", n, 0.0);
     double obj_sum = 0.0;
     std::size_t iter_sum = 0;
     Timer timer;
     for (std::size_t i = 0; i < pool.size(); ++i) {
       CoreSolveStats stats;
-      (void)solver.solve(pool[i], seed + i, &stats);
+      (void)solver->solve(pool[i], seed + i, &stats);
       obj_sum += stats.objective;
       iter_sum += stats.iterations;
     }
@@ -61,18 +60,13 @@ int main(int argc, char** argv) {
   };
 
   for (const std::size_t budget : {100u, 200u, 500u, 1000u, 2000u, 5000u}) {
-    auto opts = IsingCoreSolver::Options::paper_defaults(n);
-    opts.sb.max_iterations = budget;
-    opts.sb.stop.enabled = false;
-    run_config("fixed " + std::to_string(budget), opts);
+    run_config("fixed " + std::to_string(budget),
+               "prop,stop=0,max-iter=" + std::to_string(budget));
   }
   {
-    auto opts = IsingCoreSolver::Options::paper_defaults(n);
-    opts.sb.max_iterations = 5000;
-    run_config("dynamic stop (f=s=" +
-                   std::to_string(opts.sb.stop.sample_interval) +
-                   ", eps=1e-8)",
-               opts);
+    const std::size_t fs = n <= 12 ? 20 : 10;  // paper's f = s choice
+    run_config("dynamic stop (f=s=" + std::to_string(fs) + ", eps=1e-8)",
+               "prop,max-iter=5000");
   }
   table.print(std::cout);
   std::cout << "\nexpected shape: the dynamic-stop row matches the quality "

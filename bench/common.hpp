@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -7,45 +8,36 @@
 #include "boolean/error_metrics.hpp"
 #include "core/cop_solvers.hpp"
 #include "core/dalta.hpp"
+#include "core/solver_registry.hpp"
 #include "funcs/registry.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 namespace adsd::bench {
 
-/// Builds the named core-COP solver with benchmark-appropriate settings.
-///
-///   "prop"       : the paper's Ising/bSB solver (dynamic stop + Theorem 3)
-///   "dalta"      : greedy baseline, strengthened with alternating sweeps
-///   "dalta-lit"  : literal one-shot greedy (closest DALTA reconstruction)
-///   "ilp"        : anytime exact B&B (DALTA-ILP / Gurobi stand-in)
-///   "ba"         : simulated-annealing baseline (BA reconstruction)
-///   "alt"        : alternating minimization
-inline std::unique_ptr<CoreCopSolver> make_solver(const std::string& name,
+/// Builds a core-COP solver through the registry from a spec string
+/// ("prop", "ilp,budget=1.5", ...; see `adsd_cli info` for the full
+/// table). The harness-level knobs — instance width, ILP budget, bSB
+/// replica count — are overlaid onto the spec for the solvers that take
+/// them, with explicit spec keys winning.
+inline std::unique_ptr<CoreCopSolver> make_solver(const std::string& spec,
                                                   unsigned num_inputs,
-                                                  double ilp_budget_s) {
-  if (name == "prop") {
-    return std::make_unique<IsingCoreSolver>(
-        IsingCoreSolver::Options::paper_defaults(num_inputs));
-  }
-  if (name == "dalta") {
-    return std::make_unique<HeuristicCoreSolver>();
-  }
-  if (name == "dalta-lit") {
-    return std::make_unique<HeuristicCoreSolver>(0);
-  }
-  if (name == "ilp") {
-    BnbCoreSolver::Options opt;
-    opt.time_budget_s = ilp_budget_s;
-    return std::make_unique<BnbCoreSolver>(opt);
-  }
-  if (name == "ba") {
-    return std::make_unique<AnnealCoreSolver>();
-  }
-  if (name == "alt") {
-    return std::make_unique<AlternatingCoreSolver>();
-  }
-  throw std::invalid_argument("unknown solver '" + name + "'");
+                                                  double ilp_budget_s,
+                                                  std::size_t replicas = 1) {
+  const SolverRegistry& registry = SolverRegistry::global();
+  auto [name, config] = SolverRegistry::parse_spec(spec);
+  const SolverRegistry::Entry* entry = registry.find(name);
+  auto overlay = [&](const std::string& key, const std::string& value) {
+    if (entry != nullptr && !config.has(key) &&
+        std::find(entry->keys.begin(), entry->keys.end(), key) !=
+            entry->keys.end()) {
+      config.set(key, value);
+    }
+  };
+  overlay("n", std::to_string(num_inputs));
+  overlay("budget", std::to_string(ilp_budget_s));
+  overlay("replicas", std::to_string(std::max<std::size_t>(1, replicas)));
+  return registry.make(name, config);
 }
 
 /// Prints the standard bench header: what experiment, what scale, and how

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
             << " R=1 joint mode, proposed Ising solver per slice\n\n";
 
   const auto dist = InputDistribution::uniform(n);
-  const IsingCoreSolver solver(IsingCoreSolver::Options::paper_defaults(n));
+  const auto solver = bench::make_solver("prop", n, 0.0);
 
   // The arithmetic circuits need an even input width; swap in a continuous
   // function when n is odd (the paper's n = 9 scheme).
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
       params.rounds = 1;
       params.mode = DecompMode::kJoint;
       params.seed = seed;
-      const auto res = run_dalta_nd(exact, dist, params, solver);
+      const auto res = run_dalta_nd(exact, dist, params, *solver);
       table.add_row(
           {std::to_string(s), std::to_string(res.total_size_bits()),
            Table::num(static_cast<double>(res.total_flat_size_bits()) /

@@ -37,9 +37,10 @@ int main(int argc, char** argv) {
   // alternating refinement sweeps, i.e. it is deliberately stronger than
   // the paper's baseline, making the comparison conservative.
   const std::string baseline = args.get_string("baseline", "dalta");
+  const std::size_t replicas = args.get_positive_size("replicas", 4);
   const auto dalta = bench::make_solver(
       baseline == "lit" ? "dalta-lit" : baseline, n, 0.0);
-  const auto prop = bench::make_solver("prop", n, 0.0);
+  const auto prop = bench::make_solver("prop", n, 0.0, replicas);
 
   Table table({"Benchmark", "DALTA MED", "DALTA T(s)", "Prop MED",
                "Prop T(s)", "MED ratio", "Time ratio", "avg iters",

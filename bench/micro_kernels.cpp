@@ -13,6 +13,7 @@
 #include "ising/bsb.hpp"
 #include "ising/bsb_batch.hpp"
 #include "support/rng.hpp"
+#include "support/run_context.hpp"
 
 namespace {
 
@@ -156,6 +157,39 @@ void BM_ForceKernelBatch(benchmark::State& state) {
       static_cast<std::int64_t>(model.num_couplings()));
 }
 BENCHMARK(BM_ForceKernelBatch)->Arg(8)->Arg(32);
+
+void BM_ForceKernelSharded(benchmark::State& state) {
+  // Row-sharded batched force kernel on the n = 16 core-COP model (768
+  // spins) with 32 replicas: 24576 lanes, past the engine's sharding
+  // threshold. Arg = RunContext worker threads; 0 = serial baseline (no
+  // context attached), so the reported ratio is the sharding speedup.
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto cop = make_cop(16, 7, 31);
+  const IsingModel model = cop.to_ising();
+  SbParams params;
+  params.seed = 41;
+  BsbBatchEngine engine(model, params, 32);
+  RunContext::Options opts;
+  opts.threads = threads;
+  const RunContext ctx(opts);
+  if (threads > 0) {
+    engine.set_context(&ctx);
+  }
+  Rng rng(41);
+  auto x = engine.positions();
+  for (auto& v : x) {
+    v = rng.next_double(-1.0, 1.0);
+  }
+  for (auto _ : state) {
+    engine.compute_forces();
+    benchmark::DoNotOptimize(engine.forces().data());
+  }
+  state.SetItemsProcessed(
+      state.iterations() * 32 *
+      static_cast<std::int64_t>(model.num_couplings()));
+}
+BENCHMARK(BM_ForceKernelSharded)->Arg(0)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
 
 void BM_SampleEnergyScratch(benchmark::State& state) {
   // Per-sampling-point energy refresh of the seed ensemble: every replica's

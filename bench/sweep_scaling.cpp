@@ -39,12 +39,13 @@ int main(int argc, char** argv) {
     }
     const std::size_t couplings = pool.front().to_ising().num_couplings();
 
-    auto time_solver = [&](const CoreCopSolver& solver, double* obj_sum) {
+    auto time_solver = [&](const std::string& spec, double* obj_sum) {
+      const auto solver = bench::make_solver(spec, n, ilp_budget);
       Timer t;
       double sum = 0.0;
       for (std::size_t i = 0; i < pool.size(); ++i) {
         CoreSolveStats stats;
-        (void)solver.solve(pool[i], seed + i, &stats);
+        (void)solver->solve(pool[i], seed + i, &stats);
         sum += stats.objective;
       }
       if (obj_sum != nullptr) {
@@ -55,13 +56,9 @@ int main(int argc, char** argv) {
 
     double bsb_obj = 0.0;
     double greedy_obj = 0.0;
-    const double bsb_ms = time_solver(
-        IsingCoreSolver(IsingCoreSolver::Options::paper_defaults(n)),
-        &bsb_obj);
-    const double greedy_ms = time_solver(HeuristicCoreSolver(), &greedy_obj);
-    BnbCoreSolver::Options bopt;
-    bopt.time_budget_s = ilp_budget;
-    const double bnb_ms = time_solver(BnbCoreSolver(bopt), nullptr);
+    const double bsb_ms = time_solver("prop", &bsb_obj);
+    const double greedy_ms = time_solver("dalta", &greedy_obj);
+    const double bnb_ms = time_solver("ilp", nullptr);
 
     const auto w0 = InputPartition::trivial(n, free_size);
     table.add_row(

@@ -10,6 +10,7 @@
 
 #include "boolean/error_metrics.hpp"
 #include "core/dalta.hpp"
+#include "core/solver_registry.hpp"
 #include "funcs/arithmetic.hpp"
 #include "lut/decomposed_lut.hpp"
 #include "support/cli.hpp"
@@ -37,8 +38,9 @@ int main(int argc, char** argv) {
   Table modes({"mode", "MED", "ER", "WCE", "LUT bits", "flat bits"});
   DaltaResult chosen = [&] {
     params.mode = DecompMode::kSeparate;
-    const IsingCoreSolver solver(IsingCoreSolver::Options::paper_defaults(n));
-    auto sep = run_dalta(exact, dist, params, solver);
+    const auto solver = SolverRegistry::global().make_from_spec(
+        "prop,n=" + std::to_string(n));
+    auto sep = run_dalta(exact, dist, params, *solver);
     const auto sep_net = sep.to_lut_network();
     modes.add_row({"separate", Table::num(sep.med),
                    Table::num(sep.error_rate, 4),
@@ -47,7 +49,7 @@ int main(int argc, char** argv) {
                    std::to_string(sep_net.total_flat_size_bits())});
 
     params.mode = DecompMode::kJoint;
-    auto joint = run_dalta(exact, dist, params, solver);
+    auto joint = run_dalta(exact, dist, params, *solver);
     const auto joint_net = joint.to_lut_network();
     modes.add_row({"joint", Table::num(joint.med),
                    Table::num(joint.error_rate, 4),

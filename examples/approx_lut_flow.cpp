@@ -9,6 +9,7 @@
 
 #include "boolean/error_metrics.hpp"
 #include "core/dalta.hpp"
+#include "core/solver_registry.hpp"
 #include "funcs/continuous.hpp"
 #include "lut/decomposed_lut.hpp"
 #include "support/cli.hpp"
@@ -34,8 +35,9 @@ int main(int argc, char** argv) {
     params.num_partitions = args.get_size("p", 8);
     params.rounds = 1;
     params.mode = DecompMode::kJoint;
-    const IsingCoreSolver solver(IsingCoreSolver::Options::paper_defaults(n));
-    const auto res = run_dalta(exact, dist, params, solver);
+    const auto solver = SolverRegistry::global().make_from_spec(
+        "prop,n=" + std::to_string(n));
+    const auto res = run_dalta(exact, dist, params, *solver);
     const auto net = res.to_lut_network();
     sweep.add_row(
         {std::to_string(free_size), std::to_string(n - free_size),
@@ -58,12 +60,14 @@ int main(int argc, char** argv) {
   params.mode = DecompMode::kJoint;
 
   Table comparison({"solver", "MED", "time (s)"});
-  const IsingCoreSolver prop(IsingCoreSolver::Options::paper_defaults(n));
-  const HeuristicCoreSolver greedy;
-  const AnnealCoreSolver anneal;
-  const auto rp = run_dalta(exact, dist, params, prop);
-  const auto rg = run_dalta(exact, dist, params, greedy);
-  const auto ra = run_dalta(exact, dist, params, anneal);
+  const SolverRegistry& registry = SolverRegistry::global();
+  const auto prop =
+      registry.make_from_spec("prop,n=" + std::to_string(n));
+  const auto greedy = registry.make("dalta");
+  const auto anneal = registry.make("ba");
+  const auto rp = run_dalta(exact, dist, params, *prop);
+  const auto rg = run_dalta(exact, dist, params, *greedy);
+  const auto ra = run_dalta(exact, dist, params, *anneal);
   comparison.add_row({"proposed (bSB)", Table::num(rp.med),
                       Table::num(rp.seconds, 3)});
   comparison.add_row({"greedy (DALTA)", Table::num(rg.med),

@@ -13,6 +13,7 @@
 
 #include "boolean/table_io.hpp"
 #include "core/dalta.hpp"
+#include "core/solver_registry.hpp"
 #include "funcs/continuous.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -49,10 +50,11 @@ int main(int argc, char** argv) {
   params.num_partitions = 8;
   params.rounds = 1;
   params.mode = DecompMode::kJoint;
-  const IsingCoreSolver solver(IsingCoreSolver::Options::paper_defaults(n));
+  const auto solver = SolverRegistry::global().make_from_spec(
+      "prop,n=" + std::to_string(n));
 
-  const auto res_trace = run_dalta(exact, reloaded, params, solver);
-  const auto res_uniform = run_dalta(exact, uniform, params, solver);
+  const auto res_trace = run_dalta(exact, reloaded, params, *solver);
+  const auto res_uniform = run_dalta(exact, uniform, params, *solver);
 
   std::cout << "exp(x), n=" << n << ", " << 100 * hot_mass
             << "% of the input mass on the lowest quarter of the domain\n\n";

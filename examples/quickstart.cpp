@@ -11,6 +11,7 @@
 
 #include "boolean/error_metrics.hpp"
 #include "core/dalta.hpp"
+#include "core/solver_registry.hpp"
 #include "funcs/continuous.hpp"
 #include "lut/decomposed_lut.hpp"
 
@@ -33,10 +34,11 @@ int main() {
   params.num_partitions = 8;
   params.rounds = 1;
   params.mode = DecompMode::kJoint;
-  const IsingCoreSolver solver(IsingCoreSolver::Options::paper_defaults(n));
+  const auto solver = SolverRegistry::global().make_from_spec(
+      "prop,n=" + std::to_string(n));
 
   // 3. Run it.
-  const DaltaResult result = run_dalta(exact, dist, params, solver);
+  const DaltaResult result = run_dalta(exact, dist, params, *solver);
 
   // 4. Realize the result as hardware LUTs and inspect the trade-off.
   const DecomposedLutNetwork net = result.to_lut_network();

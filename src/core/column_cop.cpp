@@ -1,5 +1,6 @@
 #include "core/column_cop.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -189,6 +190,79 @@ void ColumnCop::reset_optimal_t(ColumnSetting& s) const {
       }
     }
     s.t.set(j, cost2 < cost1);
+  }
+}
+
+void ColumnCop::reset_optimal_t_planes(std::span<double> x,
+                                       std::span<double> y,
+                                       std::size_t replicas,
+                                       std::vector<double>& cost_scratch,
+                                       std::vector<std::uint8_t>* degenerate)
+    const {
+  const std::size_t R = replicas;
+  if (x.size() != num_spins() * R || y.size() != x.size()) {
+    throw std::invalid_argument("reset_optimal_t_planes: plane size");
+  }
+  cost_scratch.assign(2 * R, 0.0);
+  double* cost1 = cost_scratch.data();
+  double* cost2 = cost_scratch.data() + R;
+
+  // Degeneracy bookkeeping shares the plane sweeps: V1 == V2 folds over the
+  // row loop once (independent of columns), pattern-2 counts fold over the
+  // column loop as T is chosen.
+  std::vector<std::uint8_t> v_equal;
+  std::vector<std::uint32_t> t2_count;
+  if (degenerate != nullptr) {
+    v_equal.assign(R, 1);
+    t2_count.assign(R, 0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      const double* x1 = &x[v1_spin(i) * R];
+      const double* x2 = &x[v2_spin(i) * R];
+      for (std::size_t r = 0; r < R; ++r) {
+        v_equal[r] =
+            static_cast<std::uint8_t>(v_equal[r] & ((x1[r] >= 0.0) ==
+                                                    (x2[r] >= 0.0)));
+      }
+    }
+  }
+
+  // Same comparison as reset_optimal_t (base terms cancel; ties pick
+  // pattern 1), with the i/r loops replica-contiguous: per (j, i) pair the
+  // inner loop streams R consecutive doubles of each plane, which
+  // auto-vectorizes, instead of R strided per-replica passes.
+  for (std::size_t j = 0; j < cols_; ++j) {
+    std::fill(cost1, cost1 + R, 0.0);
+    std::fill(cost2, cost2 + R, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      const double g = gain_[i * cols_ + j];
+      const double* x1 = &x[v1_spin(i) * R];
+      const double* x2 = &x[v2_spin(i) * R];
+      for (std::size_t r = 0; r < R; ++r) {
+        cost1[r] += x1[r] >= 0.0 ? g : 0.0;
+      }
+      for (std::size_t r = 0; r < R; ++r) {
+        cost2[r] += x2[r] >= 0.0 ? g : 0.0;
+      }
+    }
+    double* xt = &x[t_spin(j) * R];
+    double* yt = &y[t_spin(j) * R];
+    for (std::size_t r = 0; r < R; ++r) {
+      const bool pattern2 = cost2[r] < cost1[r];
+      xt[r] = pattern2 ? 1.0 : -1.0;
+      yt[r] = 0.0;
+      if (degenerate != nullptr) {
+        t2_count[r] += pattern2 ? 1u : 0u;
+      }
+    }
+  }
+
+  if (degenerate != nullptr) {
+    degenerate->assign(R, 0);
+    for (std::size_t r = 0; r < R; ++r) {
+      const bool collapsed =
+          t2_count[r] == 0 || t2_count[r] == cols_ || v_equal[r] != 0;
+      (*degenerate)[r] = collapsed ? 1 : 0;
+    }
   }
 }
 

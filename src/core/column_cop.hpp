@@ -88,6 +88,24 @@ class ColumnCop {
   /// current s.v1/s.v2. Never increases objective(). Ties pick pattern 1.
   void reset_optimal_t(ColumnSetting& s) const;
 
+  /// Batched Theorem 3 over the SoA oscillator planes of the lockstep bSB
+  /// engine (element i of replica r at index i * replicas + r, spin layout
+  /// as num_spins()): for every replica at once, reads the V1/V2 signs,
+  /// computes the per-column optimal T choice, and writes the T oscillators
+  /// (+-1 positions, zeroed momenta). Equivalent to decoding each replica,
+  /// calling reset_optimal_t(), and re-encoding T — but with
+  /// replica-contiguous inner loops and no per-replica O(rows * cols) pass.
+  ///
+  /// `cost_scratch` is resized to 2 * replicas and reused across calls.
+  /// When `degenerate` is non-null it is resized to `replicas` and flags
+  /// the replicas whose reset landed in a collapsed state (all columns on
+  /// one pattern, or V1 == V2) — the anti-collapse intervention handles
+  /// those separately.
+  void reset_optimal_t_planes(std::span<double> x, std::span<double> y,
+                              std::size_t replicas,
+                              std::vector<double>& cost_scratch,
+                              std::vector<std::uint8_t>* degenerate) const;
+
   /// Per-row optimal V1/V2 for the current s.t (the complementary
   /// half-step; together with reset_optimal_t this yields the alternating
   /// minimization baseline). Never increases objective().

@@ -45,7 +45,78 @@ double alternate_to_fixpoint(const ColumnCop& cop, ColumnSetting& s,
   return best;
 }
 
+/// Scalar anti-collapse intervention for one replica whose Theorem-3 reset
+/// landed in a degenerate state (Sec. 3.3.2): re-derives the setting from
+/// the oscillator signs, re-seeds the unused pattern's oscillators with the
+/// exact column worst served by the current solution, recomputes the
+/// optimal T, and writes the T oscillators back. Only degenerate replicas
+/// take this O(rows * cols) path; the common case is handled batched by
+/// ColumnCop::reset_optimal_t_planes().
+void anti_collapse_intervene(const ColumnCop& cop, ReplicaView v) {
+  const std::size_t r = cop.rows();
+  const std::size_t c = cop.cols();
+  ColumnSetting s;
+  s.v1 = BitVec(r);
+  s.v2 = BitVec(r);
+  s.t = BitVec(c);
+  for (std::size_t i = 0; i < r; ++i) {
+    s.v1.set(i, v.x(cop.v1_spin(i)) >= 0.0);
+    s.v2.set(i, v.x(cop.v2_spin(i)) >= 0.0);
+  }
+  cop.reset_optimal_t(s);
+
+  const std::size_t on_pattern2 = s.t.count();
+  const BooleanMatrix& m = cop.exact_matrix();
+  double worst = -1.0;
+  std::size_t worst_col = 0;
+  for (std::size_t j = 0; j < c; ++j) {
+    double cost = 0.0;
+    for (std::size_t i = 0; i < r; ++i) {
+      cost += cop.cell_cost(i, j, s.t.get(j) ? s.v2.get(i) : s.v1.get(i));
+    }
+    if (cost > worst) {
+      worst = cost;
+      worst_col = j;
+    }
+  }
+  const bool reseed_v2 = on_pattern2 == 0 || s.v1 == s.v2;
+  for (std::size_t i = 0; i < r; ++i) {
+    const bool bit = m.at(i, worst_col);
+    const std::size_t idx = reseed_v2 ? cop.v2_spin(i) : cop.v1_spin(i);
+    v.x(idx) = bit ? 1.0 : -1.0;
+    v.y(idx) = 0.0;
+    if (reseed_v2) {
+      s.v2.set(i, bit);
+    } else {
+      s.v1.set(i, bit);
+    }
+  }
+  cop.reset_optimal_t(s);
+
+  for (std::size_t j = 0; j < c; ++j) {
+    const std::size_t idx = cop.t_spin(j);
+    v.x(idx) = s.t.get(j) ? 1.0 : -1.0;
+    v.y(idx) = 0.0;
+  }
+}
+
 }  // namespace
+
+ColumnSetting CoreCopSolver::solve(const ColumnCop& cop, const RunContext& ctx,
+                                   std::uint64_t seed,
+                                   CoreSolveStats* stats) const {
+  CoreSolveStats local;
+  CoreSolveStats* out = stats != nullptr ? stats : &local;
+  TelemetrySink& sink = ctx.telemetry();
+  const auto span = sink.span("core/solve/" + name());
+  ColumnSetting s = do_solve(cop, ctx, seed, out);
+  sink.add("core/solves");
+  sink.add("core/iterations", out->iterations);
+  if (out->stopped_early) {
+    sink.add("core/early_stops");
+  }
+  return s;
+}
 
 IsingCoreSolver::Options IsingCoreSolver::Options::paper_defaults(
     unsigned num_inputs) {
@@ -60,73 +131,41 @@ IsingCoreSolver::Options IsingCoreSolver::Options::paper_defaults(
   return o;
 }
 
-ColumnSetting IsingCoreSolver::solve(const ColumnCop& cop, std::uint64_t seed,
-                                     CoreSolveStats* stats) const {
+ColumnSetting IsingCoreSolver::do_solve(const ColumnCop& cop,
+                                        const RunContext& ctx,
+                                        std::uint64_t seed,
+                                        CoreSolveStats* stats) const {
   IsingModel model = cop.to_ising();
   const std::size_t r = cop.rows();
   const std::size_t c = cop.cols();
 
-  SbBatchHook hook;
+  SbBatchPlaneHook plane_hook;
   if (options_.use_theorem3) {
-    // Sec. 3.3.2: read the current V1/V2 off the oscillator signs, compute
-    // the Theorem-3 optimal column types, and pin the T oscillators to the
+    // Sec. 3.3.2, batched: one plane sweep computes the Theorem-3 optimal
+    // column types for every replica at once (replica-contiguous inner
+    // loops over the SoA planes) and pins the T oscillators to the
     // corresponding poles before the integration continues. With
-    // anti_collapse, a degenerate reset (all columns on one pattern, or
-    // identical patterns) additionally re-seeds the unused pattern's
-    // oscillators with the worst-served exact column, escaping the rank-1
-    // fixed point the mean-field dynamics otherwise cannot leave. The hook
-    // works on the engine's strided replica view in place, so running many
-    // replicas adds no gather/scatter cost at sampling points.
+    // anti_collapse, replicas whose reset landed degenerate (all columns on
+    // one pattern, or identical patterns) — flagged by the same sweep —
+    // take the scalar re-seeding path, escaping the rank-1 fixed point the
+    // mean-field dynamics otherwise cannot leave; that per-replica
+    // O(rows * cols) pass now runs only for the rare degenerate replicas.
     const bool anti_collapse = options_.anti_collapse;
-    hook = [&cop, r, c, anti_collapse](std::size_t, ReplicaView v) {
-      ColumnSetting s;
-      s.v1 = BitVec(r);
-      s.v2 = BitVec(r);
-      s.t = BitVec(c);
-      for (std::size_t i = 0; i < r; ++i) {
-        s.v1.set(i, v.x(cop.v1_spin(i)) >= 0.0);
-        s.v2.set(i, v.x(cop.v2_spin(i)) >= 0.0);
+    plane_hook = [&cop, anti_collapse, cost_scratch = std::vector<double>{},
+                  degenerate = std::vector<std::uint8_t>{}](
+                     std::span<double> x, std::span<double> y,
+                     std::size_t replicas) mutable {
+      cop.reset_optimal_t_planes(x, y, replicas, cost_scratch,
+                                 anti_collapse ? &degenerate : nullptr);
+      if (!anti_collapse) {
+        return;
       }
-      cop.reset_optimal_t(s);
-
-      if (anti_collapse) {
-        const std::size_t on_pattern2 = s.t.count();
-        if (on_pattern2 == 0 || on_pattern2 == c || s.v1 == s.v2) {
-          const BooleanMatrix& m = cop.exact_matrix();
-          double worst = -1.0;
-          std::size_t worst_col = 0;
-          for (std::size_t j = 0; j < c; ++j) {
-            double cost = 0.0;
-            for (std::size_t i = 0; i < r; ++i) {
-              cost += cop.cell_cost(
-                  i, j, s.t.get(j) ? s.v2.get(i) : s.v1.get(i));
-            }
-            if (cost > worst) {
-              worst = cost;
-              worst_col = j;
-            }
-          }
-          const bool reseed_v2 = on_pattern2 == 0 || s.v1 == s.v2;
-          for (std::size_t i = 0; i < r; ++i) {
-            const bool bit = m.at(i, worst_col);
-            const std::size_t idx =
-                reseed_v2 ? cop.v2_spin(i) : cop.v1_spin(i);
-            v.x(idx) = bit ? 1.0 : -1.0;
-            v.y(idx) = 0.0;
-            if (reseed_v2) {
-              s.v2.set(i, bit);
-            } else {
-              s.v1.set(i, bit);
-            }
-          }
-          cop.reset_optimal_t(s);
+      for (std::size_t rep = 0; rep < replicas; ++rep) {
+        if (degenerate[rep] != 0) {
+          anti_collapse_intervene(
+              cop, ReplicaView(x.data() + rep, y.data() + rep,
+                               cop.num_spins(), replicas));
         }
-      }
-
-      for (std::size_t j = 0; j < c; ++j) {
-        const std::size_t idx = cop.t_spin(j);
-        v.x(idx) = s.t.get(j) ? 1.0 : -1.0;
-        v.y(idx) = 0.0;
       }
     };
   }
@@ -168,8 +207,10 @@ ColumnSetting IsingCoreSolver::solve(const ColumnCop& cop, std::uint64_t seed,
     if (attempt == 0 && !seeded_x.empty()) {
       params.initial_positions = seeded_x;
     }
-    const IsingSolveResult res = solve_sb_batch(
-        model, params, std::max<std::size_t>(1, options_.replicas), hook);
+    const IsingSolveResult res =
+        solve_sb_batch(model, params,
+                       std::max<std::size_t>(1, options_.replicas), nullptr,
+                       plane_hook, &ctx);
     total_iters += res.iterations;
     any_early = any_early || res.stopped_early;
 
@@ -183,6 +224,10 @@ ColumnSetting IsingCoreSolver::solve(const ColumnCop& cop, std::uint64_t seed,
       best_obj = obj;
       have_best = true;
     }
+    if (ctx.expired()) {
+      any_early = true;
+      break;
+    }
   }
 
   if (stats != nullptr) {
@@ -194,9 +239,10 @@ ColumnSetting IsingCoreSolver::solve(const ColumnCop& cop, std::uint64_t seed,
   return best;
 }
 
-ColumnSetting ExhaustiveCoreSolver::solve(const ColumnCop& cop,
-                                          std::uint64_t /*seed*/,
-                                          CoreSolveStats* stats) const {
+ColumnSetting ExhaustiveCoreSolver::do_solve(const ColumnCop& cop,
+                                             const RunContext& /*ctx*/,
+                                             std::uint64_t /*seed*/,
+                                             CoreSolveStats* stats) const {
   if (cop.num_spins() > 24) {
     throw std::invalid_argument(
         "ExhaustiveCoreSolver: instance too large (2r + c must be <= 24)");
@@ -213,9 +259,10 @@ ColumnSetting ExhaustiveCoreSolver::solve(const ColumnCop& cop,
   return s;
 }
 
-ColumnSetting AlternatingCoreSolver::solve(const ColumnCop& cop,
-                                           std::uint64_t seed,
-                                           CoreSolveStats* stats) const {
+ColumnSetting AlternatingCoreSolver::do_solve(const ColumnCop& cop,
+                                              const RunContext& /*ctx*/,
+                                              std::uint64_t seed,
+                                              CoreSolveStats* stats) const {
   Rng rng(seed);
   ColumnSetting best;
   double best_obj = 0.0;
@@ -239,9 +286,10 @@ ColumnSetting AlternatingCoreSolver::solve(const ColumnCop& cop,
   return best;
 }
 
-ColumnSetting HeuristicCoreSolver::solve(const ColumnCop& cop,
-                                         std::uint64_t /*seed*/,
-                                         CoreSolveStats* stats) const {
+ColumnSetting HeuristicCoreSolver::do_solve(const ColumnCop& cop,
+                                            const RunContext& /*ctx*/,
+                                            std::uint64_t /*seed*/,
+                                            CoreSolveStats* stats) const {
   const BooleanMatrix& m = cop.exact_matrix();
 
   // The two most frequent distinct exact columns seed the pattern pair.
@@ -263,9 +311,10 @@ ColumnSetting HeuristicCoreSolver::solve(const ColumnCop& cop,
   return s;
 }
 
-ColumnSetting AnnealCoreSolver::solve(const ColumnCop& cop,
-                                      std::uint64_t seed,
-                                      CoreSolveStats* stats) const {
+ColumnSetting AnnealCoreSolver::do_solve(const ColumnCop& cop,
+                                         const RunContext& /*ctx*/,
+                                         std::uint64_t seed,
+                                         CoreSolveStats* stats) const {
   const std::size_t r = cop.rows();
   const std::size_t c = cop.cols();
   const std::size_t bits = 2 * r + c;
@@ -497,14 +546,24 @@ class ColumnBnb {
 
 }  // namespace
 
-ColumnSetting BnbCoreSolver::solve(const ColumnCop& cop, std::uint64_t seed,
-                                   CoreSolveStats* stats) const {
+ColumnSetting BnbCoreSolver::do_solve(const ColumnCop& cop,
+                                      const RunContext& ctx,
+                                      std::uint64_t seed,
+                                      CoreSolveStats* stats) const {
   // Warm incumbent from alternating minimization (cheap, often near-opt).
   const AlternatingCoreSolver warm(options_.warm_restarts);
-  ColumnSetting incumbent = warm.solve(cop, seed, nullptr);
+  ColumnSetting incumbent = warm.solve(cop, ctx, seed, nullptr);
   const double incumbent_obj = cop.objective(incumbent);
 
-  ColumnBnb bnb(cop, options_.time_budget_s);
+  // The context deadline caps the solver's own budget (whichever is
+  // tighter); a budget-less context leaves the configured budget alone.
+  double budget = options_.time_budget_s;
+  if (ctx.deadline().budget() > 0.0) {
+    const double remaining = ctx.deadline().remaining();
+    budget = budget > 0.0 ? std::min(budget, remaining) : remaining;
+  }
+
+  ColumnBnb bnb(cop, budget);
   bnb.set_incumbent(incumbent, incumbent_obj);
   bnb.run();
 

@@ -7,11 +7,14 @@
 #include "core/column_cop.hpp"
 #include "ising/bsb.hpp"
 #include "ising/sa.hpp"
+#include "support/run_context.hpp"
 #include "support/timer.hpp"
 
 namespace adsd {
 
-/// Telemetry from a single core-COP solve.
+/// Flat per-solve counters, kept for call sites that aggregate by hand;
+/// the context's TelemetrySink supersedes them for reporting (every solve
+/// records a span under "core/solve/<name>" plus iteration counters).
 struct CoreSolveStats {
   double objective = 0.0;
   std::size_t iterations = 0;   // solver-specific unit (Euler steps, sweeps, nodes)
@@ -22,12 +25,29 @@ struct CoreSolveStats {
 /// Strategy interface: produce a setting (V1, V2, T) minimizing the COP
 /// objective. Implementations must be deterministic for a fixed seed and
 /// safe to call concurrently from multiple threads on distinct COPs.
+///
+/// Non-virtual interface: callers use solve(), which threads the
+/// RunContext down and wraps every solve in a telemetry span; subclasses
+/// implement do_solve(). The context-free overload runs under the
+/// process-wide RunContext::fallback() with identical semantics, so
+/// results never depend on which overload was called.
 class CoreCopSolver {
  public:
   virtual ~CoreCopSolver() = default;
   virtual std::string name() const = 0;
-  virtual ColumnSetting solve(const ColumnCop& cop, std::uint64_t seed,
-                              CoreSolveStats* stats = nullptr) const = 0;
+
+  ColumnSetting solve(const ColumnCop& cop, const RunContext& ctx,
+                      std::uint64_t seed, CoreSolveStats* stats = nullptr) const;
+
+  ColumnSetting solve(const ColumnCop& cop, std::uint64_t seed,
+                      CoreSolveStats* stats = nullptr) const {
+    return solve(cop, RunContext::fallback(), seed, stats);
+  }
+
+ protected:
+  virtual ColumnSetting do_solve(const ColumnCop& cop, const RunContext& ctx,
+                                 std::uint64_t seed,
+                                 CoreSolveStats* stats) const = 0;
 };
 
 /// The paper's proposal: ballistic simulated bifurcation on the Ising
@@ -78,10 +98,13 @@ class IsingCoreSolver final : public CoreCopSolver {
   explicit IsingCoreSolver(Options options) : options_(options) {}
 
   std::string name() const override { return "ising-bsb"; }
-  ColumnSetting solve(const ColumnCop& cop, std::uint64_t seed,
-                      CoreSolveStats* stats) const override;
 
   const Options& options() const { return options_; }
+
+ protected:
+  ColumnSetting do_solve(const ColumnCop& cop, const RunContext& ctx,
+                         std::uint64_t seed,
+                         CoreSolveStats* stats) const override;
 
  private:
   Options options_;
@@ -92,8 +115,11 @@ class IsingCoreSolver final : public CoreCopSolver {
 class ExhaustiveCoreSolver final : public CoreCopSolver {
  public:
   std::string name() const override { return "exhaustive"; }
-  ColumnSetting solve(const ColumnCop& cop, std::uint64_t seed,
-                      CoreSolveStats* stats) const override;
+
+ protected:
+  ColumnSetting do_solve(const ColumnCop& cop, const RunContext& ctx,
+                         std::uint64_t seed,
+                         CoreSolveStats* stats) const override;
 };
 
 /// Lloyd-style alternating minimization: random (V1, V2), then alternate
@@ -106,8 +132,11 @@ class AlternatingCoreSolver final : public CoreCopSolver {
       : restarts_(restarts), max_sweeps_(max_sweeps) {}
 
   std::string name() const override { return "alternating"; }
-  ColumnSetting solve(const ColumnCop& cop, std::uint64_t seed,
-                      CoreSolveStats* stats) const override;
+
+ protected:
+  ColumnSetting do_solve(const ColumnCop& cop, const RunContext& ctx,
+                         std::uint64_t seed,
+                         CoreSolveStats* stats) const override;
 
  private:
   std::size_t restarts_;
@@ -127,8 +156,11 @@ class HeuristicCoreSolver final : public CoreCopSolver {
       : refine_sweeps_(refine_sweeps) {}
 
   std::string name() const override { return "dalta-greedy"; }
-  ColumnSetting solve(const ColumnCop& cop, std::uint64_t seed,
-                      CoreSolveStats* stats) const override;
+
+ protected:
+  ColumnSetting do_solve(const ColumnCop& cop, const RunContext& ctx,
+                         std::uint64_t seed,
+                         CoreSolveStats* stats) const override;
 
  private:
   std::size_t refine_sweeps_;
@@ -150,8 +182,11 @@ class AnnealCoreSolver final : public CoreCopSolver {
   explicit AnnealCoreSolver(Options options) : options_(options) {}
 
   std::string name() const override { return "ba-anneal"; }
-  ColumnSetting solve(const ColumnCop& cop, std::uint64_t seed,
-                      CoreSolveStats* stats) const override;
+
+ protected:
+  ColumnSetting do_solve(const ColumnCop& cop, const RunContext& ctx,
+                         std::uint64_t seed,
+                         CoreSolveStats* stats) const override;
 
  private:
   Options options_;
@@ -173,8 +208,11 @@ class BnbCoreSolver final : public CoreCopSolver {
   explicit BnbCoreSolver(Options options) : options_(options) {}
 
   std::string name() const override { return "ilp-bnb"; }
-  ColumnSetting solve(const ColumnCop& cop, std::uint64_t seed,
-                      CoreSolveStats* stats) const override;
+
+ protected:
+  ColumnSetting do_solve(const ColumnCop& cop, const RunContext& ctx,
+                         std::uint64_t seed,
+                         CoreSolveStats* stats) const override;
 
  private:
   Options options_;

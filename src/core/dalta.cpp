@@ -36,20 +36,20 @@ struct EvalScratch {
   std::vector<double> d;
 };
 
-std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
-                       std::uint64_t c) {
-  std::uint64_t x = seed ^ (a * 0x9e3779b97f4a7c15ull) ^
-                    (b * 0xc2b2ae3d27d4eb4full) ^ (c * 0x165667b19e3779f9ull);
-  x ^= x >> 33;
-  x *= 0xff51afd7ed558ccdull;
-  x ^= x >> 33;
-  return x;
-}
-
 }  // namespace
 
 DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
                       const DaltaParams& params, const CoreCopSolver& solver) {
+  RunContext::Options opts;
+  opts.seed = params.seed;
+  opts.parallel = params.parallel;
+  const RunContext ctx(opts);
+  return run_dalta(exact, dist, params, solver, ctx);
+}
+
+DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
+                      const DaltaParams& params, const CoreCopSolver& solver,
+                      const RunContext& ctx) {
   const unsigned n = exact.num_inputs();
   const unsigned m = exact.num_outputs();
   if (dist.num_inputs() != n) {
@@ -63,6 +63,8 @@ DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
   }
 
   Timer timer;
+  TelemetrySink& sink = ctx.telemetry();
+  const auto run_span = sink.span("dalta/run");
   const std::uint64_t patterns = exact.num_patterns();
 
   TruthTable approx = exact;
@@ -97,8 +99,8 @@ DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
       }
 
       // The candidate partitions for this (round, output) are fixed by the
-      // seed alone, so every solver sees the same sequence.
-      Rng part_rng(mix_seed(params.seed, round, k, 0x51ab));
+      // context seed alone, so every solver sees the same sequence.
+      Rng part_rng = ctx.stream("dalta/partitions", round, k);
       const std::size_t oversample =
           params.num_partitions * std::max<std::size_t>(1, params.screen_factor);
       std::vector<InputPartition> candidates_w;
@@ -108,9 +110,11 @@ DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
             InputPartition::random(n, params.free_size, part_rng));
       }
       if (oversample > params.num_partitions) {
+        const auto screen_span = sink.span("dalta/screen");
         const PartitionScreener screener(exact.output(k), n);
         candidates_w =
             screener.screen(std::move(candidates_w), params.num_partitions);
+        sink.add("dalta/screened", oversample - params.num_partitions);
       }
 
       std::vector<std::optional<Candidate>> candidates(params.num_partitions);
@@ -146,13 +150,15 @@ DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
 
         Candidate cand{w, {}, {}};
         cand.setting =
-            solver.solve(cop, mix_seed(params.seed, round, k, p), &cand.stats);
+            solver.solve(cop, ctx, ctx.stream_seed("dalta/candidate", round,
+                                                   k, p),
+                         &cand.stats);
         cand.stats.objective = cop.objective(cand.setting);
         candidates[p] = std::move(cand);
       };
 
-      if (params.parallel && params.num_partitions > 1) {
-        ThreadPool::shared().parallel_for(params.num_partitions, evaluate);
+      if (ctx.parallel() && params.parallel && params.num_partitions > 1) {
+        ctx.pool().parallel_for(params.num_partitions, evaluate);
       } else {
         for (std::size_t p = 0; p < params.num_partitions; ++p) {
           evaluate(p);
@@ -212,6 +218,9 @@ DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
   result.med = mean_error_distance(exact, result.approx, dist);
   result.error_rate = error_rate(exact, result.approx, dist);
   result.seconds = timer.seconds();
+  sink.add("dalta/cop_solves", result.cop_solves);
+  sink.add("dalta/outputs", m);
+  sink.add("dalta/rounds", params.rounds);
   return result;
 }
 

@@ -59,8 +59,21 @@ struct DaltaResult {
 };
 
 /// Runs the framework on `exact` with the given core-COP solver. The same
-/// partition sequence is derived from `params.seed` regardless of solver,
-/// so different solvers compete on identical candidate sets.
+/// partition sequence is derived from the seed alone regardless of solver,
+/// so different solvers compete on identical candidate sets. Results are
+/// bit-identical for a fixed seed at every thread count: candidates are
+/// evaluated into per-index slots and the winner picked deterministically.
+///
+/// The context overload is the primary entry point: ctx supplies the seed
+/// (params.seed is superseded), the thread pool, the deadline, and the
+/// telemetry sink (spans under "dalta/", per-solve spans under "core/").
+/// Parallel evaluation requires both ctx.parallel() and params.parallel.
+DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
+                      const DaltaParams& params, const CoreCopSolver& solver,
+                      const RunContext& ctx);
+
+/// Convenience overload: builds a context from params (seed, parallel flag,
+/// shared pool, no deadline) — identical results to the context form.
 DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
                       const DaltaParams& params, const CoreCopSolver& solver);
 

@@ -27,16 +27,6 @@ std::uint64_t NdDaltaResult::total_flat_size_bits() const {
 
 namespace {
 
-std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
-                       std::uint64_t c) {
-  std::uint64_t x = seed ^ (a * 0x9e3779b97f4a7c15ull) ^
-                    (b * 0xc2b2ae3d27d4eb4full) ^ (c * 0x165667b19e3779f9ull);
-  x ^= x >> 33;
-  x *= 0xff51afd7ed558ccdull;
-  x ^= x >> 33;
-  return x;
-}
-
 struct NdCandidate {
   NonDisjointPartition partition;
   NonDisjointSetting setting;
@@ -50,6 +40,18 @@ NdDaltaResult run_dalta_nd(const TruthTable& exact,
                            const InputDistribution& dist,
                            const NdDaltaParams& params,
                            const CoreCopSolver& solver) {
+  RunContext::Options opts;
+  opts.seed = params.seed;
+  opts.parallel = params.parallel;
+  const RunContext ctx(opts);
+  return run_dalta_nd(exact, dist, params, solver, ctx);
+}
+
+NdDaltaResult run_dalta_nd(const TruthTable& exact,
+                           const InputDistribution& dist,
+                           const NdDaltaParams& params,
+                           const CoreCopSolver& solver,
+                           const RunContext& ctx) {
   const unsigned n = exact.num_inputs();
   const unsigned m = exact.num_outputs();
   if (dist.num_inputs() != n) {
@@ -64,6 +66,8 @@ NdDaltaResult run_dalta_nd(const TruthTable& exact,
   }
 
   Timer timer;
+  TelemetrySink& sink = ctx.telemetry();
+  const auto run_span = sink.span("dalta_nd/run");
   const std::uint64_t patterns = exact.num_patterns();
 
   std::vector<std::int64_t> exact_words(patterns);
@@ -92,7 +96,9 @@ NdDaltaResult run_dalta_nd(const TruthTable& exact,
         }
       }
 
-      Rng part_rng(mix_seed(params.seed, round, k, 0x51ab));
+      // Same stream tag as run_dalta, so shared_size == 0 draws the same
+      // partition sequence as the disjoint flow.
+      Rng part_rng = ctx.stream("dalta/partitions", round, k);
       std::vector<NonDisjointPartition> candidates_w;
       candidates_w.reserve(params.num_partitions);
       for (std::size_t p = 0; p < params.num_partitions; ++p) {
@@ -138,7 +144,9 @@ NdDaltaResult run_dalta_nd(const TruthTable& exact,
           // Slice 0 must reuse run_dalta's per-candidate seed so that
           // shared_size == 0 reproduces the disjoint flow exactly.
           ColumnSetting cs = solver.solve(
-              cop, mix_seed(params.seed, round, k, p + sl * 0x51de5ull),
+              cop, ctx,
+              ctx.stream_seed("dalta/candidate", round, k,
+                              p + sl * 0x51de5ull),
               &stats);
           cand.objective += cop.objective(cs);
           cand.iterations += stats.iterations;
@@ -147,8 +155,8 @@ NdDaltaResult run_dalta_nd(const TruthTable& exact,
         candidates[p] = std::move(cand);
       };
 
-      if (params.parallel && params.num_partitions > 1) {
-        ThreadPool::shared().parallel_for(params.num_partitions, evaluate);
+      if (ctx.parallel() && params.parallel && params.num_partitions > 1) {
+        ctx.pool().parallel_for(params.num_partitions, evaluate);
       } else {
         for (std::size_t p = 0; p < params.num_partitions; ++p) {
           evaluate(p);
@@ -203,6 +211,8 @@ NdDaltaResult run_dalta_nd(const TruthTable& exact,
   result.med = mean_error_distance(exact, result.approx, dist);
   result.error_rate = error_rate(exact, result.approx, dist);
   result.seconds = timer.seconds();
+  sink.add("dalta_nd/cop_solves", result.cop_solves);
+  sink.add("dalta_nd/outputs", m);
   return result;
 }
 

@@ -48,6 +48,18 @@ struct NdDaltaResult {
 /// column-based core COP per shared-assignment slice, each solved with
 /// `solver`; the slice objectives add up because slices cover disjoint
 /// input patterns.
+///
+/// The context overload is the primary entry point (ctx supplies the seed,
+/// pool, deadline, and telemetry; params.seed is superseded). Slice 0
+/// shares run_dalta's candidate seed stream, so shared_size == 0
+/// reproduces the disjoint flow exactly under the same seed.
+NdDaltaResult run_dalta_nd(const TruthTable& exact,
+                           const InputDistribution& dist,
+                           const NdDaltaParams& params,
+                           const CoreCopSolver& solver, const RunContext& ctx);
+
+/// Convenience overload: builds a context from params (seed, parallel
+/// flag, shared pool, no deadline) — identical results to the context form.
 NdDaltaResult run_dalta_nd(const TruthTable& exact,
                            const InputDistribution& dist,
                            const NdDaltaParams& params,

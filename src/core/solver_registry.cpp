@@ -1,0 +1,273 @@
+#include "core/solver_registry.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+namespace adsd {
+
+namespace {
+
+[[noreturn]] void bad_value(const std::string& key, const std::string& value,
+                            const char* want) {
+  throw std::invalid_argument("solver config key '" + key + "': '" + value +
+                              "' is not a valid " + want);
+}
+
+}  // namespace
+
+void SolverConfig::set(const std::string& key, const std::string& value) {
+  if (key.empty()) {
+    throw std::invalid_argument("solver config: empty key");
+  }
+  values_[key] = value;
+}
+
+bool SolverConfig::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::size_t SolverConfig::get_size(const std::string& key,
+                                   std::size_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  const std::string& v = it->second;
+  std::size_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    bad_value(key, v, "non-negative integer");
+  }
+  return out;
+}
+
+double SolverConfig::get_double(const std::string& key,
+                                double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  const std::string& v = it->second;
+  try {
+    std::size_t used = 0;
+    const double out = std::stod(v, &used);
+    if (used != v.size()) {
+      bad_value(key, v, "number");
+    }
+    return out;
+  } catch (const std::invalid_argument&) {
+    bad_value(key, v, "number");
+  } catch (const std::out_of_range&) {
+    bad_value(key, v, "number");
+  }
+}
+
+bool SolverConfig::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "on" || v == "yes") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "off" || v == "no") {
+    return false;
+  }
+  bad_value(key, v, "boolean (1/0/true/false/on/off/yes/no)");
+}
+
+bool SolverRegistry::Entry::accepts(const std::string& query) const {
+  return query == name ||
+         std::find(aliases.begin(), aliases.end(), query) != aliases.end();
+}
+
+void SolverRegistry::add(Entry entry) {
+  auto check = [this](const std::string& candidate) {
+    for (const Entry& existing : entries_) {
+      if (existing.accepts(candidate)) {
+        throw std::invalid_argument("solver registry: name '" + candidate +
+                                    "' already registered");
+      }
+    }
+  };
+  check(entry.name);
+  for (const std::string& alias : entry.aliases) {
+    check(alias);
+  }
+  entries_.push_back(std::move(entry));
+}
+
+const SolverRegistry::Entry* SolverRegistry::find(
+    const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.accepts(name)) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<CoreCopSolver> SolverRegistry::make(
+    const std::string& name, const SolverConfig& config) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) {
+    std::string known;
+    for (const Entry& e : entries_) {
+      known += known.empty() ? e.name : ", " + e.name;
+    }
+    throw std::invalid_argument("unknown solver '" + name +
+                                "' (known: " + known + ")");
+  }
+  for (const auto& [key, value] : config.values()) {
+    if (std::find(entry->keys.begin(), entry->keys.end(), key) ==
+        entry->keys.end()) {
+      std::string known;
+      for (const std::string& k : entry->keys) {
+        known += known.empty() ? k : ", " + k;
+      }
+      throw std::invalid_argument(
+          "solver '" + entry->name + "' does not take key '" + key + "'" +
+          (known.empty() ? std::string(" (no keys)")
+                         : " (keys: " + known + ")"));
+    }
+  }
+  return entry->factory(config);
+}
+
+std::pair<std::string, SolverConfig> SolverRegistry::parse_spec(
+    const std::string& spec) {
+  SolverConfig config;
+  std::size_t pos = spec.find(',');
+  const std::string name = spec.substr(0, pos);
+  if (name.empty()) {
+    throw std::invalid_argument("solver spec: empty name in '" + spec + "'");
+  }
+  while (pos != std::string::npos) {
+    const std::size_t start = pos + 1;
+    pos = spec.find(',', start);
+    const std::string item =
+        spec.substr(start, pos == std::string::npos ? pos : pos - start);
+    if (item.empty()) {
+      continue;
+    }
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("solver spec item '" + item +
+                                  "' is not key=value");
+    }
+    config.set(item.substr(0, eq), item.substr(eq + 1));
+  }
+  return {name, std::move(config)};
+}
+
+std::unique_ptr<CoreCopSolver> SolverRegistry::make_from_spec(
+    const std::string& spec) const {
+  auto [name, config] = parse_spec(spec);
+  return make(name, config);
+}
+
+const SolverRegistry& SolverRegistry::global() {
+  static const SolverRegistry registry = [] {
+    SolverRegistry r;
+
+    r.add({"prop",
+           "Ising/bSB solver proposed by the paper (dynamic stop + "
+           "Theorem-3 feedback)",
+           {"ising-bsb"},
+           {"n", "replicas", "restarts", "theorem3", "anti-collapse",
+            "polish", "seed-init", "max-iter", "dt", "discrete", "stop",
+            "stop-interval", "stop-window", "stop-epsilon"},
+           [](const SolverConfig& c) -> std::unique_ptr<CoreCopSolver> {
+             auto options = IsingCoreSolver::Options::paper_defaults(
+                 static_cast<unsigned>(c.get_size("n", 9)));
+             options.replicas =
+                 std::max<std::size_t>(1, c.get_size("replicas", 1));
+             options.restarts =
+                 std::max<std::size_t>(1, c.get_size("restarts", 1));
+             options.use_theorem3 = c.get_bool("theorem3", true);
+             options.anti_collapse = c.get_bool("anti-collapse", true);
+             options.final_polish = c.get_bool("polish", true);
+             options.column_seed_init = c.get_bool("seed-init", true);
+             options.sb.max_iterations =
+                 c.get_size("max-iter", options.sb.max_iterations);
+             options.sb.dt = c.get_double("dt", options.sb.dt);
+             options.sb.discrete = c.get_bool("discrete", false);
+             options.sb.stop.enabled =
+                 c.get_bool("stop", options.sb.stop.enabled);
+             options.sb.stop.sample_interval = c.get_size(
+                 "stop-interval", options.sb.stop.sample_interval);
+             options.sb.stop.window =
+                 c.get_size("stop-window", options.sb.stop.window);
+             options.sb.stop.epsilon =
+                 c.get_double("stop-epsilon", options.sb.stop.epsilon);
+             return std::make_unique<IsingCoreSolver>(options);
+           }});
+
+    r.add({"dalta",
+           "DALTA-style greedy heuristic with alternating refinement",
+           {"dalta-greedy"},
+           {"sweeps"},
+           [](const SolverConfig& c) -> std::unique_ptr<CoreCopSolver> {
+             return std::make_unique<HeuristicCoreSolver>(
+                 c.get_size("sweeps", 4));
+           }});
+
+    r.add({"dalta-lit",
+           "One-shot greedy heuristic (literal ICCAD'21 reconstruction)",
+           {},
+           {},
+           [](const SolverConfig&) -> std::unique_ptr<CoreCopSolver> {
+             return std::make_unique<HeuristicCoreSolver>(0);
+           }});
+
+    r.add({"ilp",
+           "Anytime exact branch-and-bound (stands in for DALTA-ILP)",
+           {"ilp-bnb"},
+           {"budget", "warm-restarts"},
+           [](const SolverConfig& c) -> std::unique_ptr<CoreCopSolver> {
+             BnbCoreSolver::Options opt;
+             opt.time_budget_s = c.get_double("budget", opt.time_budget_s);
+             opt.warm_restarts =
+                 c.get_size("warm-restarts", opt.warm_restarts);
+             return std::make_unique<BnbCoreSolver>(opt);
+           }});
+
+    r.add({"ba",
+           "BA-style simulated annealing over setting bits (DATE'23)",
+           {"ba-anneal"},
+           {"sweeps", "beta-start", "beta-end", "restarts"},
+           [](const SolverConfig& c) -> std::unique_ptr<CoreCopSolver> {
+             AnnealCoreSolver::Options opt;
+             opt.sweeps = c.get_size("sweeps", opt.sweeps);
+             opt.beta_start = c.get_double("beta-start", opt.beta_start);
+             opt.beta_end = c.get_double("beta-end", opt.beta_end);
+             opt.restarts = c.get_size("restarts", opt.restarts);
+             return std::make_unique<AnnealCoreSolver>(opt);
+           }});
+
+    r.add({"alt",
+           "Lloyd-style alternating minimization, best of restarts",
+           {"alternating"},
+           {"restarts", "sweeps"},
+           [](const SolverConfig& c) -> std::unique_ptr<CoreCopSolver> {
+             return std::make_unique<AlternatingCoreSolver>(
+                 c.get_size("restarts", 8), c.get_size("sweeps", 64));
+           }});
+
+    r.add({"exhaustive",
+           "Exact oracle: exhaustive spin enumeration (2r + c <= 24)",
+           {},
+           {},
+           [](const SolverConfig&) -> std::unique_ptr<CoreCopSolver> {
+             return std::make_unique<ExhaustiveCoreSolver>();
+           }});
+
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace adsd

@@ -125,7 +125,7 @@ IsingSolveResult solve_sb_scalar(const IsingModel& model,
 }
 
 IsingSolveResult solve_sb(const IsingModel& model, const SbParams& params,
-                          const SbSampleHook& hook) {
+                          const SbSampleHook& hook, const RunContext* ctx) {
   if (!model.finalized()) {
     throw std::invalid_argument("solve_sb: model must be finalized");
   }
@@ -148,13 +148,15 @@ IsingSolveResult solve_sb(const IsingModel& model, const SbParams& params,
     };
   }
   BsbBatchEngine engine(model, params, 1);
+  engine.set_context(ctx);
   return engine.run(batch_hook);
 }
 
 IsingSolveResult solve_sb_ensemble(const IsingModel& model,
                                    const SbParams& params,
                                    std::size_t replicas,
-                                   const SbSampleHook& hook) {
+                                   const SbSampleHook& hook,
+                                   const RunContext* ctx) {
   if (!model.finalized()) {
     throw std::invalid_argument("solve_sb_ensemble: model must be finalized");
   }
@@ -192,7 +194,7 @@ IsingSolveResult solve_sb_ensemble(const IsingModel& model,
       }
     };
   }
-  return solve_sb_batch(model, params, replicas, batch_hook);
+  return solve_sb_batch(model, params, replicas, batch_hook, nullptr, ctx);
 }
 
 }  // namespace adsd

@@ -54,12 +54,16 @@ struct SbParams {
 using SbSampleHook =
     std::function<void(std::span<double> positions, std::span<double> momenta)>;
 
+class RunContext;
+
 /// Ballistic (or discrete) simulated bifurcation on a finalized model.
 /// Returns the best solution seen at any sampling point or at termination.
 /// Delegates to the batched lockstep engine (ising/bsb_batch.hpp) with a
 /// single replica; bit-identical to solve_sb_scalar() for the same seed.
+/// A non-null `ctx` enables deadline checks and telemetry counters.
 IsingSolveResult solve_sb(const IsingModel& model, const SbParams& params,
-                          const SbSampleHook& hook = nullptr);
+                          const SbSampleHook& hook = nullptr,
+                          const RunContext* ctx = nullptr);
 
 /// Scalar reference implementation of solve_sb (the seed implementation,
 /// one replica, per-sample from-scratch energies). Kept as the ground truth
@@ -83,6 +87,7 @@ IsingSolveResult solve_sb_scalar(const IsingModel& model,
 IsingSolveResult solve_sb_ensemble(const IsingModel& model,
                                    const SbParams& params,
                                    std::size_t replicas,
-                                   const SbSampleHook& hook = nullptr);
+                                   const SbSampleHook& hook = nullptr,
+                                   const RunContext* ctx = nullptr);
 
 }  // namespace adsd

@@ -6,8 +6,19 @@
 
 #include "ising/stop.hpp"
 #include "support/rng.hpp"
+#include "support/run_context.hpp"
+#include "support/thread_pool.hpp"
 
 namespace adsd {
+
+namespace {
+
+// Minimum n * R before force evaluation is sharded across the pool: below
+// this the whole kernel runs in a few microseconds and chunk dispatch would
+// dominate (the batched kernel streams ~2.6 G lanes/s single-threaded).
+constexpr std::size_t kForceShardMinLanes = 8192;
+
+}  // namespace
 
 BsbBatchEngine::BsbBatchEngine(const IsingModel& model, const SbParams& params,
                                std::size_t replicas)
@@ -91,15 +102,19 @@ BsbBatchEngine::BsbBatchEngine(const IsingModel& model, const SbParams& params,
 }
 
 template <int W, bool Discrete>
-void BsbBatchEngine::force_lanes(std::size_t lane0) {
+void BsbBatchEngine::force_lanes(std::size_t lane0, std::size_t row_begin,
+                                 std::size_t row_end) {
   // W is a compile-time lane-block width, so `acc` is a register file: the
   // edge loop reads W consecutive replicas of x per coupling and never
   // touches the force plane until the row is finished. W = 1 degenerates to
   // the scalar reference kernel (same accumulation order per lane, which is
   // what keeps replica trajectories bit-identical to solve_sb_scalar).
+  // Rows are independent (each writes only force_[i * R + ...]), so a
+  // sharded caller splitting [0, n) across threads produces bit-identical
+  // planes in any interleaving.
   const std::size_t R = R_;
   const double* x = x_.data() + lane0;
-  for (std::size_t i = 0; i < n_; ++i) {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
     double acc[W];
     const double hi = h_[i];
     for (int t = 0; t < W; ++t) {
@@ -125,23 +140,43 @@ void BsbBatchEngine::force_lanes(std::size_t lane0) {
 }
 
 template <bool Discrete>
-void BsbBatchEngine::compute_forces_impl() {
+void BsbBatchEngine::compute_forces_rows(std::size_t row_begin,
+                                         std::size_t row_end) {
   std::size_t lane = 0;
   while (lane + 8 <= R_) {
-    force_lanes<8, Discrete>(lane);
+    force_lanes<8, Discrete>(lane, row_begin, row_end);
     lane += 8;
   }
   if (lane + 4 <= R_) {
-    force_lanes<4, Discrete>(lane);
+    force_lanes<4, Discrete>(lane, row_begin, row_end);
     lane += 4;
   }
   if (lane + 2 <= R_) {
-    force_lanes<2, Discrete>(lane);
+    force_lanes<2, Discrete>(lane, row_begin, row_end);
     lane += 2;
   }
   if (lane < R_) {
-    force_lanes<1, Discrete>(lane);
+    force_lanes<1, Discrete>(lane, row_begin, row_end);
   }
+}
+
+template <bool Discrete>
+void BsbBatchEngine::compute_forces_impl() {
+  if (ctx_ != nullptr && ctx_->parallel() && n_ * R_ >= kForceShardMinLanes) {
+    ThreadPool& pool = ctx_->pool();
+    if (pool.thread_count() > 1) {
+      // Row sharding keeps the per-row accumulation order identical to the
+      // serial kernel, so results are bit-identical at every thread count
+      // (a nested call from inside DALTA's parallel_for runs inline via
+      // the pool's nesting guard — same code path, no oversubscription).
+      pool.parallel_for_chunks(
+          n_, 0, [this](std::size_t begin, std::size_t end) {
+            compute_forces_rows<Discrete>(begin, end);
+          });
+      return;
+    }
+  }
+  compute_forces_rows<Discrete>(0, n_);
 }
 
 void BsbBatchEngine::compute_forces() {
@@ -222,7 +257,8 @@ void BsbBatchEngine::copy_replica_spins(std::size_t r,
   }
 }
 
-IsingSolveResult BsbBatchEngine::run(const SbBatchHook& hook) {
+IsingSolveResult BsbBatchEngine::run(const SbBatchHook& hook,
+                                     const SbBatchPlaneHook& plane_hook) {
   IsingSolveResult result;
   copy_replica_spins(0, result.spins);
   result.energy = energies_[0];
@@ -258,6 +294,9 @@ IsingSolveResult BsbBatchEngine::run(const SbBatchHook& hook) {
   for (; iter < params_.max_iterations; ++iter) {
     step();
     if ((iter + 1) % sample_every == 0) {
+      if (plane_hook) {
+        plane_hook(positions(), momenta(), R_);
+      }
       if (hook) {
         for (std::size_t r = 0; r < R_; ++r) {
           hook(r, view(r));
@@ -265,7 +304,7 @@ IsingSolveResult BsbBatchEngine::run(const SbBatchHook& hook) {
       }
       sample();
       const double best_now = consider_all();
-      if (monitor.observe(best_now)) {
+      if (monitor.observe(best_now) || (ctx_ != nullptr && ctx_->expired())) {
         result.stopped_early = true;
         ++iter;
         break;
@@ -276,14 +315,20 @@ IsingSolveResult BsbBatchEngine::run(const SbBatchHook& hook) {
   sample();
   consider_all();
   result.iterations = iter;
+  if (ctx_ != nullptr) {
+    ctx_->telemetry().add("ising/sb/steps", iter);
+    ctx_->telemetry().add("ising/sb/replica_steps", iter * R_);
+  }
   return result;
 }
 
 IsingSolveResult solve_sb_batch(const IsingModel& model, const SbParams& params,
-                                std::size_t replicas,
-                                const SbBatchHook& hook) {
+                                std::size_t replicas, const SbBatchHook& hook,
+                                const SbBatchPlaneHook& plane_hook,
+                                const RunContext* ctx) {
   BsbBatchEngine engine(model, params, replicas);
-  IsingSolveResult result = engine.run(hook);
+  engine.set_context(ctx);
+  IsingSolveResult result = engine.run(hook, plane_hook);
   result.iterations *= replicas;
   return result;
 }

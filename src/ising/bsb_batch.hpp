@@ -11,6 +11,8 @@
 
 namespace adsd {
 
+class RunContext;
+
 /// Mutable view of one replica inside the batched engine's
 /// replica-contiguous (structure-of-arrays) state: element i of the replica
 /// lives at offset i * stride. Intervention hooks (the Theorem-3 reset of
@@ -40,6 +42,14 @@ class ReplicaView {
 /// sampling point with the replica index and a strided view of its state.
 using SbBatchHook = std::function<void(std::size_t replica, ReplicaView view)>;
 
+/// Whole-ensemble intervention hook: called once per sampling point with
+/// the raw SoA position/momentum planes (element i of replica r at index
+/// i * replicas + r). Batched interventions (the plane-based Theorem-3
+/// reset) use this to sweep all replicas with replica-contiguous inner
+/// loops instead of R strided passes.
+using SbBatchPlaneHook = std::function<void(
+    std::span<double> x, std::span<double> y, std::size_t replicas)>;
+
 /// Batched ballistic/discrete simulated bifurcation: R replicas advanced in
 /// lockstep over a single flattened CSR traversal.
 ///
@@ -68,6 +78,14 @@ class BsbBatchEngine {
   /// The model reference must outlive the engine.
   BsbBatchEngine(const IsingModel& model, const SbParams& params,
                  std::size_t replicas);
+
+  /// Attaches an execution context (must outlive the engine; nullptr
+  /// detaches). With a context, force evaluation shards rows across
+  /// ctx->pool() once n * R is large enough to amortize chunk dispatch —
+  /// bit-identical at every thread count because each row's accumulation
+  /// is independent and element order within a row is unchanged — and
+  /// run() honors the context deadline at sampling points.
+  void set_context(const RunContext* ctx) { ctx_ = ctx; }
 
   std::size_t num_spins() const { return n_; }
   std::size_t replicas() const { return R_; }
@@ -103,12 +121,18 @@ class BsbBatchEngine {
 
   /// Full solve loop (integration, sampling, dynamic stop, best tracking);
   /// `iterations` of the result counts Euler steps of one replica — callers
-  /// scale by replicas() if they want the ensemble total.
-  IsingSolveResult run(const SbBatchHook& hook = nullptr);
+  /// scale by replicas() if they want the ensemble total. At each sampling
+  /// point `plane_hook` (if any) runs first over the whole ensemble, then
+  /// `hook` per replica.
+  IsingSolveResult run(const SbBatchHook& hook = nullptr,
+                       const SbBatchPlaneHook& plane_hook = nullptr);
 
  private:
   template <int W, bool Discrete>
-  void force_lanes(std::size_t lane0);
+  void force_lanes(std::size_t lane0, std::size_t row_begin,
+                   std::size_t row_end);
+  template <bool Discrete>
+  void compute_forces_rows(std::size_t row_begin, std::size_t row_end);
   template <bool Discrete>
   void compute_forces_impl();
   void flip(std::size_t i, std::size_t r, std::int8_t new_sign);
@@ -117,6 +141,7 @@ class BsbBatchEngine {
 
   const IsingModel& model_;
   SbParams params_;
+  const RunContext* ctx_ = nullptr;
   std::size_t n_;
   std::size_t R_;
   double c0_;
@@ -144,9 +169,14 @@ class BsbBatchEngine {
 /// replicas in lockstep, best replica's best solution returned, dynamic stop
 /// on the ensemble-best energy, `iterations` summed over replicas. The hook
 /// (if any) is applied to every replica at each sampling point through a
-/// strided view (no copies).
+/// strided view (no copies); `plane_hook` (if any) runs once per sampling
+/// point over the whole ensemble before the per-replica hook. A non-null
+/// `ctx` enables row-sharded force evaluation over ctx->pool(), deadline
+/// checks, and step counters in ctx->telemetry().
 IsingSolveResult solve_sb_batch(const IsingModel& model, const SbParams& params,
                                 std::size_t replicas,
-                                const SbBatchHook& hook = nullptr);
+                                const SbBatchHook& hook = nullptr,
+                                const SbBatchPlaneHook& plane_hook = nullptr,
+                                const RunContext* ctx = nullptr);
 
 }  // namespace adsd

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "support/rng.hpp"
+#include "support/run_context.hpp"
 
 namespace adsd {
 
@@ -23,7 +24,8 @@ std::vector<std::int8_t> signs_of(std::span<const double> x) {
 
 IsingSolveResult solve_sb_poly(const PolyIsingModel& model,
                                const SbParams& params,
-                               const SbSampleHook& hook) {
+                               const SbSampleHook& hook,
+                               const RunContext* ctx) {
   if (!model.finalized()) {
     throw std::invalid_argument("solve_sb_poly: model must be finalized");
   }
@@ -104,7 +106,7 @@ IsingSolveResult solve_sb_poly(const PolyIsingModel& model,
         hook(std::span<double>(x), std::span<double>(y));
       }
       const double e = consider(x);
-      if (monitor.observe(e)) {
+      if (monitor.observe(e) || (ctx != nullptr && ctx->expired())) {
         result.stopped_early = true;
         ++iter;
         break;
@@ -114,11 +116,14 @@ IsingSolveResult solve_sb_poly(const PolyIsingModel& model,
 
   consider(x);
   result.iterations = iter;
+  if (ctx != nullptr) {
+    ctx->telemetry().add("ising/sb_poly/steps", iter);
+  }
   return result;
 }
 
 IsingSolveResult solve_sa_poly(const PolyIsingModel& model,
-                               const SaParams& params) {
+                               const SaParams& params, const RunContext* ctx) {
   if (!model.finalized()) {
     throw std::invalid_argument("solve_sa_poly: model must be finalized");
   }
@@ -159,7 +164,7 @@ IsingSolveResult solve_sa_poly(const PolyIsingModel& model,
       result.energy = energy;
       result.spins = spins;
     }
-    if (monitor.observe(energy)) {
+    if (monitor.observe(energy) || (ctx != nullptr && ctx->expired())) {
       result.stopped_early = true;
       ++sweep;
       break;
@@ -168,6 +173,9 @@ IsingSolveResult solve_sa_poly(const PolyIsingModel& model,
   }
 
   result.iterations = sweep;
+  if (ctx != nullptr) {
+    ctx->telemetry().add("ising/sa_poly/sweeps", sweep);
+  }
   return result;
 }
 

@@ -5,10 +5,12 @@
 #include <vector>
 
 #include "support/rng.hpp"
+#include "support/run_context.hpp"
 
 namespace adsd {
 
-IsingSolveResult solve_sa(const IsingModel& model, const SaParams& params) {
+IsingSolveResult solve_sa(const IsingModel& model, const SaParams& params,
+                          const RunContext* ctx) {
   if (!model.finalized()) {
     throw std::invalid_argument("solve_sa: model must be finalized");
   }
@@ -50,7 +52,7 @@ IsingSolveResult solve_sa(const IsingModel& model, const SaParams& params) {
       result.energy = energy;
       result.spins = spins;
     }
-    if (monitor.observe(energy)) {
+    if (monitor.observe(energy) || (ctx != nullptr && ctx->expired())) {
       result.stopped_early = true;
       ++sweep;
       break;
@@ -59,6 +61,9 @@ IsingSolveResult solve_sa(const IsingModel& model, const SaParams& params) {
   }
 
   result.iterations = sweep;
+  if (ctx != nullptr) {
+    ctx->telemetry().add("ising/sa/sweeps", sweep);
+  }
   return result;
 }
 

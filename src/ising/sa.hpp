@@ -26,8 +26,12 @@ struct SaParams {
   DynamicStopParams stop{};
 };
 
+class RunContext;
+
 /// Metropolis simulated annealing on a finalized model. Returns the best
-/// assignment visited. `iterations` counts executed sweeps.
-IsingSolveResult solve_sa(const IsingModel& model, const SaParams& params);
+/// assignment visited. `iterations` counts executed sweeps. A non-null
+/// `ctx` enables per-sweep deadline checks and telemetry counters.
+IsingSolveResult solve_sa(const IsingModel& model, const SaParams& params,
+                          const RunContext* ctx = nullptr);
 
 }  // namespace adsd

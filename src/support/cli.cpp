@@ -1,5 +1,6 @@
 #include "support/cli.hpp"
 
+#include <charconv>
 #include <stdexcept>
 
 namespace adsd {
@@ -65,6 +66,24 @@ std::size_t CliArgs::get_size(const std::string& name,
   const long long parsed = std::stoll(*v);
   if (parsed < 0) {
     throw std::invalid_argument("--" + name + " must be non-negative");
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+std::size_t CliArgs::get_positive_size(const std::string& name,
+                                       std::size_t fallback) const {
+  const auto v = raw(name);
+  if (!v) {
+    return fallback;
+  }
+  unsigned long long parsed = 0;
+  const char* begin = v->data();
+  const char* end = begin + v->size();
+  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  if (ec != std::errc{} || ptr != end || parsed == 0) {
+    throw std::invalid_argument("--" + name +
+                                ": expected a positive integer, got '" + *v +
+                                "'");
   }
   return static_cast<std::size_t>(parsed);
 }

@@ -22,6 +22,13 @@ class CliArgs {
   std::string get_string(const std::string& name, std::string fallback) const;
   int get_int(const std::string& name, int fallback) const;
   std::size_t get_size(const std::string& name, std::size_t fallback) const;
+
+  /// Strict variant for counted resources (--threads, --replicas): the
+  /// whole value must parse as a base-10 integer >= 1. Rejects 0,
+  /// negatives, empty values, and trailing garbage ("4x") instead of
+  /// silently falling back.
+  std::size_t get_positive_size(const std::string& name,
+                                std::size_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
 

@@ -1,0 +1,62 @@
+#include "support/run_context.hpp"
+
+#include "support/thread_pool.hpp"
+
+namespace adsd {
+
+namespace {
+
+std::uint64_t splitmix_round(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+RunContext::RunContext(Options options)
+    : options_(options),
+      deadline_(options.time_budget_s),
+      telemetry_(std::make_unique<TelemetrySink>()) {}
+
+RunContext::~RunContext() = default;
+
+std::uint64_t RunContext::stream_seed(std::string_view tag, std::uint64_t a,
+                                      std::uint64_t b, std::uint64_t c) const {
+  // Counter-based keyed hash: fold each component through a full
+  // splitmix64 round so neighboring counters (round, round + 1) land in
+  // unrelated streams. Deterministic across platforms and call order.
+  std::uint64_t h = splitmix_round(options_.seed ^ fnv1a(tag));
+  h = splitmix_round(h ^ a);
+  h = splitmix_round(h ^ b);
+  h = splitmix_round(h ^ c);
+  return h;
+}
+
+ThreadPool& RunContext::pool() const {
+  if (options_.threads == Options::kSharedPool) {
+    return ThreadPool::shared();
+  }
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (!owned_pool_) {
+    owned_pool_ = std::make_unique<ThreadPool>(options_.threads);
+  }
+  return *owned_pool_;
+}
+
+const RunContext& RunContext::fallback() {
+  static RunContext ctx;
+  return ctx;
+}
+
+}  // namespace adsd

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+
+#include "support/rng.hpp"
+#include "support/telemetry.hpp"
+#include "support/timer.hpp"
+
+namespace adsd {
+
+class ThreadPool;
+
+/// Shared execution context for one solve run, threaded through the whole
+/// stack (run_dalta / run_dalta_nd -> partition screening -> core COP
+/// solvers -> the Ising engines). It owns the four cross-cutting concerns
+/// every layer used to wire up separately:
+///
+///  - the ThreadPool handle (process-wide shared pool by default, or a
+///    private pool when an explicit thread count is requested),
+///  - a counter-based deterministic RNG stream factory: stream(tag, k...)
+///    yields the same stream for the same (seed, tag, indices) regardless
+///    of call order or thread count, replacing ad-hoc `seed + offset`
+///    arithmetic,
+///  - a wall-clock deadline/budget for anytime solvers,
+///  - a hierarchical TelemetrySink aggregating per-solve spans and
+///    counters lock-free into one JSON-serializable report.
+///
+/// The context is handed around as `const RunContext&`; telemetry and pool
+/// access are const because both are internally synchronized.
+class RunContext {
+ public:
+  struct Options {
+    /// Root seed; every stream(tag, ...) derives from it.
+    std::uint64_t seed = 42;
+
+    /// kSharedPool uses the process-wide ThreadPool::shared(); any other
+    /// value builds a private pool with that many workers (1 = serial
+    /// participation-only execution, 0 = hardware concurrency).
+    static constexpr std::size_t kSharedPool = static_cast<std::size_t>(-1);
+    std::size_t threads = kSharedPool;
+
+    /// Master parallelism switch; false keeps every layer on the calling
+    /// thread regardless of pool size.
+    bool parallel = true;
+
+    /// Wall-clock budget in seconds, measured from context construction.
+    /// Non-positive = unlimited.
+    double time_budget_s = 0.0;
+  };
+
+  RunContext() : RunContext(Options{}) {}
+  explicit RunContext(Options options);
+  explicit RunContext(std::uint64_t seed) : RunContext(make_seeded(seed)) {}
+  ~RunContext();
+
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  std::uint64_t seed() const { return options_.seed; }
+  bool parallel() const { return options_.parallel; }
+
+  /// Deterministic stream seed for (tag, a, b, c): a keyed hash of the root
+  /// seed, the tag string, and up to three counters. Streams with different
+  /// tags or counters are statistically independent.
+  std::uint64_t stream_seed(std::string_view tag, std::uint64_t a = 0,
+                            std::uint64_t b = 0, std::uint64_t c = 0) const;
+
+  /// Ready-to-use generator over stream_seed().
+  Rng stream(std::string_view tag, std::uint64_t a = 0, std::uint64_t b = 0,
+             std::uint64_t c = 0) const {
+    return Rng(stream_seed(tag, a, b, c));
+  }
+
+  /// Worker pool: the process-wide shared pool unless Options::threads
+  /// selected a private one. Lazily resolved so serial contexts never spin
+  /// up threads.
+  ThreadPool& pool() const;
+
+  const Deadline& deadline() const { return deadline_; }
+  bool expired() const { return deadline_.expired(); }
+
+  TelemetrySink& telemetry() const { return *telemetry_; }
+
+  /// Process-wide fallback context used by convenience overloads that take
+  /// no explicit context (seed 42, shared pool, no deadline). Its telemetry
+  /// sink aggregates across all such calls.
+  static const RunContext& fallback();
+
+ private:
+  static Options make_seeded(std::uint64_t seed) {
+    Options o;
+    o.seed = seed;
+    return o;
+  }
+
+  Options options_;
+  Deadline deadline_;
+  std::unique_ptr<TelemetrySink> telemetry_;
+  mutable std::unique_ptr<ThreadPool> owned_pool_;
+  mutable std::mutex pool_mutex_;
+};
+
+}  // namespace adsd

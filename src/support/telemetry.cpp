@@ -1,0 +1,186 @@
+#include "support/telemetry.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace adsd {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void atomic_min(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+double to_seconds(std::uint64_t ns) {
+  return static_cast<double>(ns) * 1e-9;
+}
+
+void write_escaped(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\';
+    }
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+TelemetrySink::~TelemetrySink() {
+  for (auto& slot : slots_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+}
+
+TelemetrySink::Metric& TelemetrySink::metric(std::string_view path) {
+  const std::size_t start = fnv1a(path) % kSlots;
+  for (std::size_t probe = 0; probe < kSlots; ++probe) {
+    auto& slot = slots_[(start + probe) % kSlots];
+    Metric* existing = slot.load(std::memory_order_acquire);
+    if (existing == nullptr) {
+      auto* fresh = new Metric(std::string(path));
+      if (slot.compare_exchange_strong(existing, fresh,
+                                       std::memory_order_acq_rel)) {
+        return *fresh;
+      }
+      delete fresh;  // lost the race; `existing` now holds the winner
+    }
+    if (existing->path == path) {
+      return *existing;
+    }
+  }
+  throw std::length_error("TelemetrySink: metric table full");
+}
+
+void TelemetrySink::add(std::string_view path, std::uint64_t delta) {
+  Metric& m = metric(path);
+  m.count.fetch_add(1, std::memory_order_relaxed);
+  m.sum.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void TelemetrySink::record_ns(Metric& m, std::uint64_t ns) {
+  m.count.fetch_add(1, std::memory_order_relaxed);
+  m.total_ns.fetch_add(ns, std::memory_order_relaxed);
+  atomic_min(m.min_ns, ns);
+  atomic_max(m.max_ns, ns);
+}
+
+void TelemetrySink::record_ns(std::string_view path, std::uint64_t ns) {
+  record_ns(metric(path), ns);
+}
+
+void TelemetrySink::Span::close() {
+  if (metric_ == nullptr) {
+    return;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  record_ns(*metric_,
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                    .count()));
+  metric_ = nullptr;
+}
+
+std::vector<TelemetrySink::MetricValue> TelemetrySink::snapshot() const {
+  std::vector<MetricValue> out;
+  for (const auto& slot : slots_) {
+    const Metric* m = slot.load(std::memory_order_acquire);
+    if (m == nullptr) {
+      continue;
+    }
+    MetricValue v;
+    v.path = m->path;
+    v.count = m->count.load(std::memory_order_relaxed);
+    v.sum = m->sum.load(std::memory_order_relaxed);
+    v.total_ns = m->total_ns.load(std::memory_order_relaxed);
+    v.max_ns = m->max_ns.load(std::memory_order_relaxed);
+    const std::uint64_t min_raw = m->min_ns.load(std::memory_order_relaxed);
+    v.is_span = min_raw != ~std::uint64_t{0};
+    v.min_ns = v.is_span ? min_raw : 0;
+    out.push_back(std::move(v));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.path < b.path;
+            });
+  return out;
+}
+
+std::uint64_t TelemetrySink::counter(std::string_view path) const {
+  const std::size_t start = fnv1a(path) % kSlots;
+  for (std::size_t probe = 0; probe < kSlots; ++probe) {
+    const Metric* m =
+        slots_[(start + probe) % kSlots].load(std::memory_order_acquire);
+    if (m == nullptr) {
+      return 0;
+    }
+    if (m->path == path) {
+      return m->sum.load(std::memory_order_relaxed);
+    }
+  }
+  return 0;
+}
+
+void TelemetrySink::write_json(std::ostream& out) const {
+  const auto metrics = snapshot();
+  out << "{\n \"counters\": {";
+  bool first = true;
+  for (const auto& m : metrics) {
+    if (m.is_span) {
+      continue;
+    }
+    out << (first ? "\n  " : ",\n  ");
+    first = false;
+    write_escaped(out, m.path);
+    out << ": " << m.sum;
+  }
+  out << (first ? "}," : "\n },");
+  out << "\n \"spans\": {";
+  first = true;
+  for (const auto& m : metrics) {
+    if (!m.is_span) {
+      continue;
+    }
+    out << (first ? "\n  " : ",\n  ");
+    first = false;
+    write_escaped(out, m.path);
+    out << ": {\"count\": " << m.count
+        << ", \"total_s\": " << to_seconds(m.total_ns) << ", \"mean_s\": "
+        << (m.count > 0 ? to_seconds(m.total_ns) / static_cast<double>(m.count)
+                        : 0.0)
+        << ", \"min_s\": " << to_seconds(m.min_ns)
+        << ", \"max_s\": " << to_seconds(m.max_ns) << "}";
+  }
+  out << (first ? "}" : "\n }") << "\n}\n";
+}
+
+std::string TelemetrySink::to_json() const {
+  std::ostringstream out;
+  out.precision(9);
+  write_json(out);
+  return out.str();
+}
+
+}  // namespace adsd

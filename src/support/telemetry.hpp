@@ -1,0 +1,129 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adsd {
+
+/// Lock-free hierarchical telemetry sink.
+///
+/// Metrics are identified by '/'-separated paths ("core/solve/ising-bsb",
+/// "dalta/cop_solves"); the path prefix is the hierarchy, so one sink holds
+/// the whole report for a solve run. Two metric kinds share one slot type:
+///
+///  - counters: monotonically increasing integer totals (add()),
+///  - spans: duration aggregates (count / total / min / max nanoseconds),
+///    recorded by the RAII Span helper or record_ns().
+///
+/// Hot-path recording is wait-free after a slot exists: slots live in a
+/// fixed-capacity open-addressed table of atomic pointers, claimed once by
+/// CAS on first use, and every update is a relaxed atomic add/min/max. The
+/// table never rehashes and entries are never removed, so a resolved
+/// Metric* stays valid for the sink's lifetime and can be cached across
+/// calls (Span does exactly that).
+class TelemetrySink {
+ public:
+  struct Metric {
+    explicit Metric(std::string p) : path(std::move(p)) {}
+
+    std::string path;
+    std::atomic<std::uint64_t> count{0};     // events: adds or closed spans
+    std::atomic<std::uint64_t> sum{0};       // counter total (add deltas)
+    std::atomic<std::uint64_t> total_ns{0};  // span total duration
+    std::atomic<std::uint64_t> min_ns{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> max_ns{0};
+
+    bool is_span() const {
+      return min_ns.load(std::memory_order_relaxed) != ~std::uint64_t{0};
+    }
+  };
+
+  /// Immutable copy of one metric, for snapshot()/reporting.
+  struct MetricValue {
+    std::string path;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t min_ns = 0;
+    std::uint64_t max_ns = 0;
+    bool is_span = false;
+  };
+
+  TelemetrySink() = default;
+  ~TelemetrySink();
+
+  TelemetrySink(const TelemetrySink&) = delete;
+  TelemetrySink& operator=(const TelemetrySink&) = delete;
+
+  /// Resolves (creating if needed) the slot for `path`. Throws
+  /// std::length_error once kSlots distinct paths exist.
+  Metric& metric(std::string_view path);
+
+  /// Counter update: count += 1, sum += delta.
+  void add(std::string_view path, std::uint64_t delta = 1);
+
+  /// Span update without the RAII helper.
+  void record_ns(std::string_view path, std::uint64_t ns);
+  static void record_ns(Metric& m, std::uint64_t ns);
+
+  /// RAII span: measures from construction to destruction on a steady
+  /// clock and folds the duration into the metric's aggregates. A
+  /// default-constructed (or moved-from) Span is a no-op, so call sites can
+  /// record unconditionally and let a null sink disable telemetry.
+  class Span {
+   public:
+    Span() = default;
+    Span(TelemetrySink* sink, std::string_view path)
+        : metric_(sink ? &sink->metric(path) : nullptr),
+          start_(std::chrono::steady_clock::now()) {}
+    Span(Span&& other) noexcept
+        : metric_(other.metric_), start_(other.start_) {
+      other.metric_ = nullptr;
+    }
+    Span& operator=(Span&& other) noexcept {
+      if (this != &other) {
+        close();
+        metric_ = other.metric_;
+        start_ = other.start_;
+        other.metric_ = nullptr;
+      }
+      return *this;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { close(); }
+
+   private:
+    void close();
+
+    Metric* metric_ = nullptr;
+    std::chrono::steady_clock::time_point start_{};
+  };
+
+  Span span(std::string_view path) { return Span(this, path); }
+
+  /// Point-in-time copy of every metric, sorted by path.
+  std::vector<MetricValue> snapshot() const;
+
+  /// Counter total (0 if the path was never recorded).
+  std::uint64_t counter(std::string_view path) const;
+
+  /// JSON report: {"counters": {path: sum, ...},
+  ///               "spans": {path: {count, total_s, mean_s, min_s, max_s}}}.
+  /// Paths keep their '/' hierarchy; keys are sorted, output is stable.
+  void write_json(std::ostream& out) const;
+  std::string to_json() const;
+
+ private:
+  static constexpr std::size_t kSlots = 1024;
+
+  std::array<std::atomic<Metric*>, kSlots> slots_{};
+};
+
+}  // namespace adsd

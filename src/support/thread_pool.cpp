@@ -5,6 +5,22 @@
 
 namespace adsd {
 
+namespace {
+
+// Set for the whole duration of run_job() on the executing thread; global
+// across pool instances so stacked pools cannot oversubscribe either.
+thread_local bool tls_in_parallel_region = false;
+
+struct RegionGuard {
+  bool saved = tls_in_parallel_region;
+  RegionGuard() { tls_in_parallel_region = true; }
+  ~RegionGuard() { tls_in_parallel_region = saved; }
+};
+
+}  // namespace
+
+bool ThreadPool::in_parallel_region() { return tls_in_parallel_region; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
@@ -46,6 +62,7 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::run_job(Job& job) {
+  RegionGuard region;
   for (;;) {
     const std::size_t begin = job.next.fetch_add(job.grain);
     if (begin >= job.n) {
@@ -77,7 +94,11 @@ void ThreadPool::parallel_for_chunks(
     grain = std::max<std::size_t>(1, n / (4 * workers_.size()));
   }
   const std::size_t chunks = (n + grain - 1) / grain;
-  if (chunks == 1 || workers_.size() == 1) {
+  // Nested calls run inline: enqueuing from inside a chunk body risks
+  // deadlock (all workers blocked as nested callers with nobody left to
+  // drain the queue) and oversubscription; the outer call already owns the
+  // pool's parallelism.
+  if (chunks == 1 || workers_.size() == 1 || tls_in_parallel_region) {
     for (std::size_t begin = 0; begin < n; begin += grain) {
       body(begin, std::min(begin + grain, n));
     }

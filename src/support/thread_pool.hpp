@@ -25,6 +25,14 @@ namespace adsd {
 /// std::function allocation. Participants (workers plus the calling thread)
 /// drain grain-sized index chunks from a shared atomic cursor, so uneven
 /// per-item costs still balance dynamically.
+///
+/// Nesting safety: a parallel-for issued from inside a running chunk body
+/// (of any pool) executes its chunks inline on the calling thread instead
+/// of enqueuing. Without this, a nested call could deadlock — every worker
+/// blocked waiting for a nested job that no free worker exists to drain —
+/// or oversubscribe the machine when two pools stack. Inline execution
+/// keeps results identical (same chunk bodies, same index coverage) while
+/// the outer parallel-for already saturates the pool.
 class ThreadPool {
  public:
   /// `threads == 0` selects std::thread::hardware_concurrency().
@@ -49,6 +57,11 @@ class ThreadPool {
   void parallel_for_chunks(
       std::size_t n, std::size_t grain,
       const std::function<void(std::size_t begin, std::size_t end)>& body);
+
+  /// True while the calling thread is executing a parallel-for chunk body
+  /// (worker or participating caller, any pool). Nested parallel-for calls
+  /// observe this and run inline.
+  static bool in_parallel_region();
 
   /// Process-wide shared pool (lazily constructed).
   static ThreadPool& shared();

@@ -7,11 +7,13 @@
 
 #include "core/column_cop.hpp"
 #include "core/cop_solvers.hpp"
+#include "core/solver_registry.hpp"
 #include "funcs/registry.hpp"
 #include "ising/bsb.hpp"
 #include "ising/bsb_batch.hpp"
 #include "ising/model.hpp"
 #include "support/rng.hpp"
+#include "support/run_context.hpp"
 
 namespace adsd {
 namespace {
@@ -252,6 +254,56 @@ TEST(BsbBatch, RejectsBadArguments) {
                std::invalid_argument);
 }
 
+// --------------------------------------------- row-sharded force kernel
+
+TEST(BsbBatchSharding, ForceShardingIsBitIdenticalAcrossThreadCounts) {
+  // n * R = 256 * 32 = 8192 lanes: exactly the threshold where the engine
+  // shards force rows across the context pool.
+  Rng rng(30);
+  const auto model = random_model(256, 0.05, rng);
+  SbParams params = quick_params(64);
+  params.max_iterations = 60;
+  const std::size_t replicas = 32;
+
+  const auto serial = solve_sb_batch(model, params, replicas);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    RunContext::Options opts;
+    opts.threads = threads;
+    const RunContext ctx(opts);
+    const auto sharded =
+        solve_sb_batch(model, params, replicas, nullptr, nullptr, &ctx);
+    EXPECT_EQ(serial.energy, sharded.energy) << threads << " threads";
+    EXPECT_EQ(serial.spins, sharded.spins) << threads << " threads";
+    EXPECT_EQ(serial.iterations, sharded.iterations);
+  }
+}
+
+TEST(BsbBatchSharding, ShardedEngineStateMatchesSerialPlaneForPlane) {
+  Rng rng(31);
+  const auto model = random_model(512, 0.03, rng);
+  SbParams params = quick_params(5);
+  const std::size_t replicas = 16;
+
+  BsbBatchEngine serial(model, params, replicas);
+  RunContext::Options opts;
+  opts.threads = 8;
+  const RunContext ctx(opts);
+  BsbBatchEngine sharded(model, params, replicas);
+  sharded.set_context(&ctx);
+
+  for (int s = 0; s < 50; ++s) {
+    serial.step();
+    sharded.step();
+  }
+  const auto xa = serial.positions();
+  const auto xb = sharded.positions();
+  ASSERT_EQ(xa.size(), xb.size());
+  for (std::size_t k = 0; k < xa.size(); ++k) {
+    ASSERT_EQ(xa[k], xb[k]) << "lane " << k;
+  }
+}
+
 // -------------------------------------------------- IsingCoreSolver wiring
 
 TEST(IsingCoreSolverReplicas, MultiReplicaNeverWorseAndDeterministic) {
@@ -262,17 +314,16 @@ TEST(IsingCoreSolverReplicas, MultiReplicaNeverWorseAndDeterministic) {
   const std::vector<double> probs = matrix_probs(dist, w);
   const ColumnCop cop = ColumnCop::separate(matrix, probs);
 
-  auto options = IsingCoreSolver::Options::paper_defaults(9);
   CoreSolveStats stats1;
-  const IsingCoreSolver single(options);
-  const ColumnSetting s1 = single.solve(cop, 42, &stats1);
+  const auto single = SolverRegistry::global().make_from_spec("prop,n=9");
+  const ColumnSetting s1 = single->solve(cop, 42, &stats1);
 
-  options.replicas = 4;
-  const IsingCoreSolver multi(options);
+  const auto multi =
+      SolverRegistry::global().make_from_spec("prop,n=9,replicas=4");
   CoreSolveStats stats4a;
   CoreSolveStats stats4b;
-  const ColumnSetting s4a = multi.solve(cop, 42, &stats4a);
-  const ColumnSetting s4b = multi.solve(cop, 42, &stats4b);
+  const ColumnSetting s4a = multi->solve(cop, 42, &stats4a);
+  const ColumnSetting s4b = multi->solve(cop, 42, &stats4b);
 
   EXPECT_LE(stats4a.objective, stats1.objective + 1e-9);
   EXPECT_EQ(stats4a.objective, stats4b.objective);

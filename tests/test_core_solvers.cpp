@@ -8,10 +8,18 @@
 #include "core/column_cop.hpp"
 #include "core/cop_solvers.hpp"
 #include "core/row_ilp.hpp"
+#include "core/solver_registry.hpp"
 #include "support/rng.hpp"
 
 namespace adsd {
 namespace {
+
+// Registry-built solver: the construction path used everywhere outside
+// the per-class unit tests (direct Options construction stays reserved
+// for testing the options structs themselves).
+std::unique_ptr<CoreCopSolver> reg(const std::string& spec) {
+  return SolverRegistry::global().make_from_spec(spec);
+}
 
 BooleanMatrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
   BooleanMatrix m(r, c);
@@ -232,9 +240,9 @@ TEST(IsingCore, ZeroErrorOnDecomposableMatrix) {
   const auto m = BooleanMatrix::from_function(tt, 0, w);
   const auto cop =
       ColumnCop::separate(m, uniform_probs(m.rows(), m.cols()));
-  const IsingCoreSolver solver(IsingCoreSolver::Options::paper_defaults(7));
+  const auto solver = reg("prop,n=7");
   CoreSolveStats stats;
-  (void)solver.solve(cop, 42, &stats);
+  (void)solver->solve(cop, 42, &stats);
   EXPECT_NEAR(stats.objective, 0.0, 1e-15)
       << "bSB must recover an exact decomposition when one exists";
 }
@@ -248,9 +256,9 @@ TEST(IsingCore, NearOptimalOnTinyInstances) {
     const ExhaustiveCoreSolver exact;
     CoreSolveStats es;
     (void)exact.solve(cop, 0, &es);
-    const IsingCoreSolver solver(IsingCoreSolver::Options::paper_defaults(4));
+    const auto solver = reg("prop,n=4");
     CoreSolveStats is;
-    (void)solver.solve(cop, static_cast<std::uint64_t>(trial), &is);
+    (void)solver->solve(cop, static_cast<std::uint64_t>(trial), &is);
     EXPECT_GE(is.objective, es.objective - 1e-12);
     hits += std::fabs(is.objective - es.objective) < 1e-12;
   }
@@ -260,19 +268,13 @@ TEST(IsingCore, NearOptimalOnTinyInstances) {
 TEST(IsingCore, DynamicStopReducesIterations) {
   Rng rng(15);
   const auto cop = small_separate_cop(rng, 8, 16);
-  IsingCoreSolver::Options with_stop;
-  with_stop.sb.max_iterations = 50000;
-  with_stop.sb.stop.enabled = true;
-  with_stop.sb.stop.sample_interval = 20;
-  with_stop.sb.stop.window = 20;
-  with_stop.sb.stop.epsilon = 1e-8;
-  IsingCoreSolver::Options without = with_stop;
-  without.sb.stop.enabled = false;
-
+  const std::string base =
+      "prop,max-iter=50000,stop-interval=20,stop-window=20,"
+      "stop-epsilon=1e-8";
   CoreSolveStats s_with;
   CoreSolveStats s_without;
-  (void)IsingCoreSolver(with_stop).solve(cop, 1, &s_with);
-  (void)IsingCoreSolver(without).solve(cop, 1, &s_without);
+  (void)reg(base + ",stop=1")->solve(cop, 1, &s_with);
+  (void)reg(base + ",stop=0")->solve(cop, 1, &s_without);
   EXPECT_TRUE(s_with.stopped_early);
   EXPECT_LT(s_with.iterations, s_without.iterations);
   EXPECT_EQ(s_without.iterations, 50000u);
@@ -297,20 +299,14 @@ TEST(IsingCore, Theorem3InterventionHelpsOnStructuredInstances) {
     }
     const auto cop =
         ColumnCop::separate(m, uniform_probs(m.rows(), m.cols()));
-    IsingCoreSolver::Options base = IsingCoreSolver::Options::paper_defaults(8);
-    base.final_polish = false;
-    base.column_seed_init = false;  // isolate the intervention itself
-    IsingCoreSolver::Options with = base;
-    with.use_theorem3 = true;
-    IsingCoreSolver::Options without = base;
-    without.use_theorem3 = false;
-    without.anti_collapse = false;
+    // polish/seed-init off isolate the intervention itself.
+    const auto with = reg("prop,n=8,polish=0,seed-init=0,theorem3=1");
+    const auto without =
+        reg("prop,n=8,polish=0,seed-init=0,theorem3=0,anti-collapse=0");
     CoreSolveStats sw;
     CoreSolveStats so;
-    (void)IsingCoreSolver(with).solve(cop, static_cast<std::uint64_t>(trial),
-                                      &sw);
-    (void)IsingCoreSolver(without).solve(
-        cop, static_cast<std::uint64_t>(trial), &so);
+    (void)with->solve(cop, static_cast<std::uint64_t>(trial), &sw);
+    (void)without->solve(cop, static_cast<std::uint64_t>(trial), &so);
     with_sum += sw.objective;
     without_sum += so.objective;
   }
@@ -341,12 +337,9 @@ TEST(IsingCore, AntiCollapseEscapesRankOneFixedPoint) {
   (void)exact.solve(cop, 0, &es);
   ASSERT_NEAR(es.objective, 0.0, 1e-15);
 
-  auto opts = IsingCoreSolver::Options::paper_defaults(6);
-  opts.column_seed_init = false;
-  opts.final_polish = false;
-  opts.anti_collapse = true;
   CoreSolveStats with;
-  (void)IsingCoreSolver(opts).solve(cop, 3, &with);
+  (void)reg("prop,n=6,seed-init=0,polish=0,anti-collapse=1")
+      ->solve(cop, 3, &with);
   EXPECT_NEAR(with.objective, 0.0, 1e-15)
       << "anti-collapse must recover the planted two-pattern solution";
 }
@@ -354,11 +347,11 @@ TEST(IsingCore, AntiCollapseEscapesRankOneFixedPoint) {
 TEST(IsingCore, DeterministicForFixedSeed) {
   Rng rng(17);
   const auto cop = small_separate_cop(rng, 6, 12);
-  const IsingCoreSolver solver(IsingCoreSolver::Options::paper_defaults(6));
+  const auto solver = reg("prop,n=6");
   CoreSolveStats a;
   CoreSolveStats b;
-  const auto sa = solver.solve(cop, 99, &a);
-  const auto sb = solver.solve(cop, 99, &b);
+  const auto sa = solver->solve(cop, 99, &a);
+  const auto sb = solver->solve(cop, 99, &b);
   EXPECT_EQ(sa.v1, sb.v1);
   EXPECT_EQ(sa.v2, sb.v2);
   EXPECT_EQ(sa.t, sb.t);
@@ -368,14 +361,10 @@ TEST(IsingCore, DeterministicForFixedSeed) {
 TEST(IsingCore, RestartsImproveOrTie) {
   Rng rng(18);
   const auto cop = small_separate_cop(rng, 8, 16);
-  IsingCoreSolver::Options one = IsingCoreSolver::Options::paper_defaults(7);
-  one.restarts = 1;
-  IsingCoreSolver::Options four = one;
-  four.restarts = 4;
   CoreSolveStats s1;
   CoreSolveStats s4;
-  (void)IsingCoreSolver(one).solve(cop, 5, &s1);
-  (void)IsingCoreSolver(four).solve(cop, 5, &s4);
+  (void)reg("prop,n=7,restarts=1")->solve(cop, 5, &s1);
+  (void)reg("prop,n=7,restarts=4")->solve(cop, 5, &s4);
   EXPECT_LE(s4.objective, s1.objective + 1e-12);
 }
 
@@ -490,10 +479,8 @@ TEST(IsingCore, DiscreteVariantAlsoSolvesDecomposable) {
   const auto m = BooleanMatrix::from_function(tt, 0, w);
   const auto cop =
       ColumnCop::separate(m, uniform_probs(m.rows(), m.cols()));
-  auto opts = IsingCoreSolver::Options::paper_defaults(7);
-  opts.sb.discrete = true;
   CoreSolveStats stats;
-  (void)IsingCoreSolver(opts).solve(cop, 5, &stats);
+  (void)reg("prop,n=7,discrete=1")->solve(cop, 5, &stats);
   EXPECT_NEAR(stats.objective, 0.0, 1e-15);
 }
 
@@ -505,8 +492,8 @@ TEST(HeuristicCore, LiteralVariantNoWorseThanRefinedNever) {
     const auto cop = ColumnCop::separate(m, uniform_probs(6, 10));
     CoreSolveStats lit;
     CoreSolveStats refined;
-    (void)HeuristicCoreSolver(0).solve(cop, 0, &lit);
-    (void)HeuristicCoreSolver(4).solve(cop, 0, &refined);
+    (void)reg("dalta-lit")->solve(cop, 0, &lit);
+    (void)reg("dalta,sweeps=4")->solve(cop, 0, &refined);
     EXPECT_LE(refined.objective, lit.objective + 1e-12);
   }
 }
@@ -518,7 +505,7 @@ TEST(HeuristicCore, LiteralVariantUsesTheorem3Types) {
   const auto m = random_matrix(4, 6, rng);
   const auto cop = ColumnCop::separate(m, uniform_probs(4, 6));
   CoreSolveStats stats;
-  auto s = HeuristicCoreSolver(0).solve(cop, 0, &stats);
+  auto s = reg("dalta-lit")->solve(cop, 0, &stats);
   const double before = cop.objective(s);
   cop.reset_optimal_t(s);
   EXPECT_NEAR(cop.objective(s), before, 1e-15);
@@ -534,20 +521,17 @@ TEST_P(SolverOrderProperty, ObjectiveOrdering) {
   const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
 
   CoreSolveStats exact_s;
-  (void)ExhaustiveCoreSolver().solve(cop, seed, &exact_s);
+  (void)reg("exhaustive")->solve(cop, seed, &exact_s);
 
-  BnbCoreSolver::Options bopt;
-  bopt.time_budget_s = 0.0;
   CoreSolveStats bnb_s;
-  (void)BnbCoreSolver(bopt).solve(cop, seed, &bnb_s);
+  (void)reg("ilp,budget=0")->solve(cop, seed, &bnb_s);
 
   CoreSolveStats alt_s;
-  (void)AlternatingCoreSolver(4).solve(cop, seed, &alt_s);
+  (void)reg("alt,restarts=4")->solve(cop, seed, &alt_s);
   CoreSolveStats heur_s;
-  (void)HeuristicCoreSolver().solve(cop, seed, &heur_s);
+  (void)reg("dalta")->solve(cop, seed, &heur_s);
   CoreSolveStats ising_s;
-  (void)IsingCoreSolver(IsingCoreSolver::Options::paper_defaults(5))
-      .solve(cop, seed, &ising_s);
+  (void)reg("prop,n=5")->solve(cop, seed, &ising_s);
 
   EXPECT_NEAR(bnb_s.objective, exact_s.objective, 1e-12);
   EXPECT_GE(alt_s.objective, exact_s.objective - 1e-12);

@@ -5,6 +5,7 @@
 #include "boolean/decomposition.hpp"
 #include "boolean/error_metrics.hpp"
 #include "core/dalta.hpp"
+#include "core/solver_registry.hpp"
 #include "funcs/continuous.hpp"
 #include "support/rng.hpp"
 
@@ -46,9 +47,9 @@ TEST(Dalta, SingleVariableOutputsDecomposeLosslessly) {
   // the framework must find zero-error settings for every output.
   const auto exact = exactly_decomposable_table(7, 4, 11);
   const auto dist = InputDistribution::uniform(7);
-  const IsingCoreSolver solver(IsingCoreSolver::Options::paper_defaults(7));
+  const auto solver = SolverRegistry::global().make_from_spec("prop,n=7");
   const auto res = run_dalta(exact, dist, small_params(DecompMode::kJoint),
-                             solver);
+                             *solver);
   EXPECT_DOUBLE_EQ(res.med, 0.0);
   EXPECT_DOUBLE_EQ(res.error_rate, 0.0);
   EXPECT_EQ(res.approx, exact);
@@ -149,10 +150,10 @@ TEST(Dalta, SecondRoundDoesNotHurt) {
 TEST(Dalta, StatsAccounting) {
   const auto exact = make_continuous_table(continuous_spec("cos"), 6, 3);
   const auto dist = InputDistribution::uniform(6);
-  const IsingCoreSolver solver(IsingCoreSolver::Options::paper_defaults(6));
+  const auto solver = SolverRegistry::global().make_from_spec("prop,n=6");
   auto params = small_params(DecompMode::kSeparate);
   params.rounds = 2;
-  const auto res = run_dalta(exact, dist, params, solver);
+  const auto res = run_dalta(exact, dist, params, *solver);
   // 3 outputs x 6 partitions x 2 rounds solves.
   EXPECT_EQ(res.cop_solves, 3u * 6u * 2u);
   EXPECT_GT(res.solver_iterations, 0u);
@@ -183,14 +184,24 @@ TEST(Dalta, PartitionScreeningIsDeterministicAndRarelyWorse) {
   auto screened = base;
   screened.screen_factor = 6;
 
-  const auto r_base = run_dalta(exact, dist, base, solver);
   const auto r_scr1 = run_dalta(exact, dist, screened, solver);
   const auto r_scr2 = run_dalta(exact, dist, screened, solver);
   EXPECT_EQ(r_scr1.approx, r_scr2.approx) << "screening must be deterministic";
-  // Low-multiplicity partitions approximate better on smooth functions.
-  EXPECT_LE(r_scr1.med, r_base.med * 1.05 + 1e-9);
   // Same solver budget either way: P solves per output.
-  EXPECT_EQ(r_scr1.cop_solves, r_base.cop_solves);
+  EXPECT_EQ(r_scr1.cop_solves, run_dalta(exact, dist, base, solver).cop_solves);
+
+  // Low-multiplicity partitions approximate better on smooth functions.
+  // "Rarely worse" is a property of the seed distribution, not of any one
+  // draw, so compare mean MED across several seeds.
+  double med_base = 0.0;
+  double med_scr = 0.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    base.seed = seed;
+    screened.seed = seed;
+    med_base += run_dalta(exact, dist, base, solver).med;
+    med_scr += run_dalta(exact, dist, screened, solver).med;
+  }
+  EXPECT_LE(med_scr, med_base * 1.05 + 1e-9);
 }
 
 TEST(Dalta, ScreenFactorOneMatchesDefault) {

@@ -4,6 +4,7 @@
 
 #include "boolean/error_metrics.hpp"
 #include "core/dalta.hpp"
+#include "core/solver_registry.hpp"
 #include "funcs/registry.hpp"
 #include "lut/decomposed_lut.hpp"
 #include "support/rng.hpp"
@@ -26,9 +27,10 @@ TEST(Integration, FullFlowOnExpBenchmark) {
   params.rounds = 1;
   params.mode = DecompMode::kJoint;
   params.seed = 1;
-  const IsingCoreSolver solver(IsingCoreSolver::Options::paper_defaults(n));
+  const auto solver = SolverRegistry::global().make_from_spec(
+      "prop,n=" + std::to_string(n));
 
-  const auto res = run_dalta(exact, dist, params, solver);
+  const auto res = run_dalta(exact, dist, params, *solver);
 
   // The approximation must be sane: bounded MED, LUT network consistent.
   EXPECT_LT(res.med, 64.0) << "MED above 2^6 for an 8-bit word means the "
@@ -90,10 +92,11 @@ TEST(Integration, IsingSolverBeatsGreedyHeuristicOnAverage) {
   double greedy_total = 0.0;
   for (const char* name : {"cos", "exp", "ln"}) {
     const auto exact = make_benchmark_table(name, n, n);
-    const IsingCoreSolver ising(IsingCoreSolver::Options::paper_defaults(n));
-    const HeuristicCoreSolver greedy;
-    ising_total += run_dalta(exact, dist, params, ising).med;
-    greedy_total += run_dalta(exact, dist, params, greedy).med;
+    const auto ising = SolverRegistry::global().make_from_spec(
+        "prop,n=" + std::to_string(n));
+    const auto greedy = SolverRegistry::global().make("dalta");
+    ising_total += run_dalta(exact, dist, params, *ising).med;
+    greedy_total += run_dalta(exact, dist, params, *greedy).med;
   }
   EXPECT_LE(ising_total, greedy_total + 1e-9)
       << "proposed solver should not lose to the greedy baseline in total";
@@ -139,12 +142,13 @@ TEST(Integration, SolverIterationsReflectDynamicStop) {
   params.mode = DecompMode::kSeparate;
   params.seed = 13;
 
-  auto opts = IsingCoreSolver::Options::paper_defaults(n);
-  opts.sb.max_iterations = 20000;
-  const auto with_stop = run_dalta(exact, dist, params,
-                                   IsingCoreSolver(opts));
-  opts.sb.stop.enabled = false;
-  const auto without = run_dalta(exact, dist, params, IsingCoreSolver(opts));
+  const std::string spec = "prop,n=" + std::to_string(n) + ",max-iter=20000";
+  const auto with_stop = run_dalta(
+      exact, dist, params,
+      *SolverRegistry::global().make_from_spec(spec));
+  const auto without = run_dalta(
+      exact, dist, params,
+      *SolverRegistry::global().make_from_spec(spec + ",stop=0"));
   EXPECT_LT(with_stop.solver_iterations, without.solver_iterations);
   EXPECT_GT(with_stop.early_stops, 0u);
   EXPECT_EQ(without.early_stops, 0u);

@@ -3,6 +3,7 @@
 #include "boolean/nondisjoint.hpp"
 #include "core/dalta.hpp"
 #include "core/nondisjoint_dalta.hpp"
+#include "core/solver_registry.hpp"
 #include "funcs/continuous.hpp"
 #include "lut/decomposed_lut.hpp"
 #include "lut/nondisjoint_lut.hpp"
@@ -245,14 +246,14 @@ TEST(NdDalta, SharedVariablesReduceErrorOnAverage) {
 TEST(NdDalta, MedMatchesRecomputationAndLutRealization) {
   const auto exact = make_continuous_table(continuous_spec("cos"), 7, 5);
   const auto dist = InputDistribution::uniform(7);
-  const IsingCoreSolver solver(IsingCoreSolver::Options::paper_defaults(7));
+  const auto solver = SolverRegistry::global().make_from_spec("prop,n=7");
   NdDaltaParams np;
   np.free_size = 3;
   np.shared_size = 1;
   np.num_partitions = 4;
   np.rounds = 1;
   np.seed = 13;
-  const auto res = run_dalta_nd(exact, dist, np, solver);
+  const auto res = run_dalta_nd(exact, dist, np, *solver);
   EXPECT_NEAR(res.med, mean_error_distance(exact, res.approx, dist), 1e-12);
 
   for (unsigned k = 0; k < 5; ++k) {

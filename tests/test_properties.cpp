@@ -12,6 +12,7 @@
 #include "core/column_cop.hpp"
 #include "core/cop_solvers.hpp"
 #include "core/dalta.hpp"
+#include "core/solver_registry.hpp"
 #include "core/row_cubic_cop.hpp"
 #include "funcs/registry.hpp"
 #include "ising/exhaustive.hpp"
@@ -304,12 +305,14 @@ TEST_P(SolverSandwich, AllSolversWithinBounds) {
   zero.t = BitVec(c);
   const double trivial = cop.objective(zero);
 
-  const IsingCoreSolver ising(IsingCoreSolver::Options::paper_defaults(5));
-  const AlternatingCoreSolver alt(4);
-  const HeuristicCoreSolver greedy;
-  const AnnealCoreSolver ba;
-  const BnbCoreSolver bnb;
-  const CoreCopSolver* solvers[] = {&ising, &alt, &greedy, &ba, &bnb};
+  const SolverRegistry& registry = SolverRegistry::global();
+  const auto ising = registry.make_from_spec("prop,n=5");
+  const auto alt = registry.make_from_spec("alt,restarts=4");
+  const auto greedy = registry.make("dalta");
+  const auto ba = registry.make("ba");
+  const auto bnb = registry.make("ilp");
+  const CoreCopSolver* solvers[] = {ising.get(), alt.get(), greedy.get(),
+                                    ba.get(), bnb.get()};
   for (const auto* solver : solvers) {
     CoreSolveStats stats;
     const auto s = solver->solve(

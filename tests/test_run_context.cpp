@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/dalta.hpp"
+#include "core/solver_registry.hpp"
+#include "funcs/registry.hpp"
+#include "support/run_context.hpp"
+#include "support/telemetry.hpp"
+#include "support/thread_pool.hpp"
+
+namespace adsd {
+namespace {
+
+// ------------------------------------------------------------- telemetry
+
+TEST(Telemetry, CountersAggregate) {
+  TelemetrySink sink;
+  sink.add("a/b");
+  sink.add("a/b", 4);
+  sink.add("a/c", 2);
+  EXPECT_EQ(sink.counter("a/b"), 5u);
+  EXPECT_EQ(sink.counter("a/c"), 2u);
+  EXPECT_EQ(sink.counter("missing"), 0u);
+}
+
+TEST(Telemetry, SpansRecordDurationAggregates) {
+  TelemetrySink sink;
+  sink.record_ns("s", 100);
+  sink.record_ns("s", 300);
+  const auto snap = sink.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].path, "s");
+  EXPECT_TRUE(snap[0].is_span);
+  EXPECT_EQ(snap[0].count, 2u);
+  EXPECT_EQ(snap[0].total_ns, 400u);
+  EXPECT_EQ(snap[0].min_ns, 100u);
+  EXPECT_EQ(snap[0].max_ns, 300u);
+}
+
+TEST(Telemetry, RaiiSpanClosesOnDestruction) {
+  TelemetrySink sink;
+  { const auto s = sink.span("scope"); }
+  const auto snap = sink.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].count, 1u);
+  EXPECT_TRUE(snap[0].is_span);
+}
+
+TEST(Telemetry, ConcurrentUpdatesAreLossless) {
+  TelemetrySink sink;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sink] {
+      for (int i = 0; i < kPerThread; ++i) {
+        sink.add("hot", 1);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(sink.counter("hot"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Telemetry, JsonReportIsStableAndSorted) {
+  TelemetrySink sink;
+  sink.add("z/counter", 7);
+  sink.add("a/counter", 3);
+  sink.record_ns("m/span", 1000000);
+  const std::string a = sink.to_json();
+  const std::string b = sink.to_json();
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a.find("\"a/counter\": 3"), a.find("\"z/counter\": 7"));
+  EXPECT_NE(a.find("\"counters\""), std::string::npos);
+  EXPECT_NE(a.find("\"spans\""), std::string::npos);
+  EXPECT_NE(a.find("\"m/span\""), std::string::npos);
+}
+
+// ----------------------------------------------------------- RNG streams
+
+TEST(RunContext, StreamSeedsAreDeterministic) {
+  const RunContext a(std::uint64_t{123});
+  const RunContext b(std::uint64_t{123});
+  EXPECT_EQ(a.stream_seed("dalta/partitions", 1, 2),
+            b.stream_seed("dalta/partitions", 1, 2));
+  EXPECT_EQ(a.stream("x", 5).next_u64(), b.stream("x", 5).next_u64());
+}
+
+TEST(RunContext, StreamsAreIndependentAcrossTagsCountersAndSeeds) {
+  const RunContext ctx(std::uint64_t{123});
+  const RunContext other(std::uint64_t{124});
+  std::set<std::uint64_t> seen;
+  seen.insert(ctx.stream_seed("a"));
+  seen.insert(ctx.stream_seed("b"));
+  seen.insert(ctx.stream_seed("a", 1));
+  seen.insert(ctx.stream_seed("a", 0, 1));
+  seen.insert(ctx.stream_seed("a", 0, 0, 1));
+  seen.insert(other.stream_seed("a"));
+  EXPECT_EQ(seen.size(), 6u) << "every (seed, tag, counters) must differ";
+}
+
+// ------------------------------------------------------------- deadline
+
+TEST(RunContext, DeadlineExpiresAndUnlimitedDoesNot) {
+  RunContext::Options opts;
+  opts.time_budget_s = 1e-9;
+  const RunContext tight(opts);
+  EXPECT_TRUE(tight.expired());
+
+  const RunContext unlimited;
+  EXPECT_FALSE(unlimited.expired());
+}
+
+TEST(RunContext, DeadlineStopsDaltaSolvesEarly) {
+  const auto exact = make_benchmark_table("exp", 7, 7);
+  const auto dist = InputDistribution::uniform(7);
+  DaltaParams params;
+  params.free_size = 3;
+  params.num_partitions = 4;
+  params.rounds = 1;
+  params.parallel = false;
+  const auto solver = SolverRegistry::global().make_from_spec(
+      "prop,n=7,stop=0,max-iter=100000");
+
+  RunContext::Options opts;
+  opts.seed = 7;
+  opts.time_budget_s = 1e-9;  // expired before the first Euler step
+  const RunContext tight(opts);
+  const auto res = run_dalta(exact, dist, params, *solver, tight);
+
+  RunContext::Options slack = opts;
+  slack.time_budget_s = 0.0;
+  const RunContext free_ctx(slack);
+  const auto full = run_dalta(exact, dist, params, *solver, free_ctx);
+
+  EXPECT_LT(res.solver_iterations, full.solver_iterations)
+      << "an expired deadline must cut the per-solve iteration budget";
+  EXPECT_GT(res.early_stops, 0u);
+}
+
+// ----------------------------------------------------- thread-pool nesting
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> outer{0};
+  std::atomic<int> inner{0};
+  std::atomic<int> inline_nested{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    outer.fetch_add(1);
+    // Nested call on the same pool: must complete inline, not deadlock.
+    pool.parallel_for(4, [&](std::size_t) {
+      inner.fetch_add(1);
+      inline_nested += ThreadPool::in_parallel_region() ? 1 : 0;
+    });
+  });
+  EXPECT_EQ(outer.load(), 8);
+  EXPECT_EQ(inner.load(), 32);
+  EXPECT_EQ(inline_nested.load(), 32);
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+TEST(ThreadPool, NestedCrossPoolCallDoesNotOversubscribe) {
+  ThreadPool outer_pool(4);
+  ThreadPool inner_pool(4);
+  std::atomic<int> nested_threads_used{0};
+  outer_pool.parallel_for(8, [&](std::size_t) {
+    const auto caller = std::this_thread::get_id();
+    inner_pool.parallel_for_chunks(64, 8, [&](std::size_t, std::size_t) {
+      if (std::this_thread::get_id() != caller) {
+        nested_threads_used.fetch_add(1);
+      }
+    });
+  });
+  EXPECT_EQ(nested_threads_used.load(), 0)
+      << "nested chunks must stay on the calling thread";
+}
+
+// ------------------------------------- determinism across thread counts
+
+TEST(RunContext, DaltaResultBitIdenticalAcrossThreadCounts) {
+  const auto exact = make_benchmark_table("cos", 7, 5);
+  const auto dist = InputDistribution::uniform(7);
+  DaltaParams params;
+  params.free_size = 3;
+  params.num_partitions = 6;
+  params.rounds = 1;
+  const auto solver = SolverRegistry::global().make_from_spec("prop,n=7");
+
+  std::vector<DaltaResult> results;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    RunContext::Options opts;
+    opts.seed = 5;
+    opts.threads = threads;
+    const RunContext ctx(opts);
+    results.push_back(run_dalta(exact, dist, params, *solver, ctx));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0].approx, results[i].approx)
+        << "thread count must not change the result";
+    EXPECT_EQ(results[0].med, results[i].med);
+    EXPECT_EQ(results[0].cop_solves, results[i].cop_solves);
+    ASSERT_EQ(results[0].outputs.size(), results[i].outputs.size());
+    for (std::size_t k = 0; k < results[0].outputs.size(); ++k) {
+      EXPECT_EQ(results[0].outputs[k].objective,
+                results[i].outputs[k].objective);
+    }
+  }
+}
+
+TEST(RunContext, ContextOverloadMatchesLegacyOverload) {
+  const auto exact = make_benchmark_table("ln", 7, 5);
+  const auto dist = InputDistribution::uniform(7);
+  DaltaParams params;
+  params.free_size = 3;
+  params.num_partitions = 4;
+  params.rounds = 1;
+  params.seed = 21;
+  const auto solver = SolverRegistry::global().make_from_spec("prop,n=7");
+
+  const auto legacy = run_dalta(exact, dist, params, *solver);
+  RunContext::Options opts;
+  opts.seed = params.seed;
+  const RunContext ctx(opts);
+  const auto modern = run_dalta(exact, dist, params, *solver, ctx);
+  EXPECT_EQ(legacy.approx, modern.approx);
+  EXPECT_EQ(legacy.med, modern.med);
+}
+
+TEST(RunContext, TelemetryCapturesSolveHierarchy) {
+  const auto exact = make_benchmark_table("exp", 6, 4);
+  const auto dist = InputDistribution::uniform(6);
+  DaltaParams params;
+  params.free_size = 3;
+  params.num_partitions = 4;
+  params.rounds = 1;
+  const auto solver = SolverRegistry::global().make_from_spec("prop,n=6");
+
+  const RunContext ctx(std::uint64_t{3});
+  const auto res = run_dalta(exact, dist, params, *solver, ctx);
+  const TelemetrySink& sink = ctx.telemetry();
+  EXPECT_EQ(sink.counter("dalta/cop_solves"), res.cop_solves);
+  EXPECT_EQ(sink.counter("core/solves"), res.cop_solves);
+  EXPECT_EQ(sink.counter("core/iterations"), res.solver_iterations);
+
+  bool found_solve_span = false;
+  bool found_run_span = false;
+  for (const auto& m : sink.snapshot()) {
+    found_solve_span |= m.path == "core/solve/ising-bsb" && m.is_span;
+    found_run_span |= m.path == "dalta/run" && m.is_span;
+  }
+  EXPECT_TRUE(found_solve_span);
+  EXPECT_TRUE(found_run_span);
+}
+
+}  // namespace
+}  // namespace adsd

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "boolean/boolean_matrix.hpp"
+#include "core/column_cop.hpp"
+#include "core/solver_registry.hpp"
+#include "support/rng.hpp"
+
+namespace adsd {
+namespace {
+
+ColumnCop random_cop(std::uint64_t seed, std::size_t r = 5,
+                     std::size_t c = 10) {
+  Rng rng(seed);
+  BooleanMatrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      m.set(i, j, rng.next_bool());
+    }
+  }
+  const std::vector<double> probs(r * c, 1.0 / static_cast<double>(r * c));
+  return ColumnCop::separate(m, probs);
+}
+
+TEST(SolverRegistry, AllCanonicalNamesBuild) {
+  const SolverRegistry& r = SolverRegistry::global();
+  for (const char* name :
+       {"prop", "dalta", "dalta-lit", "ilp", "ba", "alt", "exhaustive"}) {
+    const auto solver = r.make(name);
+    ASSERT_NE(solver, nullptr) << name;
+  }
+}
+
+TEST(SolverRegistry, AliasesResolveToTheSameEntryAsTheClassName) {
+  const SolverRegistry& r = SolverRegistry::global();
+  // Aliases are the CoreCopSolver::name() strings, so registry lookups and
+  // telemetry paths ("core/solve/<name>") agree.
+  const std::pair<const char*, const char*> pairs[] = {
+      {"prop", "ising-bsb"},     {"dalta", "dalta-greedy"},
+      {"ilp", "ilp-bnb"},        {"ba", "ba-anneal"},
+      {"alt", "alternating"},
+  };
+  for (const auto& [canonical, alias] : pairs) {
+    EXPECT_EQ(r.find(canonical), r.find(alias)) << canonical;
+    EXPECT_EQ(r.make(alias)->name(), alias);
+  }
+}
+
+TEST(SolverRegistry, EveryEntryBuildsWithAnEmptyConfig) {
+  for (const auto& entry : SolverRegistry::global().entries()) {
+    EXPECT_TRUE(entry.accepts(entry.name));
+    const auto solver = entry.factory(SolverConfig{});
+    ASSERT_NE(solver, nullptr) << entry.name;
+    EXPECT_FALSE(solver->name().empty()) << entry.name;
+  }
+}
+
+TEST(SolverRegistry, UnknownNameThrowsWithKnownList) {
+  try {
+    (void)SolverRegistry::global().make("nope");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("prop"), std::string::npos)
+        << "the error should list the known solvers";
+  }
+}
+
+TEST(SolverRegistry, UnknownKeyThrowsStrictly) {
+  SolverConfig config;
+  config.set("bogus", "1");
+  EXPECT_THROW((void)SolverRegistry::global().make("prop", config),
+               std::invalid_argument);
+  // A key valid for one solver is still rejected on another.
+  SolverConfig budget;
+  budget.set("budget", "1.0");
+  EXPECT_THROW((void)SolverRegistry::global().make("dalta", budget),
+               std::invalid_argument);
+}
+
+TEST(SolverRegistry, MalformedValuesThrow) {
+  SolverConfig config;
+  config.set("replicas", "4x");
+  EXPECT_THROW((void)SolverRegistry::global().make("prop", config),
+               std::invalid_argument);
+  SolverConfig config2;
+  config2.set("theorem3", "maybe");
+  EXPECT_THROW((void)SolverRegistry::global().make("prop", config2),
+               std::invalid_argument);
+}
+
+TEST(SolverRegistry, SpecParsing) {
+  const auto [name, config] =
+      SolverRegistry::parse_spec("prop,replicas=4,stop-epsilon=1e-6");
+  EXPECT_EQ(name, "prop");
+  EXPECT_EQ(config.get_size("replicas", 1), 4u);
+  EXPECT_DOUBLE_EQ(config.get_double("stop-epsilon", 0.0), 1e-6);
+  EXPECT_FALSE(config.has("n"));
+
+  EXPECT_THROW((void)SolverRegistry::parse_spec(""), std::invalid_argument);
+  EXPECT_THROW((void)SolverRegistry::parse_spec("prop,novalue"),
+               std::invalid_argument);
+  EXPECT_THROW((void)SolverRegistry::parse_spec("prop,=3"),
+               std::invalid_argument);
+}
+
+TEST(SolverRegistry, RegistryBuiltSolverMatchesDirectConstruction) {
+  const auto cop = random_cop(77);
+  // The registry path must be bit-identical to hand-built construction:
+  // same options, same seed, same setting.
+  auto options = IsingCoreSolver::Options::paper_defaults(9);
+  options.replicas = 2;
+  const IsingCoreSolver direct(options);
+  const auto via_registry =
+      SolverRegistry::global().make_from_spec("prop,n=9,replicas=2");
+
+  for (const std::uint64_t seed : {1u, 5u, 42u}) {
+    CoreSolveStats ds;
+    CoreSolveStats rs;
+    const auto d = direct.solve(cop, seed, &ds);
+    const auto r = via_registry->solve(cop, seed, &rs);
+    EXPECT_TRUE(d.v1 == r.v1 && d.v2 == r.v2 && d.t == r.t);
+    EXPECT_EQ(ds.objective, rs.objective);
+    EXPECT_EQ(ds.iterations, rs.iterations);
+  }
+}
+
+TEST(SolverRegistry, ConfigTypedGetterFallbacks) {
+  SolverConfig config;
+  config.set("k", "12");
+  config.set("f", "0.5");
+  config.set("b", "off");
+  EXPECT_EQ(config.get_size("k", 0), 12u);
+  EXPECT_EQ(config.get_size("absent", 9), 9u);
+  EXPECT_DOUBLE_EQ(config.get_double("f", 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(config.get_double("absent", 2.5), 2.5);
+  EXPECT_FALSE(config.get_bool("b", true));
+  EXPECT_TRUE(config.get_bool("absent", true));
+}
+
+TEST(SolverRegistry, DuplicateRegistrationThrows) {
+  SolverRegistry local;
+  local.add({"x", "", {"y"}, {}, [](const SolverConfig&) {
+               return SolverRegistry::global().make("dalta");
+             }});
+  SolverRegistry::Entry dup{"y", "", {}, {}, [](const SolverConfig&) {
+                              return SolverRegistry::global().make("dalta");
+                            }};
+  EXPECT_THROW(local.add(dup), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adsd

@@ -11,11 +11,15 @@
 //         --m <bits>        output width (default: paper convention)
 //         --shared <s>      non-disjoint shared variables (default 0)
 //         --mode joint|separate (default joint)
-//         --solver prop|dalta|dalta-lit|ilp|ba|alt (default prop)
+//         --solver <spec>   registry spec "name[,key=value,...]", e.g.
+//                           prop | "prop,replicas=4" | "ilp,budget=1.5"
+//                           (see `adsd_cli info` for names and keys)
 //         --p/--rounds/--seed   framework knobs
 //         --replicas <r>    lockstep bSB replicas for the prop solver
+//                           (>= 1; shorthand for the replicas config key)
 //         --threads <t>     worker threads for the partition fan-out
-//                           (0 = hardware concurrency, the default)
+//                           (>= 1; default: hardware concurrency)
+//         --telemetry <file>  write the run's telemetry report as JSON
 //         --dist <file>     profile-driven input distribution (.dist format)
 //         --verilog <file>  write a synthesizable module
 //         --testbench <file> write a self-checking testbench (n <= 12)
@@ -24,6 +28,7 @@
 //   adsd_cli compare --exact a.tt --approx b.tt
 //       Report ER / MED / WCE / MRE between two tables.
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 
@@ -32,42 +37,43 @@
 #include "core/dalta.hpp"
 #include "core/nondisjoint_dalta.hpp"
 #include "core/quality_report.hpp"
+#include "core/solver_registry.hpp"
 #include "funcs/registry.hpp"
 #include "lut/verilog_export.hpp"
 #include "support/cli.hpp"
+#include "support/run_context.hpp"
 #include "support/table.hpp"
-#include "support/thread_pool.hpp"
 
 namespace {
 
 using namespace adsd;
 
-std::unique_ptr<CoreCopSolver> make_solver(const std::string& name,
-                                           unsigned n, double ilp_budget,
-                                           std::size_t replicas) {
-  if (name == "prop") {
-    auto options = IsingCoreSolver::Options::paper_defaults(n);
-    options.replicas = std::max<std::size_t>(1, replicas);
-    return std::make_unique<IsingCoreSolver>(options);
+/// Builds the solver through the registry. The dedicated --replicas and
+/// --ilp-budget flags are shorthands overlaid onto the spec's config (the
+/// spec wins when both name the same key), and the table width n feeds the
+/// prop solver's paper defaults unless the spec pins its own.
+std::unique_ptr<CoreCopSolver> make_solver(const CliArgs& args, unsigned n) {
+  const SolverRegistry& registry = SolverRegistry::global();
+  auto [name, config] =
+      SolverRegistry::parse_spec(args.get_string("solver", "prop"));
+  const SolverRegistry::Entry* entry = registry.find(name);
+  auto takes = [&](const std::string& key) {
+    return entry != nullptr &&
+           std::find(entry->keys.begin(), entry->keys.end(), key) !=
+               entry->keys.end();
+  };
+  if (takes("n") && !config.has("n")) {
+    config.set("n", std::to_string(n));
   }
-  if (name == "dalta") {
-    return std::make_unique<HeuristicCoreSolver>();
+  if (takes("replicas") && args.has("replicas") && !config.has("replicas")) {
+    config.set("replicas",
+               std::to_string(args.get_positive_size("replicas", 1)));
   }
-  if (name == "dalta-lit") {
-    return std::make_unique<HeuristicCoreSolver>(0);
+  if (takes("budget") && args.has("ilp-budget") && !config.has("budget")) {
+    config.set("budget",
+               std::to_string(args.get_double("ilp-budget", 0.25)));
   }
-  if (name == "ilp") {
-    BnbCoreSolver::Options opt;
-    opt.time_budget_s = ilp_budget;
-    return std::make_unique<BnbCoreSolver>(opt);
-  }
-  if (name == "ba") {
-    return std::make_unique<AnnealCoreSolver>();
-  }
-  if (name == "alt") {
-    return std::make_unique<AlternatingCoreSolver>();
-  }
-  throw std::invalid_argument("unknown solver '" + name + "'");
+  return registry.make(name, config);
 }
 
 TruthTable load_table(const CliArgs& args) {
@@ -112,9 +118,22 @@ int cmd_info() {
                  std::to_string(paper_output_bits(b.name, 16))});
   }
   fns.print(std::cout);
-  std::cout << "\nsolvers: prop (Ising/bSB, proposed), dalta (greedy), "
-               "dalta-lit (one-shot greedy), ilp (anytime B&B), ba "
-               "(annealing), alt (alternating minimization)\n";
+
+  std::cout << "\nsolvers (--solver \"name[,key=value,...]\"):\n";
+  Table solvers({"name", "aliases", "config keys", "summary"});
+  for (const auto& entry : SolverRegistry::global().entries()) {
+    std::string aliases;
+    for (const auto& a : entry.aliases) {
+      aliases += aliases.empty() ? a : ", " + a;
+    }
+    std::string keys;
+    for (const auto& k : entry.keys) {
+      keys += keys.empty() ? k : ", " + k;
+    }
+    solvers.add_row({entry.name, aliases.empty() ? "-" : aliases,
+                     keys.empty() ? "-" : keys, entry.summary});
+  }
+  solvers.print(std::cout);
   return 0;
 }
 
@@ -144,12 +163,13 @@ int cmd_decompose(const CliArgs& args) {
   const std::string mode_name = args.get_string("mode", "joint");
   const DecompMode mode =
       mode_name == "separate" ? DecompMode::kSeparate : DecompMode::kJoint;
+  RunContext::Options ctx_opts;
+  ctx_opts.seed = args.get_size("seed", 42);
   if (args.has("threads")) {
-    ThreadPool::configure_shared(args.get_size("threads", 0));
+    ctx_opts.threads = args.get_positive_size("threads", 1);
   }
-  const auto solver = make_solver(args.get_string("solver", "prop"), n,
-                                  args.get_double("ilp-budget", 0.25),
-                                  args.get_size("replicas", 1));
+  const RunContext ctx(ctx_opts);
+  const auto solver = make_solver(args, n);
 
   Table report({"metric", "value"});
   TruthTable approx(n, m);
@@ -164,7 +184,7 @@ int cmd_decompose(const CliArgs& args) {
     params.rounds = args.get_size("rounds", 1);
     params.mode = mode;
     params.seed = args.get_size("seed", 42);
-    const auto res = run_dalta(exact, dist, params, *solver);
+    const auto res = run_dalta(exact, dist, params, *solver, ctx);
     approx = res.approx;
     seconds = res.seconds;
     const auto net = res.to_lut_network();
@@ -189,7 +209,7 @@ int cmd_decompose(const CliArgs& args) {
     params.rounds = args.get_size("rounds", 1);
     params.mode = mode;
     params.seed = args.get_size("seed", 42);
-    const auto res = run_dalta_nd(exact, dist, params, *solver);
+    const auto res = run_dalta_nd(exact, dist, params, *solver, ctx);
     approx = res.approx;
     seconds = res.seconds;
     stored_bits = res.total_size_bits();
@@ -212,6 +232,11 @@ int cmd_decompose(const CliArgs& args) {
     std::ofstream f(args.get_string("hex-out", ""));
     write_hex(f, approx);
     std::cout << "wrote " << args.get_string("hex-out", "") << "\n";
+  }
+  if (args.has("telemetry")) {
+    std::ofstream f(args.get_string("telemetry", ""));
+    ctx.telemetry().write_json(f);
+    std::cout << "wrote " << args.get_string("telemetry", "") << "\n";
   }
 
   report.add_row({"inputs / outputs",
