@@ -3,6 +3,9 @@
 // sampling point, on core-COP instances from several benchmarks, and
 // compare the achieved objectives. The final decode-time polish is also
 // ablated separately to isolate the in-search feedback effect.
+//
+// Observability: --telemetry/--trace/--report <file> write the same JSON
+// artifacts as adsd_cli (see tools/trace_summary).
 
 #include <iostream>
 
@@ -23,6 +26,7 @@ int main(int argc, char** argv) {
             << "per-benchmark instances: " << per_bench << " (n=" << n
             << ", joint mode, replicas=" << replicas << ")\n\n";
 
+  const RunContext ctx(bench::context_options(args));
   const auto dist = InputDistribution::uniform(n);
 
   struct Config {
@@ -84,7 +88,7 @@ int main(int argc, char** argv) {
       double sum = 0.0;
       for (std::size_t i = 0; i < pool.size(); ++i) {
         CoreSolveStats stats;
-        (void)solver->solve(pool[i], seed + i, &stats);
+        (void)solver->solve(pool[i], ctx, seed + i, &stats);
         sum += stats.objective;
       }
       totals[ci] += sum;
@@ -103,5 +107,6 @@ int main(int argc, char** argv) {
                "to its left. The column-seed init breaks the V1<->V2 "
                "exchange symmetry (implementation detail, DESIGN.md); the "
                "Theorem-3 feedback is the paper's Sec. 3.3.2 heuristic.\n";
+  bench::write_run_artifacts(args, ctx);
   return 0;
 }

@@ -4,6 +4,9 @@
 // exhaustive search on the COP). Reports solution quality and time,
 // separating the contribution of the Ising *formulation* from the bSB
 // *search*.
+//
+// Observability: --telemetry/--trace/--report <file> write the same JSON
+// artifacts as adsd_cli (see tools/trace_summary).
 
 #include <iostream>
 
@@ -27,6 +30,7 @@ int main(int argc, char** argv) {
             << ", free=" << free_size << ", separate mode, bSB replicas="
             << replicas << ")\n\n";
 
+  const RunContext ctx(bench::context_options(args));
   const auto exact = make_continuous_table(continuous_spec("ln"), n, n);
   const auto dist = InputDistribution::uniform(n);
   Rng rng(seed);
@@ -49,7 +53,7 @@ int main(int argc, char** argv) {
     Timer timer;
     for (std::size_t i = 0; i < pool.size(); ++i) {
       CoreSolveStats stats;
-      (void)solver->solve(pool[i], seed + i, &stats);
+      (void)solver->solve(pool[i], ctx, seed + i, &stats);
       sum += stats.objective;
     }
     table.add_row({label, Table::num(sum / static_cast<double>(pool.size()), 5),
@@ -84,5 +88,6 @@ int main(int argc, char** argv) {
   std::cout << "\nexpected shape: B&B gives the reference optimum; bSB/dSB "
                "land on or near it orders of magnitude faster than B&B and "
                "clearly better than the greedy baseline.\n";
+  bench::write_run_artifacts(args, ctx);
   return 0;
 }

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "boolean/error_metrics.hpp"
@@ -11,6 +13,7 @@
 #include "core/solver_registry.hpp"
 #include "funcs/registry.hpp"
 #include "support/cli.hpp"
+#include "support/run_context.hpp"
 #include "support/table.hpp"
 
 namespace adsd::bench {
@@ -52,6 +55,49 @@ inline void print_header(const std::string& experiment,
             << " seed=" << params.seed
             << "  (override with --p/--rounds/--seed; paper-scale runs take "
                "much longer)\n\n";
+}
+
+/// RunContext options from the observability flags every harness shares:
+/// --seed, --threads, and the tracing switches. The recorder is armed iff
+/// --trace or --report was given, so a plain run keeps the null-recorder
+/// zero-overhead path.
+inline RunContext::Options context_options(const CliArgs& args) {
+  RunContext::Options opts;
+  opts.seed = args.get_size("seed", 42);
+  if (args.has("threads")) {
+    opts.threads = args.get_positive_size("threads", 1);
+  }
+  opts.trace = args.has("trace") || args.has("report");
+  return opts;
+}
+
+/// Writes the artifacts requested via --telemetry / --trace / --report to
+/// the given files, in exactly the formats adsd_cli emits (telemetry
+/// report, Chrome trace_event timeline, run report) — tools/trace_summary
+/// reads and validates all three.
+inline void write_run_artifacts(const CliArgs& args, const RunContext& ctx) {
+  auto open = [&](const char* flag) {
+    const std::string path = args.get_string(flag, "");
+    std::ofstream f(path);
+    if (!f) {
+      throw std::runtime_error(std::string("cannot open --") + flag +
+                               " file '" + path + "'");
+    }
+    std::cout << "wrote " << path << "\n";
+    return f;
+  };
+  if (args.has("telemetry")) {
+    auto f = open("telemetry");
+    ctx.telemetry().write_json(f);
+  }
+  if (args.has("trace")) {
+    auto f = open("trace");
+    ctx.tracer()->write_chrome_json(f);
+  }
+  if (args.has("report")) {
+    auto f = open("report");
+    ctx.tracer()->write_report_json(f, &ctx.telemetry());
+  }
 }
 
 }  // namespace adsd::bench

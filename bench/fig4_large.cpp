@@ -8,6 +8,10 @@
 // Defaults run at a heavily reduced P/R so the whole suite finishes in
 // about a minute; pass --n 16 --p 20 --rounds 2 (or more) for closer-to-
 // paper scale.
+//
+// Observability: --telemetry/--trace/--report <file> write the same JSON
+// artifacts as adsd_cli (see tools/trace_summary); --threads sets the
+// worker-pool width.
 
 #include <fstream>
 #include <iostream>
@@ -41,6 +45,10 @@ int main(int argc, char** argv) {
   const auto dalta = bench::make_solver(
       baseline == "lit" ? "dalta-lit" : baseline, n, 0.0);
   const auto prop = bench::make_solver("prop", n, 0.0, replicas);
+  // One context across the whole suite: with --trace/--report the recorder
+  // captures every benchmark's solves on a single timeline (streams are
+  // keyed, so sharing the context does not perturb any run).
+  const RunContext ctx(bench::context_options(args));
 
   Table table({"Benchmark", "DALTA MED", "DALTA T(s)", "Prop MED",
                "Prop T(s)", "MED ratio", "Time ratio", "avg iters",
@@ -51,8 +59,8 @@ int main(int argc, char** argv) {
   for (const auto& bench_case : benchmark_suite()) {
     const unsigned m = paper_output_bits(bench_case.name, n);
     const auto exact = make_benchmark_table(bench_case.name, n, m);
-    const auto base = run_dalta(exact, dist, params, *dalta);
-    const auto ours = run_dalta(exact, dist, params, *prop);
+    const auto base = run_dalta(exact, dist, params, *dalta, ctx);
+    const auto ours = run_dalta(exact, dist, params, *prop, ctx);
     const double med_ratio =
         base.med > 0.0 ? ours.med / base.med : (ours.med > 0.0 ? 1e9 : 1.0);
     const double time_ratio = ours.seconds / std::max(1e-9, base.seconds);
@@ -93,5 +101,6 @@ int main(int argc, char** argv) {
                "paper's runtime contrast comes from its framework overheads "
                "at P=1000, so at reduced P the time ratio here skews "
                "against the proposal.\n";
+  bench::write_run_artifacts(args, ctx);
   return 0;
 }

@@ -3,11 +3,19 @@
 // construction, COP building, and Theorem-3 resets -- sized like the
 // paper's two quantization schemes (n = 9: 16x32 matrices, 64 spins;
 // n = 16: 128x512 matrices, 768 spins).
+//
+// Observability: --telemetry/--trace/--report <file> follow the benchmark
+// run with an instrumented reference pass (the proposed bSB solver on the
+// n = 9 core COP) and write the same JSON artifacts as adsd_cli; all other
+// flags pass through to google-benchmark.
 
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+
 #include "boolean/boolean_matrix.hpp"
 #include "boolean/error_metrics.hpp"
+#include "common.hpp"
 #include "core/column_cop.hpp"
 #include "funcs/continuous.hpp"
 #include "ising/bsb.hpp"
@@ -285,6 +293,59 @@ void BM_ObjectiveEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_ObjectiveEvaluation)->Arg(9)->Arg(16);
 
+/// True for the observability flags this harness handles itself; they must
+/// not reach benchmark::Initialize, which rejects unknown options.
+bool is_harness_flag(std::string_view token) {
+  if (token.rfind("--", 0) != 0) {
+    return false;
+  }
+  const std::string_view name =
+      token.substr(2, token.find('=') == std::string_view::npos
+                          ? std::string_view::npos
+                          : token.find('=') - 2);
+  return name == "telemetry" || name == "trace" || name == "report" ||
+         name == "threads" || name == "seed";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN expansion plus the observability flags: strip them (and
+// their detached values) before handing argv to google-benchmark, and when
+// any artifact was requested, run an instrumented reference pass through
+// the proposed solver so the trace/report capture the real solve stack.
+int main(int argc, char** argv) {
+  const adsd::CliArgs args(argc, argv);
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    if (is_harness_flag(argv[i])) {
+      const std::string_view token(argv[i]);
+      if (token.find('=') == std::string_view::npos && i + 1 < argc &&
+          argv[i + 1][0] != '-') {
+        ++i;  // detached "--flag value" form: drop the value too
+      }
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (args.has("telemetry") || args.has("trace") || args.has("report")) {
+    const RunContext ctx(bench::context_options(args));
+    const auto solver = bench::make_solver("prop", 9, 0.0, 8);
+    const auto cop = make_cop(9, 4, 3);
+    const std::uint64_t seed = args.get_size("seed", 42);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      CoreSolveStats stats;
+      (void)solver->solve(cop, ctx, seed + i, &stats);
+    }
+    bench::write_run_artifacts(args, ctx);
+  }
+  return 0;
+}

@@ -3,6 +3,9 @@
 // grows exponentially while the Ising solver scales with the matrix size).
 // Reports, per n: spins, couplings, and per-solver average time on matched
 // instances.
+//
+// Observability: --telemetry/--trace/--report <file> write the same JSON
+// artifacts as adsd_cli (see tools/trace_summary).
 
 #include <iostream>
 
@@ -21,6 +24,7 @@ int main(int argc, char** argv) {
             << "benchmark: exp, separate mode, " << instances
             << " instances per width, ILP budget " << ilp_budget << "s\n\n";
 
+  const RunContext ctx(bench::context_options(args));
   Table table({"n", "matrix", "spins", "couplings", "bSB ms/solve",
                "greedy ms/solve", "B&B ms/solve", "bSB/greedy obj ratio"});
 
@@ -45,7 +49,7 @@ int main(int argc, char** argv) {
       double sum = 0.0;
       for (std::size_t i = 0; i < pool.size(); ++i) {
         CoreSolveStats stats;
-        (void)solver->solve(pool[i], seed + i, &stats);
+        (void)solver->solve(pool[i], ctx, seed + i, &stats);
         sum += stats.objective;
       }
       if (obj_sum != nullptr) {
@@ -75,5 +79,6 @@ int main(int argc, char** argv) {
                "(polynomial in the matrix size) and stays fractions of the "
                "time-capped B&B, while matching or beating greedy quality "
                "(ratio <= 1).\n";
+  bench::write_run_artifacts(args, ctx);
   return 0;
 }

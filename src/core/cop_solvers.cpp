@@ -108,7 +108,9 @@ ColumnSetting CoreCopSolver::solve(const ColumnCop& cop, const RunContext& ctx,
   CoreSolveStats local;
   CoreSolveStats* out = stats != nullptr ? stats : &local;
   TelemetrySink& sink = ctx.telemetry();
-  const auto span = sink.span("core/solve/" + name());
+  const std::string span_path = "core/solve/" + name();
+  const auto span = sink.span(span_path);
+  const TraceSpan trace_span(ctx.tracer(), span_path);
   ColumnSetting s = do_solve(cop, ctx, seed, out);
   sink.add("core/solves");
   sink.add("core/iterations", out->iterations);
@@ -151,22 +153,31 @@ ColumnSetting IsingCoreSolver::do_solve(const ColumnCop& cop,
     // mean-field dynamics otherwise cannot leave; that per-replica
     // O(rows * cols) pass now runs only for the rare degenerate replicas.
     const bool anti_collapse = options_.anti_collapse;
-    plane_hook = [&cop, anti_collapse, cost_scratch = std::vector<double>{},
+    plane_hook = [&cop, &ctx, anti_collapse,
+                  cost_scratch = std::vector<double>{},
                   degenerate = std::vector<std::uint8_t>{}](
                      std::span<double> x, std::span<double> y,
                      std::size_t replicas) mutable {
       cop.reset_optimal_t_planes(x, y, replicas, cost_scratch,
                                  anti_collapse ? &degenerate : nullptr);
+      ctx.telemetry().add("ising/theorem3/resets", replicas);
       if (!anti_collapse) {
         return;
       }
+      std::size_t intervened = 0;
       for (std::size_t rep = 0; rep < replicas; ++rep) {
         if (degenerate[rep] != 0) {
           anti_collapse_intervene(
               cop, ReplicaView(x.data() + rep, y.data() + rep,
                                cop.num_spins(), replicas));
+          ++intervened;
         }
       }
+      if (intervened > 0) {
+        ctx.telemetry().add("ising/theorem3/anti_collapse", intervened);
+      }
+      trace_counter(ctx.tracer(), "ising/theorem3/degenerate_replicas",
+                    static_cast<double>(intervened));
     };
   }
 
@@ -200,6 +211,9 @@ ColumnSetting IsingCoreSolver::do_solve(const ColumnCop& cop,
 
   const std::size_t restarts = std::max<std::size_t>(1, options_.restarts);
   for (std::size_t attempt = 0; attempt < restarts; ++attempt) {
+    // One trace span per restart, so each restart's energy trajectory is a
+    // separate segment of the flame graph.
+    const TraceSpan restart_span(ctx.tracer(), "ising/bsb/restart");
     SbParams params = options_.sb;
     params.seed = seed + 0x9e3779b9u * attempt;
     // First attempt runs from the informed seed; further restarts explore

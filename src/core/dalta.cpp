@@ -65,6 +65,8 @@ DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
   Timer timer;
   TelemetrySink& sink = ctx.telemetry();
   const auto run_span = sink.span("dalta/run");
+  TraceRecorder* tracer = ctx.tracer();
+  const TraceSpan run_trace(tracer, "dalta/run");
   const std::uint64_t patterns = exact.num_patterns();
 
   TruthTable approx = exact;
@@ -84,8 +86,10 @@ DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
   std::vector<double> d_by_input;  // joint mode scratch, indexed by pattern
 
   for (std::size_t round = 0; round < params.rounds; ++round) {
+    const TraceSpan round_trace(tracer, "dalta/round");
     for (unsigned kk = 0; kk < m; ++kk) {
       const unsigned k = m - 1 - kk;  // MSB -> LSB, as in the paper
+      const TraceSpan output_trace(tracer, "dalta/output");
 
       if (params.mode == DecompMode::kJoint) {
         d_by_input.resize(patterns);
@@ -111,6 +115,7 @@ DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
       }
       if (oversample > params.num_partitions) {
         const auto screen_span = sink.span("dalta/screen");
+        const TraceSpan screen_trace(tracer, "dalta/screen");
         const PartitionScreener screener(exact.output(k), n);
         candidates_w =
             screener.screen(std::move(candidates_w), params.num_partitions);
@@ -119,6 +124,11 @@ DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
 
       std::vector<std::optional<Candidate>> candidates(params.num_partitions);
       auto evaluate = [&](std::size_t p) {
+        // Runs on a pool worker under parallel dispatch, so this span lands
+        // on that worker's trace timeline — the per-thread work
+        // distribution of the candidate fan-out read straight off the
+        // flame graph.
+        const TraceSpan candidate_trace(tracer, "dalta/candidate");
         // Per-worker scratch reused across candidate partitions (and across
         // rounds): the Boolean matrix, the probability table, and the joint
         // D table are all shape r x c for every candidate, so only the first
@@ -206,6 +216,8 @@ DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
         }
       }
       result.approx.set_output(k, std::move(new_bits));
+      trace_counter(tracer, "dalta/committed_objective",
+                    best.stats.objective);
       chosen[k] = OutputDecomposition{best.partition, std::move(best.setting),
                                       best.stats.objective};
     }

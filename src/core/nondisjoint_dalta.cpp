@@ -68,6 +68,8 @@ NdDaltaResult run_dalta_nd(const TruthTable& exact,
   Timer timer;
   TelemetrySink& sink = ctx.telemetry();
   const auto run_span = sink.span("dalta_nd/run");
+  TraceRecorder* tracer = ctx.tracer();
+  const TraceSpan run_trace(tracer, "dalta_nd/run");
   const std::uint64_t patterns = exact.num_patterns();
 
   std::vector<std::int64_t> exact_words(patterns);
@@ -82,8 +84,10 @@ NdDaltaResult run_dalta_nd(const TruthTable& exact,
   std::vector<double> d_by_input;
 
   for (std::size_t round = 0; round < params.rounds; ++round) {
+    const TraceSpan round_trace(tracer, "dalta_nd/round");
     for (unsigned kk = 0; kk < m; ++kk) {
       const unsigned k = m - 1 - kk;
+      const TraceSpan output_trace(tracer, "dalta_nd/output");
 
       if (params.mode == DecompMode::kJoint) {
         d_by_input.resize(patterns);
@@ -109,6 +113,9 @@ NdDaltaResult run_dalta_nd(const TruthTable& exact,
       std::vector<std::optional<NdCandidate>> candidates(
           params.num_partitions);
       auto evaluate = [&](std::size_t p) {
+        // Lands on the evaluating pool worker's trace timeline (see
+        // run_dalta's candidate span).
+        const TraceSpan candidate_trace(tracer, "dalta_nd/candidate");
         const NonDisjointPartition& w = candidates_w[p];
         NdCandidate cand{w, {}, 0.0, 0};
         const std::size_t r = w.num_rows();

@@ -267,6 +267,14 @@ IsingSolveResult BsbBatchEngine::run(const SbBatchHook& hook,
       params_.stop.sample_interval > 0 ? params_.stop.sample_interval : 10;
   DynamicStopMonitor monitor(params_.stop);
 
+  // Convergence trace: the ensemble-best energy trajectory and the dynamic
+  // stop's variance reading at every sampling point, plus an instant for
+  // why the run ended. Recording only reads solver state, so traced runs
+  // stay bit-identical to untraced ones.
+  TraceRecorder* tracer = ctx_ != nullptr ? ctx_->tracer() : nullptr;
+  const TraceSpan run_span(tracer, "ising/bsb/run");
+  std::size_t energy_samples = 0;
+
   // A replica's tracked energy can drift from the from-scratch value only by
   // flip-accumulation rounding (~1e-15 relative), so a tracked energy within
   // this slack of the incumbent triggers one exact recomputation; everything
@@ -304,9 +312,22 @@ IsingSolveResult BsbBatchEngine::run(const SbBatchHook& hook,
       }
       sample();
       const double best_now = consider_all();
-      if (monitor.observe(best_now) || (ctx_ != nullptr && ctx_->expired())) {
+      ++energy_samples;
+      trace_counter(tracer, "ising/bsb/best_energy", best_now);
+      trace_counter(tracer, "ising/bsb/stop_variance",
+                    monitor.current_variance());
+      const bool variance_stop = monitor.observe(best_now);
+      const bool deadline_stop =
+          !variance_stop && ctx_ != nullptr && ctx_->expired();
+      if (variance_stop || deadline_stop) {
         result.stopped_early = true;
         ++iter;
+        if (ctx_ != nullptr) {
+          ctx_->telemetry().add(variance_stop ? "ising/sb/dynamic_stops"
+                                              : "ising/sb/deadline_hits");
+        }
+        trace_instant(tracer, variance_stop ? "ising/bsb/dynamic_stop"
+                                            : "ising/bsb/deadline_hit");
         break;
       }
     }
@@ -318,6 +339,7 @@ IsingSolveResult BsbBatchEngine::run(const SbBatchHook& hook,
   if (ctx_ != nullptr) {
     ctx_->telemetry().add("ising/sb/steps", iter);
     ctx_->telemetry().add("ising/sb/replica_steps", iter * R_);
+    ctx_->telemetry().add("ising/sb/energy_samples", energy_samples);
   }
   return result;
 }

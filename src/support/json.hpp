@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adsd::json {
+
+/// Minimal read-only JSON document model: just enough to load and validate
+/// the observability artifacts this repo emits (telemetry reports, Chrome
+/// trace_event files, run reports) without an external dependency. Parsing
+/// is strict RFC-8259 except that it accepts (and ignores) a UTF-8 BOM; on
+/// malformed input parse() throws std::runtime_error with a byte offset.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw std::runtime_error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& as_array() const;
+  const std::map<std::string, Value>& as_object() const;
+
+  /// Object member lookup; throws if not an object or the key is absent.
+  const Value& at(std::string_view key) const;
+
+  /// Object member lookup returning nullptr when absent (or not an object).
+  const Value* find(std::string_view key) const;
+
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+
+  static Value make_null() { return Value(); }
+  static Value make_bool(bool b);
+  static Value make_number(double n);
+  static Value make_string(std::string s);
+  static Value make_array(std::vector<Value> items);
+  static Value make_object(std::map<std::string, Value> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::map<std::string, Value> object_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Throws std::runtime_error on malformed input.
+Value parse(std::string_view text);
+
+}  // namespace adsd::json

@@ -27,7 +27,10 @@ std::uint64_t fnv1a(std::string_view s) {
 RunContext::RunContext(Options options)
     : options_(options),
       deadline_(options.time_budget_s),
-      telemetry_(std::make_unique<TelemetrySink>()) {}
+      telemetry_(std::make_unique<TelemetrySink>()),
+      trace_(options.trace
+                 ? std::make_unique<TraceRecorder>(options.trace_capacity)
+                 : nullptr) {}
 
 RunContext::~RunContext() = default;
 

@@ -8,6 +8,7 @@
 #include "support/rng.hpp"
 #include "support/telemetry.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 namespace adsd {
 
@@ -49,6 +50,17 @@ class RunContext {
     /// Wall-clock budget in seconds, measured from context construction.
     /// Non-positive = unlimited.
     double time_budget_s = 0.0;
+
+    /// Per-thread event tracing (spans / instants / counter samples with
+    /// Chrome-trace and run-report export). Off by default: tracer()
+    /// returns nullptr and every instrumentation site reduces to one
+    /// pointer test. Tracing never perturbs results — recording only reads
+    /// solver state, so a fixed-seed run is bit-identical either way.
+    bool trace = false;
+
+    /// Bound on buffered events per recording thread when tracing is on;
+    /// beyond it whole spans are dropped (and counted), never torn.
+    std::size_t trace_capacity = TraceRecorder::kDefaultCapacity;
   };
 
   RunContext() : RunContext(Options{}) {}
@@ -84,6 +96,11 @@ class RunContext {
 
   TelemetrySink& telemetry() const { return *telemetry_; }
 
+  /// Event tracer, or nullptr when Options::trace was off. Pass the pointer
+  /// straight to TraceSpan / trace_instant / trace_counter — all of them
+  /// no-op on nullptr.
+  TraceRecorder* tracer() const { return trace_.get(); }
+
   /// Process-wide fallback context used by convenience overloads that take
   /// no explicit context (seed 42, shared pool, no deadline). Its telemetry
   /// sink aggregates across all such calls.
@@ -99,6 +116,7 @@ class RunContext {
   Options options_;
   Deadline deadline_;
   std::unique_ptr<TelemetrySink> telemetry_;
+  std::unique_ptr<TraceRecorder> trace_;
   mutable std::unique_ptr<ThreadPool> owned_pool_;
   mutable std::mutex pool_mutex_;
 };

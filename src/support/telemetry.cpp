@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <sstream>
-#include <stdexcept>
 
 namespace adsd {
 
@@ -54,7 +53,7 @@ TelemetrySink::~TelemetrySink() {
   }
 }
 
-TelemetrySink::Metric& TelemetrySink::metric(std::string_view path) {
+TelemetrySink::Metric* TelemetrySink::metric(std::string_view path) {
   const std::size_t start = fnv1a(path) % kSlots;
   for (std::size_t probe = 0; probe < kSlots; ++probe) {
     auto& slot = slots_[(start + probe) % kSlots];
@@ -63,21 +62,27 @@ TelemetrySink::Metric& TelemetrySink::metric(std::string_view path) {
       auto* fresh = new Metric(std::string(path));
       if (slot.compare_exchange_strong(existing, fresh,
                                        std::memory_order_acq_rel)) {
-        return *fresh;
+        return fresh;
       }
       delete fresh;  // lost the race; `existing` now holds the winner
     }
     if (existing->path == path) {
-      return *existing;
+      return existing;
     }
   }
-  throw std::length_error("TelemetrySink: metric table full");
+  // Table saturated: count the rejection rather than throwing mid-solve or
+  // silently losing the path; write_json() surfaces the total.
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
 }
 
 void TelemetrySink::add(std::string_view path, std::uint64_t delta) {
-  Metric& m = metric(path);
-  m.count.fetch_add(1, std::memory_order_relaxed);
-  m.sum.fetch_add(delta, std::memory_order_relaxed);
+  Metric* m = metric(path);
+  if (m == nullptr) {
+    return;
+  }
+  m->count.fetch_add(1, std::memory_order_relaxed);
+  m->sum.fetch_add(delta, std::memory_order_relaxed);
 }
 
 void TelemetrySink::record_ns(Metric& m, std::uint64_t ns) {
@@ -88,7 +93,10 @@ void TelemetrySink::record_ns(Metric& m, std::uint64_t ns) {
 }
 
 void TelemetrySink::record_ns(std::string_view path, std::uint64_t ns) {
-  record_ns(metric(path), ns);
+  Metric* m = metric(path);
+  if (m != nullptr) {
+    record_ns(*m, ns);
+  }
 }
 
 void TelemetrySink::Span::close() {
@@ -145,7 +153,8 @@ std::uint64_t TelemetrySink::counter(std::string_view path) const {
 
 void TelemetrySink::write_json(std::ostream& out) const {
   const auto metrics = snapshot();
-  out << "{\n \"counters\": {";
+  out << "{\n \"dropped\": " << dropped_.load(std::memory_order_relaxed)
+      << ",\n \"counters\": {";
   bool first = true;
   for (const auto& m : metrics) {
     if (m.is_span) {

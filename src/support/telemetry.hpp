@@ -61,9 +61,16 @@ class TelemetrySink {
   TelemetrySink(const TelemetrySink&) = delete;
   TelemetrySink& operator=(const TelemetrySink&) = delete;
 
-  /// Resolves (creating if needed) the slot for `path`. Throws
-  /// std::length_error once kSlots distinct paths exist.
-  Metric& metric(std::string_view path);
+  /// Resolves (creating if needed) the slot for `path`. Returns nullptr
+  /// once kSlots distinct paths exist; the rejected update is counted in
+  /// dropped() instead of aborting the solve, and the count is reported as
+  /// "dropped" in the JSON output so saturation is never silent.
+  Metric* metric(std::string_view path);
+
+  /// Updates rejected because the metric table was saturated.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
   /// Counter update: count += 1, sum += delta.
   void add(std::string_view path, std::uint64_t delta = 1);
@@ -80,7 +87,7 @@ class TelemetrySink {
    public:
     Span() = default;
     Span(TelemetrySink* sink, std::string_view path)
-        : metric_(sink ? &sink->metric(path) : nullptr),
+        : metric_(sink ? sink->metric(path) : nullptr),
           start_(std::chrono::steady_clock::now()) {}
     Span(Span&& other) noexcept
         : metric_(other.metric_), start_(other.start_) {
@@ -124,6 +131,7 @@ class TelemetrySink {
   static constexpr std::size_t kSlots = 1024;
 
   std::array<std::atomic<Metric*>, kSlots> slots_{};
+  std::atomic<std::uint64_t> dropped_{0};
 };
 
 }  // namespace adsd

@@ -20,6 +20,13 @@
 //         --threads <t>     worker threads for the partition fan-out
 //                           (>= 1; default: hardware concurrency)
 //         --telemetry <file>  write the run's telemetry report as JSON
+//         --trace <file>    write a Chrome trace_event JSON timeline of the
+//                           whole solve (load in chrome://tracing or
+//                           Perfetto; per-thread spans, bSB energy/variance
+//                           counters)
+//         --report <file>   write the compact run report JSON (per-span
+//                           p50/p95/p99 latencies, counter summaries,
+//                           per-thread utilization, embedded telemetry)
 //         --dist <file>     profile-driven input distribution (.dist format)
 //         --verilog <file>  write a synthesizable module
 //         --testbench <file> write a self-checking testbench (n <= 12)
@@ -168,6 +175,7 @@ int cmd_decompose(const CliArgs& args) {
   if (args.has("threads")) {
     ctx_opts.threads = args.get_positive_size("threads", 1);
   }
+  ctx_opts.trace = args.has("trace") || args.has("report");
   const RunContext ctx(ctx_opts);
   const auto solver = make_solver(args, n);
 
@@ -237,6 +245,16 @@ int cmd_decompose(const CliArgs& args) {
     std::ofstream f(args.get_string("telemetry", ""));
     ctx.telemetry().write_json(f);
     std::cout << "wrote " << args.get_string("telemetry", "") << "\n";
+  }
+  if (args.has("trace")) {
+    std::ofstream f(args.get_string("trace", ""));
+    ctx.tracer()->write_chrome_json(f);
+    std::cout << "wrote " << args.get_string("trace", "") << "\n";
+  }
+  if (args.has("report")) {
+    std::ofstream f(args.get_string("report", ""));
+    ctx.tracer()->write_report_json(f, &ctx.telemetry());
+    std::cout << "wrote " << args.get_string("report", "") << "\n";
   }
 
   report.add_row({"inputs / outputs",
