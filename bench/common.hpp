@@ -1,11 +1,19 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "boolean/error_metrics.hpp"
 #include "core/cop_solvers.hpp"
@@ -13,6 +21,7 @@
 #include "core/solver_registry.hpp"
 #include "funcs/registry.hpp"
 #include "support/cli.hpp"
+#include "support/json.hpp"
 #include "support/run_context.hpp"
 #include "support/table.hpp"
 
@@ -58,8 +67,8 @@ inline void print_header(const std::string& experiment,
 }
 
 /// RunContext options from the observability flags every harness shares:
-/// --seed, --threads, and the tracing switches. The recorder is armed iff
-/// --trace or --report was given, so a plain run keeps the null-recorder
+/// --seed, --threads, and the recording switches. Each recorder is armed
+/// iff its artifact was requested, so a plain run keeps the null-recorder
 /// zero-overhead path.
 inline RunContext::Options context_options(const CliArgs& args) {
   RunContext::Options opts;
@@ -68,13 +77,152 @@ inline RunContext::Options context_options(const CliArgs& args) {
     opts.threads = args.get_positive_size("threads", 1);
   }
   opts.trace = args.has("trace") || args.has("report");
+  opts.qor = args.has("qor");
   return opts;
 }
 
-/// Writes the artifacts requested via --telemetry / --trace / --report to
-/// the given files, in exactly the formats adsd_cli emits (telemetry
-/// report, Chrome trace_event timeline, run report) — tools/trace_summary
-/// reads and validates all three.
+/// The flags the bench harness custom mains consume themselves. They must
+/// be stripped from argv before benchmark::Initialize sees it
+/// (google-benchmark rejects unknown options); unit-tested directly in
+/// tests/test_bench_common.cpp so a newly added flag can't silently break
+/// the stripping.
+inline bool is_harness_flag(std::string_view token) {
+  if (token.rfind("--", 0) != 0) {
+    return false;
+  }
+  const std::string_view name =
+      token.substr(2, token.find('=') == std::string_view::npos
+                          ? std::string_view::npos
+                          : token.find('=') - 2);
+  return name == "telemetry" || name == "trace" || name == "report" ||
+         name == "threads" || name == "seed" || name == "qor" ||
+         name == "json";
+}
+
+/// Removes the harness flags (both "--flag=value" and detached
+/// "--flag value" forms) from argv, returning what google-benchmark should
+/// parse. Non-flag tokens and unknown flags pass through untouched.
+inline std::vector<char*> strip_harness_flags(int argc, char** argv) {
+  std::vector<char*> out;
+  out.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (is_harness_flag(argv[i])) {
+      const std::string_view token(argv[i]);
+      if (token.find('=') == std::string_view::npos && i + 1 < argc &&
+          argv[i + 1][0] != '-') {
+        ++i;  // detached "--flag value" form: drop the value too
+      }
+      continue;
+    }
+    out.push_back(argv[i]);
+  }
+  return out;
+}
+
+/// The 1-CPU caveat: derived speedup records (thread sharding, ensemble
+/// parallelism) are meaningless on a single-hardware-thread host, so the
+/// schema-v2 writer flags them invalid there and bench_diff skips them.
+inline bool multi_core_host() {
+  return std::thread::hardware_concurrency() > 1;
+}
+
+/// Schema-v2 bench report writer: the one serialization path for every
+/// BENCH_*.json and harness --json output. Each record carries the metric
+/// kind ("time" | "qor" | "derived"), its improvement direction ("min" =
+/// smaller is better, "max" = larger is better), and a per-record `valid`
+/// flag (false = environment caveat, e.g. a speedup measured on a 1-CPU
+/// host); tools/bench_diff compares two such files and skips invalid
+/// records.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string generator)
+      : generator_(std::move(generator)) {}
+
+  /// Wall-clock metric, direction "min".
+  void add_time(const std::string& name, double seconds, bool valid = true,
+                const std::string& note = "") {
+    add(name, "time", seconds, "s", "min", valid, note);
+  }
+
+  /// Quality metric where smaller is better (MED, error rate, LUT bits).
+  void add_qor(const std::string& name, double value,
+               const std::string& unit = "", bool valid = true,
+               const std::string& note = "") {
+    add(name, "qor", value, unit, "min", valid, note);
+  }
+
+  /// Derived ratio (speedups etc.); direction is explicit.
+  void add_derived(const std::string& name, double value,
+                   const std::string& direction, bool valid = true,
+                   const std::string& note = "") {
+    add(name, "derived", value, "ratio", direction, valid, note);
+  }
+
+  void add(const std::string& name, const std::string& kind, double value,
+           const std::string& unit, const std::string& direction, bool valid,
+           const std::string& note = "") {
+    std::map<std::string, json::Value> rec;
+    rec.emplace("name", json::Value::make_string(name));
+    rec.emplace("kind", json::Value::make_string(kind));
+    rec.emplace("value", json::Value::make_number(value));
+    rec.emplace("unit", json::Value::make_string(unit));
+    rec.emplace("direction", json::Value::make_string(direction));
+    rec.emplace("valid", json::Value::make_bool(valid));
+    if (!note.empty()) {
+      rec.emplace("note", json::Value::make_string(note));
+    }
+    records_.push_back(json::Value::make_object(std::move(rec)));
+  }
+
+  std::size_t size() const { return records_.size(); }
+
+  json::Value to_value() const {
+    std::map<std::string, json::Value> generated;
+    generated.emplace("date", json::Value::make_string(today_utc()));
+    generated.emplace("generator", json::Value::make_string(generator_));
+    const char* commit = std::getenv("ADSD_COMMIT");
+    generated.emplace("commit", json::Value::make_string(
+                                    commit != nullptr ? commit : "unknown"));
+
+    std::map<std::string, json::Value> host;
+    host.emplace("hardware_concurrency",
+                 json::Value::make_number(static_cast<double>(
+                     std::thread::hardware_concurrency())));
+    host.emplace("multi_core", json::Value::make_bool(multi_core_host()));
+
+    std::map<std::string, json::Value> root;
+    root.emplace("schema", json::Value::make_string("adsd-bench-v2"));
+    root.emplace("generated", json::Value::make_object(std::move(generated)));
+    root.emplace("host", json::Value::make_object(std::move(host)));
+    root.emplace("records", json::Value::make_array(records_));
+    return json::Value::make_object(std::move(root));
+  }
+
+  void write(std::ostream& out) const {
+    json::write(out, to_value());
+    out << '\n';
+  }
+
+ private:
+  static std::string today_utc() {
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", tm.tm_year + 1900,
+                  tm.tm_mon + 1, tm.tm_mday);
+    return buf;
+  }
+
+  std::string generator_;
+  std::vector<json::Value> records_;
+};
+
+/// Writes the artifacts requested via --telemetry / --trace / --report /
+/// --qor to the given files, in exactly the formats adsd_cli emits
+/// (telemetry report, Chrome trace_event timeline, run report, qor.json) —
+/// tools/trace_summary reads and validates the first three,
+/// tools/bench_diff compares qor.json files.
 inline void write_run_artifacts(const CliArgs& args, const RunContext& ctx) {
   auto open = [&](const char* flag) {
     const std::string path = args.get_string(flag, "");
@@ -97,6 +245,10 @@ inline void write_run_artifacts(const CliArgs& args, const RunContext& ctx) {
   if (args.has("report")) {
     auto f = open("report");
     ctx.tracer()->write_report_json(f, &ctx.telemetry());
+  }
+  if (args.has("qor")) {
+    auto f = open("qor");
+    ctx.qor()->write_json(f);
   }
 }
 

@@ -4,13 +4,19 @@
 // paper's two quantization schemes (n = 9: 16x32 matrices, 64 spins;
 // n = 16: 128x512 matrices, 768 spins).
 //
-// Observability: --telemetry/--trace/--report <file> follow the benchmark
-// run with an instrumented reference pass (the proposed bSB solver on the
-// n = 9 core COP) and write the same JSON artifacts as adsd_cli; all other
-// flags pass through to google-benchmark.
+// Observability: --telemetry/--trace/--report/--qor <file> follow the
+// benchmark run with an instrumented reference pass (the proposed bSB
+// solver on the n = 9 core COP) and write the same JSON artifacts as
+// adsd_cli; --json <file> writes the measured times as a schema-v2 bench
+// report (plus the derived force_shard_speedup_* records, flagged invalid
+// on 1-CPU hosts) for tools/bench_diff; all other flags pass through to
+// google-benchmark.
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <map>
+#include <string>
 #include <string_view>
 
 #include "boolean/boolean_matrix.hpp"
@@ -293,50 +299,84 @@ void BM_ObjectiveEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_ObjectiveEvaluation)->Arg(9)->Arg(16);
 
-/// True for the observability flags this harness handles itself; they must
-/// not reach benchmark::Initialize, which rejects unknown options.
-bool is_harness_flag(std::string_view token) {
-  if (token.rfind("--", 0) != 0) {
-    return false;
+/// Console reporter that additionally captures each run's adjusted real
+/// time in seconds, keyed by the full benchmark name, so the --json writer
+/// can emit schema-v2 records after the run.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) {
+        continue;
+      }
+      seconds_[run.benchmark_name()] =
+          run.GetAdjustedRealTime() /
+          benchmark::GetTimeUnitMultiplier(run.time_unit);
+    }
+    ConsoleReporter::ReportRuns(reports);
   }
-  const std::string_view name =
-      token.substr(2, token.find('=') == std::string_view::npos
-                          ? std::string_view::npos
-                          : token.find('=') - 2);
-  return name == "telemetry" || name == "trace" || name == "report" ||
-         name == "threads" || name == "seed";
-}
+
+  const std::map<std::string, double>& seconds() const { return seconds_; }
+
+ private:
+  std::map<std::string, double> seconds_;
+};
 
 }  // namespace
 
 // BENCHMARK_MAIN expansion plus the observability flags: strip them (and
 // their detached values) before handing argv to google-benchmark, and when
 // any artifact was requested, run an instrumented reference pass through
-// the proposed solver so the trace/report capture the real solve stack.
+// the proposed solver so the trace/report/qor capture the real solve stack.
 int main(int argc, char** argv) {
   const adsd::CliArgs args(argc, argv);
-  std::vector<char*> bench_argv;
-  for (int i = 0; i < argc; ++i) {
-    if (is_harness_flag(argv[i])) {
-      const std::string_view token(argv[i]);
-      if (token.find('=') == std::string_view::npos && i + 1 < argc &&
-          argv[i + 1][0] != '-') {
-        ++i;  // detached "--flag value" form: drop the value too
-      }
-      continue;
-    }
-    bench_argv.push_back(argv[i]);
-  }
+  std::vector<char*> bench_argv = bench::strip_harness_flags(argc, argv);
   int bench_argc = static_cast<int>(bench_argv.size());
   benchmark::Initialize(&bench_argc, bench_argv.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc,
                                              bench_argv.data())) {
     return 1;
   }
-  benchmark::RunSpecifiedBenchmarks();
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
 
-  if (args.has("telemetry") || args.has("trace") || args.has("report")) {
+  if (args.has("json")) {
+    bench::BenchReport report("micro_kernels");
+    for (const auto& [name, seconds] : reporter.seconds()) {
+      report.add_time("kernels/" + name, seconds);
+    }
+    // Derived sharding speedups from the Sharded benchmark's serial
+    // baseline; meaningless on a 1-CPU host, so flagged invalid there (the
+    // schema-v2 successor of the old force_shard_speedup_*_valid fields).
+    const auto& secs = reporter.seconds();
+    const auto base = secs.find("BM_ForceKernelSharded/0/real_time");
+    const bool multi = bench::multi_core_host();
+    const std::string note =
+        multi ? "" : "measured on a 1-CPU host; sharding cannot win";
+    for (const auto& [threads, label] :
+         {std::pair<const char*, const char*>{"2", "force_shard_speedup_2t"},
+          std::pair<const char*, const char*>{"8",
+                                              "force_shard_speedup_8t"}}) {
+      const auto it = secs.find(std::string("BM_ForceKernelSharded/") +
+                                threads + "/real_time");
+      if (base != secs.end() && it != secs.end() && it->second > 0.0) {
+        report.add_derived(label, base->second / it->second, "max", multi,
+                           note);
+      }
+    }
+    const std::string path = args.get_string("json", "");
+    std::ofstream f(path);
+    if (!f) {
+      std::cerr << "cannot open --json file '" << path << "'\n";
+      return 1;
+    }
+    report.write(f);
+    std::cout << "wrote " << path << "\n";
+  }
+
+  if (args.has("telemetry") || args.has("trace") || args.has("report") ||
+      args.has("qor")) {
     const RunContext ctx(bench::context_options(args));
     const auto solver = bench::make_solver("prop", 9, 0.0, 8);
     const auto cop = make_cop(9, 4, 3);

@@ -117,6 +117,11 @@ ColumnSetting CoreCopSolver::solve(const ColumnCop& cop, const RunContext& ctx,
   if (out->stopped_early) {
     sink.add("core/early_stops");
   }
+  // Per-solver objective distribution; guarded on the pointer because the
+  // sample name is built by concatenation.
+  if (QorRecorder* q = ctx.qor()) {
+    q->sample("core/objective/" + name(), out->objective);
+  }
   return s;
 }
 
@@ -161,6 +166,8 @@ ColumnSetting IsingCoreSolver::do_solve(const ColumnCop& cop,
       cop.reset_optimal_t_planes(x, y, replicas, cost_scratch,
                                  anti_collapse ? &degenerate : nullptr);
       ctx.telemetry().add("ising/theorem3/resets", replicas);
+      qor_add(ctx.qor(), "ising/theorem3/resets",
+              static_cast<double>(replicas));
       if (!anti_collapse) {
         return;
       }
@@ -175,6 +182,8 @@ ColumnSetting IsingCoreSolver::do_solve(const ColumnCop& cop,
       }
       if (intervened > 0) {
         ctx.telemetry().add("ising/theorem3/anti_collapse", intervened);
+        qor_add(ctx.qor(), "ising/theorem3/anti_collapse",
+                static_cast<double>(intervened));
       }
       trace_counter(ctx.tracer(), "ising/theorem3/degenerate_replicas",
                     static_cast<double>(intervened));
@@ -230,7 +239,17 @@ ColumnSetting IsingCoreSolver::do_solve(const ColumnCop& cop,
 
     ColumnSetting s = cop.decode(res.spins);
     if (options_.final_polish) {
-      cop.reset_optimal_t(s);
+      // The Theorem-3 polish delta (pre - post objective) is the quality
+      // the closed-form reset adds on top of the raw bSB answer. The extra
+      // objective evaluations run only with QoR armed and read state only,
+      // so the off path is untouched.
+      if (QorRecorder* q = ctx.qor()) {
+        const double pre = cop.objective(s);
+        cop.reset_optimal_t(s);
+        q->sample("ising/theorem3/polish_delta", pre - cop.objective(s));
+      } else {
+        cop.reset_optimal_t(s);
+      }
     }
     const double obj = cop.objective(s);
     if (!have_best || obj < best_obj) {

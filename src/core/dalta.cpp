@@ -1,5 +1,6 @@
 #include "core/dalta.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <optional>
 #include <stdexcept>
@@ -120,6 +121,8 @@ DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
         candidates_w =
             screener.screen(std::move(candidates_w), params.num_partitions);
         sink.add("dalta/screened", oversample - params.num_partitions);
+        qor_add(ctx.qor(), "dalta/partitions_screened",
+                static_cast<double>(oversample - params.num_partitions));
       }
 
       std::vector<std::optional<Candidate>> candidates(params.num_partitions);
@@ -220,6 +223,33 @@ DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
                     best.stats.objective);
       chosen[k] = OutputDecomposition{best.partition, std::move(best.setting),
                                       best.stats.objective};
+
+      // Quality observability: record the committed decision. Reads only —
+      // the committed bits and candidate objectives are already fixed — so
+      // the off path stays bit-identical (and costs one pointer test).
+      if (QorRecorder* q = ctx.qor()) {
+        std::size_t tried = 0;
+        double worst = best.stats.objective;
+        for (const auto& cand : candidates) {
+          if (!cand.has_value()) {
+            continue;
+          }
+          ++tried;
+          worst = std::max(worst, cand->stats.objective);
+        }
+        QorRecorder::OutputRecord rec;
+        rec.stage = "dalta";
+        rec.round = round;
+        rec.output = k;
+        rec.tried = tried;
+        rec.best_objective = best.stats.objective;
+        rec.worst_objective = worst;
+        rec.error_rate =
+            error_rate(exact.output(k), result.approx.output(k), dist);
+        q->record_output(std::move(rec));
+        q->add("dalta/partitions_tried", static_cast<double>(tried));
+        q->add("dalta/commits");
+      }
     }
   }
 
@@ -233,6 +263,25 @@ DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
   sink.add("dalta/cop_solves", result.cop_solves);
   sink.add("dalta/outputs", m);
   sink.add("dalta/rounds", params.rounds);
+  if (QorRecorder* q = ctx.qor()) {
+    QorRecorder::Final fin;
+    fin.stage = "dalta";
+    fin.med = result.med;
+    fin.error_rate = result.error_rate;
+    const DecomposedLutNetwork net = result.to_lut_network();
+    fin.lut_bits = net.total_size_bits();
+    fin.flat_bits = net.total_flat_size_bits();
+    fin.outputs.reserve(m);
+    for (unsigned k = 0; k < m; ++k) {
+      QorRecorder::FinalOutput out;
+      out.error_rate =
+          error_rate(exact.output(k), result.approx.output(k), dist);
+      out.lut_bits = net.output(k).size_bits();
+      out.flat_bits = net.output(k).flat_size_bits();
+      fin.outputs.push_back(out);
+    }
+    q->record_final(std::move(fin));
+  }
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "core/nondisjoint_dalta.hpp"
 
+#include <algorithm>
 #include <optional>
 #include <stdexcept>
 
@@ -208,6 +209,31 @@ NdDaltaResult run_dalta_nd(const TruthTable& exact,
       chosen[k] = NdOutputDecomposition{best.partition,
                                         std::move(best.setting),
                                         best.objective};
+
+      // Quality observability (reads only; see run_dalta's commit site).
+      if (QorRecorder* q = ctx.qor()) {
+        std::size_t tried = 0;
+        double worst = best.objective;
+        for (const auto& cand : candidates) {
+          if (!cand.has_value()) {
+            continue;
+          }
+          ++tried;
+          worst = std::max(worst, cand->objective);
+        }
+        QorRecorder::OutputRecord rec;
+        rec.stage = "dalta_nd";
+        rec.round = round;
+        rec.output = k;
+        rec.tried = tried;
+        rec.best_objective = best.objective;
+        rec.worst_objective = worst;
+        rec.error_rate =
+            error_rate(exact.output(k), result.approx.output(k), dist);
+        q->record_output(std::move(rec));
+        q->add("dalta_nd/partitions_tried", static_cast<double>(tried));
+        q->add("dalta_nd/commits");
+      }
     }
   }
 
@@ -220,6 +246,26 @@ NdDaltaResult run_dalta_nd(const TruthTable& exact,
   result.seconds = timer.seconds();
   sink.add("dalta_nd/cop_solves", result.cop_solves);
   sink.add("dalta_nd/outputs", m);
+  if (QorRecorder* q = ctx.qor()) {
+    QorRecorder::Final fin;
+    fin.stage = "dalta_nd";
+    fin.med = result.med;
+    fin.error_rate = result.error_rate;
+    fin.lut_bits = result.total_size_bits();
+    fin.flat_bits = result.total_flat_size_bits();
+    fin.outputs.reserve(m);
+    for (unsigned k = 0; k < m; ++k) {
+      const auto& out = result.outputs[k];
+      QorRecorder::FinalOutput rec;
+      rec.error_rate =
+          error_rate(exact.output(k), result.approx.output(k), dist);
+      rec.lut_bits =
+          out.partition.phi_lut_bits() + out.partition.f_lut_bits();
+      rec.flat_bits = std::uint64_t{1} << out.partition.num_inputs();
+      fin.outputs.push_back(rec);
+    }
+    q->record_final(std::move(fin));
+  }
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "ising/stop.hpp"
 #include "support/rng.hpp"
@@ -259,6 +260,7 @@ void BsbBatchEngine::copy_replica_spins(std::size_t r,
 
 IsingSolveResult BsbBatchEngine::run(const SbBatchHook& hook,
                                      const SbBatchPlaneHook& plane_hook) {
+  Timer run_timer;
   IsingSolveResult result;
   copy_replica_spins(0, result.spins);
   result.energy = energies_[0];
@@ -274,6 +276,16 @@ IsingSolveResult BsbBatchEngine::run(const SbBatchHook& hook,
   TraceRecorder* tracer = ctx_ != nullptr ? ctx_->tracer() : nullptr;
   const TraceSpan run_span(tracer, "ising/bsb/run");
   std::size_t energy_samples = 0;
+
+  // Best-energy-vs-iteration curve for the QoR export. The name is built
+  // only when recording is armed; the off path is the pointer test alone.
+  QorRecorder* qor = ctx_ != nullptr ? ctx_->qor() : nullptr;
+  std::uint64_t curve_id = 0;
+  if (qor != nullptr) {
+    curve_id = qor->begin_curve("ising/bsb/n" + std::to_string(n_) + "_R" +
+                                std::to_string(R_));
+  }
+  bool budget_checked = false;
 
   // A replica's tracked energy can drift from the from-scratch value only by
   // flip-accumulation rounding (~1e-15 relative), so a tracked energy within
@@ -316,6 +328,49 @@ IsingSolveResult BsbBatchEngine::run(const SbBatchHook& hook,
       trace_counter(tracer, "ising/bsb/best_energy", best_now);
       trace_counter(tracer, "ising/bsb/stop_variance",
                     monitor.current_variance());
+      if (qor != nullptr) {
+        qor->curve_point(curve_id, iter + 1, best_now);
+      }
+
+      // Budget-aware iteration rescale: when a context deadline implies
+      // fewer sampling points than configured, shrink max_iterations at the
+      // first sampling point (the one timing estimate available) so the
+      // pump ramp completes by the deadline and a tight budget still
+      // returns a polished setting instead of being truncated mid-ramp.
+      // Guarded on the deadline alone — budget-less runs never take this
+      // path, so fixed-seed results stay bit-identical with QoR on or off.
+      if (!budget_checked) {
+        budget_checked = true;
+        if (ctx_ != nullptr && ctx_->deadline().budget() > 0.0) {
+          const double per_step =
+              run_timer.seconds() / static_cast<double>(iter + 1);
+          const double remaining = ctx_->deadline().remaining();
+          if (per_step > 0.0) {
+            const double affordable_d =
+                static_cast<double>(iter + 1) + 0.9 * remaining / per_step;
+            if (affordable_d <
+                static_cast<double>(params_.max_iterations)) {
+              const std::size_t affordable = std::max<std::size_t>(
+                  static_cast<std::size_t>(affordable_d), iter + 2);
+              if (affordable < params_.max_iterations) {
+                const std::size_t dropped =
+                    params_.max_iterations - affordable;
+                params_.max_iterations = affordable;
+                ctx_->telemetry().add("ising/sb/budget_rescales");
+                ctx_->telemetry().add("ising/sb/budget_rescaled_steps",
+                                      dropped);
+                if (qor != nullptr) {
+                  qor->add("ising/sb/budget_rescales");
+                  qor->sample("ising/sb/rescaled_max_iterations",
+                              static_cast<double>(affordable));
+                }
+                trace_instant(tracer, "ising/bsb/budget_rescale");
+              }
+            }
+          }
+        }
+      }
+
       const bool variance_stop = monitor.observe(best_now);
       const bool deadline_stop =
           !variance_stop && ctx_ != nullptr && ctx_->expired();

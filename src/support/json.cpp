@@ -2,6 +2,10 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace adsd::json {
@@ -382,6 +386,128 @@ Value Value::make_object(std::map<std::string, Value> members) {
 
 Value parse(std::string_view text) {
   return Parser(text).parse_document();
+}
+
+namespace {
+
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_json_number(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  // Exact integers below 2^53 print without a decimal point, so counters
+  // and bit budgets stay readable; everything else round-trips via %.17g.
+  if (v == std::floor(v) && std::fabs(v) < 9007199254740992.0) {
+    out << static_cast<long long>(v);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out << buf;
+}
+
+void write_indent(std::ostream& out, int depth) {
+  for (int i = 0; i < depth; ++i) {
+    out << ' ';
+  }
+}
+
+}  // namespace
+
+void write(std::ostream& out, const Value& value, int indent) {
+  switch (value.kind()) {
+    case Value::Kind::kNull:
+      out << "null";
+      return;
+    case Value::Kind::kBool:
+      out << (value.as_bool() ? "true" : "false");
+      return;
+    case Value::Kind::kNumber:
+      write_json_number(out, value.as_number());
+      return;
+    case Value::Kind::kString:
+      write_json_string(out, value.as_string());
+      return;
+    case Value::Kind::kArray: {
+      const auto& items = value.as_array();
+      if (items.empty()) {
+        out << "[]";
+        return;
+      }
+      out << "[";
+      bool first = true;
+      for (const Value& item : items) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        write_indent(out, indent + 1);
+        write(out, item, indent + 1);
+      }
+      out << "\n";
+      write_indent(out, indent);
+      out << "]";
+      return;
+    }
+    case Value::Kind::kObject: {
+      const auto& members = value.as_object();
+      if (members.empty()) {
+        out << "{}";
+        return;
+      }
+      out << "{";
+      bool first = true;
+      for (const auto& [key, member] : members) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        write_indent(out, indent + 1);
+        write_json_string(out, key);
+        out << ": ";
+        write(out, member, indent + 1);
+      }
+      out << "\n";
+      write_indent(out, indent);
+      out << "}";
+      return;
+    }
+  }
+}
+
+std::string dump(const Value& value) {
+  std::ostringstream out;
+  write(out, value, 0);
+  out << "\n";
+  return out.str();
 }
 
 }  // namespace adsd::json

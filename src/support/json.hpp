@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -62,5 +63,18 @@ class Value {
 /// Parses one complete JSON document (trailing whitespace allowed, trailing
 /// garbage rejected). Throws std::runtime_error on malformed input.
 Value parse(std::string_view text);
+
+/// Serializes a Value as RFC 8259 JSON. Object keys come out sorted (the
+/// document model is a std::map), so output is stable across runs — the
+/// property the committed bench/QoR baselines rely on for reviewable diffs.
+/// Numbers that hold an exact integer below 2^53 print without a decimal
+/// point; everything else uses round-trippable %.17g. Non-finite numbers
+/// serialize as null (RFC 8259 has no representation for them).
+/// `indent` is the starting indentation depth (one space per level, matching
+/// the hand-written artifact writers elsewhere in the repo).
+void write(std::ostream& out, const Value& value, int indent = 0);
+
+/// write() into a string.
+std::string dump(const Value& value);
 
 }  // namespace adsd::json

@@ -30,7 +30,10 @@ RunContext::RunContext(Options options)
       telemetry_(std::make_unique<TelemetrySink>()),
       trace_(options.trace
                  ? std::make_unique<TraceRecorder>(options.trace_capacity)
-                 : nullptr) {}
+                 : nullptr),
+      qor_(options.qor
+               ? std::make_unique<QorRecorder>(options.qor_curve_capacity)
+               : nullptr) {}
 
 RunContext::~RunContext() = default;
 

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <string_view>
 
+#include "support/qor.hpp"
 #include "support/rng.hpp"
 #include "support/telemetry.hpp"
 #include "support/timer.hpp"
@@ -61,6 +62,17 @@ class RunContext {
     /// Bound on buffered events per recording thread when tracing is on;
     /// beyond it whole spans are dropped (and counted), never torn.
     std::size_t trace_capacity = TraceRecorder::kDefaultCapacity;
+
+    /// Quality-of-result recording (per-output error rates, partition
+    /// accept/try counts, bSB convergence curves, LUT-bit totals, with
+    /// qor.json export). Same discipline as trace: off by default, qor()
+    /// returns nullptr, and recording never perturbs results — fixed-seed
+    /// runs are bit-identical either way.
+    bool qor = false;
+
+    /// Bound on stored convergence-curve points when QoR recording is on;
+    /// beyond it points are dropped (and counted).
+    std::size_t qor_curve_capacity = QorRecorder::kDefaultCurveCapacity;
   };
 
   RunContext() : RunContext(Options{}) {}
@@ -101,6 +113,11 @@ class RunContext {
   /// no-op on nullptr.
   TraceRecorder* tracer() const { return trace_.get(); }
 
+  /// QoR recorder, or nullptr when Options::qor was off. qor_add/qor_sample
+  /// no-op on nullptr; sites that must build the recorded value (strings,
+  /// extra evaluations) should test the pointer themselves first.
+  QorRecorder* qor() const { return qor_.get(); }
+
   /// Process-wide fallback context used by convenience overloads that take
   /// no explicit context (seed 42, shared pool, no deadline). Its telemetry
   /// sink aggregates across all such calls.
@@ -117,6 +134,7 @@ class RunContext {
   Deadline deadline_;
   std::unique_ptr<TelemetrySink> telemetry_;
   std::unique_ptr<TraceRecorder> trace_;
+  std::unique_ptr<QorRecorder> qor_;
   mutable std::unique_ptr<ThreadPool> owned_pool_;
   mutable std::mutex pool_mutex_;
 };

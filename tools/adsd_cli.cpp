@@ -27,6 +27,11 @@
 //         --report <file>   write the compact run report JSON (per-span
 //                           p50/p95/p99 latencies, counter summaries,
 //                           per-thread utilization, embedded telemetry)
+//         --qor <file>      write the quality-of-result record as JSON
+//                           (schema adsd-qor-v1: per-output error rates,
+//                           partition accept/try counts, bSB convergence
+//                           curves, LUT-bit ledger; see tools/bench_diff)
+//                           and print the per-output QoR summary table
 //         --dist <file>     profile-driven input distribution (.dist format)
 //         --verilog <file>  write a synthesizable module
 //         --testbench <file> write a self-checking testbench (n <= 12)
@@ -176,6 +181,7 @@ int cmd_decompose(const CliArgs& args) {
     ctx_opts.threads = args.get_positive_size("threads", 1);
   }
   ctx_opts.trace = args.has("trace") || args.has("report");
+  ctx_opts.qor = args.has("qor");
   const RunContext ctx(ctx_opts);
   const auto solver = make_solver(args, n);
 
@@ -256,6 +262,11 @@ int cmd_decompose(const CliArgs& args) {
     ctx.tracer()->write_report_json(f, &ctx.telemetry());
     std::cout << "wrote " << args.get_string("report", "") << "\n";
   }
+  if (args.has("qor")) {
+    std::ofstream f(args.get_string("qor", ""));
+    ctx.qor()->write_json(f);
+    std::cout << "wrote " << args.get_string("qor", "") << "\n";
+  }
 
   report.add_row({"inputs / outputs",
                   std::to_string(n) + " / " + std::to_string(m)});
@@ -266,6 +277,34 @@ int cmd_decompose(const CliArgs& args) {
       make_quality_report(exact, approx, dist, stored_bits);
   (void)flat_bits;  // make_quality_report recomputes the flat ledger
   quality.print(std::cout);
+
+  // Human-readable QoR summary: quality per output without opening the
+  // JSON (the Figure-1 ledger, one row per output bit).
+  if (const QorRecorder* q = ctx.qor(); q != nullptr && q->has_final()) {
+    const QorRecorder::Final fin = q->final_summary();
+    std::cout << "\nQoR summary (" << fin.stage
+              << "): ER " << Table::num(fin.error_rate, 6) << ", MED "
+              << Table::num(fin.med, 6) << ", LUT bits " << fin.lut_bits
+              << " of " << fin.flat_bits << " flat ("
+              << Table::num(100.0 * (1.0 -
+                                     static_cast<double>(fin.lut_bits) /
+                                         static_cast<double>(std::max<
+                                             std::uint64_t>(1,
+                                                            fin.flat_bits))),
+                            1)
+              << "% saved)\n";
+    Table qor_table({"output", "error rate", "LUT bits", "flat bits",
+                     "bits saved"});
+    for (std::size_t k = 0; k < fin.outputs.size(); ++k) {
+      const auto& out = fin.outputs[k];
+      qor_table.add_row(
+          {"y" + std::to_string(k), Table::num(out.error_rate, 6),
+           std::to_string(out.lut_bits), std::to_string(out.flat_bits),
+           std::to_string(static_cast<std::int64_t>(out.flat_bits) -
+                          static_cast<std::int64_t>(out.lut_bits))});
+    }
+    qor_table.print(std::cout);
+  }
   return 0;
 }
 

@@ -15,6 +15,9 @@
 //
 // --check suppresses the tables (validation only). Exit status: 0 valid,
 // 1 invalid or unreadable — CI uses this as the trace smoke check.
+// Empty/whitespace-only files fail with a clear message (no parser throw);
+// structurally valid artifacts with zero events/spans are reported and
+// fail only under --check.
 
 #include <fstream>
 #include <iostream>
@@ -48,6 +51,13 @@ void require(bool ok, const std::string& what) {
 int summarize_chrome_trace(const Value& doc, bool check_only) {
   const Value& events = doc.at("traceEvents");
   require(events.is_array(), "traceEvents must be an array");
+  if (events.as_array().empty()) {
+    // Structurally valid but useless — a recorder that dropped everything
+    // or a run that never entered the solve stack. Informational on a
+    // plain read; a failure for the CI smoke check.
+    std::cout << "trace has zero events (nothing was recorded)\n";
+    return check_only ? 1 : 0;
+  }
 
   // Per-tid begin stacks (name sequence) for balance/nesting validation,
   // plus span aggregates keyed by name.
@@ -137,6 +147,10 @@ int summarize_report(const Value& doc, bool check_only) {
 
   const Value& spans = doc.at("spans");
   require(spans.is_object(), "spans must be an object");
+  if (spans.as_object().empty()) {
+    std::cout << "report has zero spans (nothing was recorded)\n";
+    return check_only ? 1 : 0;
+  }
   for (const auto& [path, span] : spans.as_object()) {
     for (const char* key : {"count", "total_s", "mean_s", "min_s", "max_s",
                             "p50_s", "p95_s", "p99_s"}) {
@@ -284,7 +298,15 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buf;
     buf << f.rdbuf();
-    const Value doc = adsd::json::parse(buf.str());
+    const std::string text = buf.str();
+    if (text.find_first_not_of(" \t\r\n") == std::string::npos) {
+      // A truncated or never-written artifact; say so plainly instead of
+      // surfacing the parser's "unexpected end of input at offset 0".
+      std::cerr << "trace_summary: " << path
+                << ": file is empty (no JSON document)\n";
+      return 1;
+    }
+    const Value doc = adsd::json::parse(text);
     if (doc.contains("traceEvents")) {
       return summarize_chrome_trace(doc, check_only);
     }
