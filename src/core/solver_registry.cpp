@@ -4,6 +4,8 @@
 #include <charconv>
 #include <stdexcept>
 
+#include "ising/kernels/force_kernels.hpp"
+
 namespace adsd {
 
 namespace {
@@ -62,6 +64,12 @@ double SolverConfig::get_double(const std::string& key,
   } catch (const std::out_of_range&) {
     bad_value(key, v, "number");
   }
+}
+
+std::string SolverConfig::get_string(const std::string& key,
+                                     const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
 }
 
 bool SolverConfig::get_bool(const std::string& key, bool fallback) const {
@@ -178,8 +186,8 @@ const SolverRegistry& SolverRegistry::global() {
            "Theorem-3 feedback)",
            {"ising-bsb"},
            {"n", "replicas", "restarts", "theorem3", "anti-collapse",
-            "polish", "seed-init", "max-iter", "dt", "discrete", "stop",
-            "stop-interval", "stop-window", "stop-epsilon"},
+            "polish", "seed-init", "max-iter", "dt", "discrete", "kernel",
+            "stop", "stop-interval", "stop-window", "stop-epsilon"},
            [](const SolverConfig& c) -> std::unique_ptr<CoreCopSolver> {
              auto options = IsingCoreSolver::Options::paper_defaults(
                  static_cast<unsigned>(c.get_size("n", 9)));
@@ -195,6 +203,8 @@ const SolverRegistry& SolverRegistry::global() {
                  c.get_size("max-iter", options.sb.max_iterations);
              options.sb.dt = c.get_double("dt", options.sb.dt);
              options.sb.discrete = c.get_bool("discrete", false);
+             options.sb.kernel = kernels::parse_force_kernel(
+                 c.get_string("kernel", "auto"));
              options.sb.stop.enabled =
                  c.get_bool("stop", options.sb.stop.enabled);
              options.sb.stop.sample_interval = c.get_size(

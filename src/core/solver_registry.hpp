@@ -29,6 +29,8 @@ class SolverConfig {
   std::size_t get_size(const std::string& key, std::size_t fallback) const;
   double get_double(const std::string& key, double fallback) const;
   bool get_bool(const std::string& key, bool fallback) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
 
  private:
   std::map<std::string, std::string> values_;

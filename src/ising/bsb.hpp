@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "ising/kernels/force_kernels.hpp"
 #include "ising/model.hpp"
 #include "ising/stop.hpp"
 #include "support/rng.hpp"
@@ -41,6 +42,13 @@ struct SbParams {
   /// suppresses analog error (Goto et al. 2021). Off = ballistic bSB, the
   /// solver the paper uses.
   bool discrete = false;
+
+  /// Force-kernel variant for the batched engine (registry key `kernel=`,
+  /// CLI `--kernel`). kAuto picks the dense fast path when the model
+  /// materialized a dense plane and otherwise the widest explicit-SIMD
+  /// CSR kernel the CPU supports; every variant is bit-identical (see
+  /// ising/kernels/force_kernels.hpp).
+  kernels::ForceKernel kernel = kernels::ForceKernel::kAuto;
 
   /// Dynamic stop criterion (Sec. 3.3.1). When disabled the solver still
   /// samples every `stop.sample_interval` iterations to track the best
@@ -80,10 +88,13 @@ IsingSolveResult solve_sb_scalar(const IsingModel& model,
 /// SIMD-friendly batching). Replica r reproduces solve_sb with seed
 /// params.seed + r * 0x9e3779b9 exactly; the best replica's best solution
 /// is returned. `iterations` sums Euler steps across replicas. The dynamic
-/// stop is evaluated on the ensemble-best energy. The hook (if any) is
-/// applied to each replica at sampling points (through a gather/scatter
-/// adapter — prefer solve_sb_batch() and its strided SbBatchHook for new
-/// code, which avoids the per-sample copies).
+/// stop is evaluated on the ensemble-best energy. Force evaluation goes
+/// through the dispatched kernel layer of ising/kernels/force_kernels.hpp
+/// (portable / AVX2 / AVX-512 / dense fast path, selected per CPU and
+/// model at engine construction; override via SbParams::kernel). The hook
+/// (if any) is applied to each replica at sampling points through a legacy
+/// gather/scatter adapter — prefer solve_sb_batch() and its strided
+/// SbBatchHook for new code, which avoids the per-sample copies.
 IsingSolveResult solve_sb_ensemble(const IsingModel& model,
                                    const SbParams& params,
                                    std::size_t replicas,

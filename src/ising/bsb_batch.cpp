@@ -6,6 +6,7 @@
 #include <string>
 
 #include "ising/stop.hpp"
+#include "support/cpu_features.hpp"
 #include "support/rng.hpp"
 #include "support/run_context.hpp"
 #include "support/thread_pool.hpp"
@@ -70,12 +71,33 @@ BsbBatchEngine::BsbBatchEngine(const IsingModel& model, const SbParams& params,
     h_[i] = model.bias(i);
   }
 
+  // Resolve the force kernel once: cpuid-probed ISA tier, dense fast path
+  // when the model materialized a plane, explicit override via
+  // params.kernel. The dispatch never fails — unsupported requests walk
+  // the fallback chain (avx512 -> avx2 -> scalar, dense -> CSR).
+  kernel_ = kernels::select_force_kernel(params_.kernel, cpu_features(),
+                                         model.has_dense_plane());
+  force_fn_ = params_.discrete ? kernel_.discrete : kernel_.continuous;
+  planes_ = kernels::ForcePlanes{};
+  planes_.h = h_.data();
+  planes_.row_start = row_start_.data();
+  planes_.cols = cols_.data();
+  planes_.weights = weights_.data();
+  if (kernel_.kind == kernels::ForceKernel::kDense) {
+    planes_.dense = model.dense_plane().data();
+    planes_.dense_stride = model.dense_stride();
+  }
+  planes_.n = n_;
+  planes_.replicas = R_;
+
   // Replica-contiguous state; replica r reproduces the scalar reference with
   // seed params.seed + r * 0x9e3779b9 (same draw order: x first, then the
   // momenta sweep).
   x_.assign(n_ * R_, 0.0);
   y_.assign(n_ * R_, 0.0);
   force_.assign(n_ * R_, 0.0);
+  planes_.x = x_.data();
+  planes_.force = force_.data();
   for (std::size_t r = 0; r < R_; ++r) {
     Rng rng(params_.seed + 0x9e3779b9u * r);
     if (!params_.initial_positions.empty()) {
@@ -102,90 +124,26 @@ BsbBatchEngine::BsbBatchEngine(const IsingModel& model, const SbParams& params,
   dirty_.assign(R_, 0);
 }
 
-template <int W, bool Discrete>
-void BsbBatchEngine::force_lanes(std::size_t lane0, std::size_t row_begin,
-                                 std::size_t row_end) {
-  // W is a compile-time lane-block width, so `acc` is a register file: the
-  // edge loop reads W consecutive replicas of x per coupling and never
-  // touches the force plane until the row is finished. W = 1 degenerates to
-  // the scalar reference kernel (same accumulation order per lane, which is
-  // what keeps replica trajectories bit-identical to solve_sb_scalar).
-  // Rows are independent (each writes only force_[i * R + ...]), so a
-  // sharded caller splitting [0, n) across threads produces bit-identical
-  // planes in any interleaving.
-  const std::size_t R = R_;
-  const double* x = x_.data() + lane0;
-  for (std::size_t i = row_begin; i < row_end; ++i) {
-    double acc[W];
-    const double hi = h_[i];
-    for (int t = 0; t < W; ++t) {
-      acc[t] = hi;
-    }
-    const std::size_t e_end = row_start_[i + 1];
-    for (std::size_t e = row_start_[i]; e < e_end; ++e) {
-      const double w = weights_[e];
-      const double* xj = x + static_cast<std::size_t>(cols_[e]) * R;
-      for (int t = 0; t < W; ++t) {
-        if constexpr (Discrete) {
-          acc[t] += w * (xj[t] >= 0.0 ? 1.0 : -1.0);
-        } else {
-          acc[t] += w * xj[t];
-        }
-      }
-    }
-    double* fi = &force_[i * R + lane0];
-    for (int t = 0; t < W; ++t) {
-      fi[t] = acc[t];
-    }
-  }
-}
-
-template <bool Discrete>
-void BsbBatchEngine::compute_forces_rows(std::size_t row_begin,
-                                         std::size_t row_end) {
-  std::size_t lane = 0;
-  while (lane + 8 <= R_) {
-    force_lanes<8, Discrete>(lane, row_begin, row_end);
-    lane += 8;
-  }
-  if (lane + 4 <= R_) {
-    force_lanes<4, Discrete>(lane, row_begin, row_end);
-    lane += 4;
-  }
-  if (lane + 2 <= R_) {
-    force_lanes<2, Discrete>(lane, row_begin, row_end);
-    lane += 2;
-  }
-  if (lane < R_) {
-    force_lanes<1, Discrete>(lane, row_begin, row_end);
-  }
-}
-
-template <bool Discrete>
-void BsbBatchEngine::compute_forces_impl() {
+void BsbBatchEngine::compute_forces() {
+  // The dispatched kernel fills force rows [begin, end); rows are
+  // independent (each writes only force_[i * R + ...]), so sharding across
+  // the pool produces bit-identical planes in any interleaving. Every
+  // kernel preserves the per-lane per-edge accumulation order of the
+  // scalar reference (see ising/kernels/force_kernels.hpp), which is what
+  // keeps replica trajectories bit-identical to solve_sb_scalar.
   if (ctx_ != nullptr && ctx_->parallel() && n_ * R_ >= kForceShardMinLanes) {
     ThreadPool& pool = ctx_->pool();
     if (pool.thread_count() > 1) {
-      // Row sharding keeps the per-row accumulation order identical to the
-      // serial kernel, so results are bit-identical at every thread count
-      // (a nested call from inside DALTA's parallel_for runs inline via
-      // the pool's nesting guard — same code path, no oversubscription).
+      // A nested call from inside DALTA's parallel_for runs inline via the
+      // pool's nesting guard — same code path, no oversubscription.
       pool.parallel_for_chunks(
           n_, 0, [this](std::size_t begin, std::size_t end) {
-            compute_forces_rows<Discrete>(begin, end);
+            force_fn_(planes_, begin, end);
           });
       return;
     }
   }
-  compute_forces_rows<Discrete>(0, n_);
-}
-
-void BsbBatchEngine::compute_forces() {
-  if (params_.discrete) {
-    compute_forces_impl<true>();
-  } else {
-    compute_forces_impl<false>();
-  }
+  force_fn_(planes_, 0, n_);
 }
 
 void BsbBatchEngine::step() {
@@ -284,6 +242,16 @@ IsingSolveResult BsbBatchEngine::run(const SbBatchHook& hook,
   if (qor != nullptr) {
     curve_id = qor->begin_curve("ising/bsb/n" + std::to_string(n_) + "_R" +
                                 std::to_string(R_));
+  }
+  // Report which force kernel dispatch resolved to, so run reports and QoR
+  // records show whether the SIMD / dense fast path was actually taken.
+  if (ctx_ != nullptr) {
+    const std::string kernel_counter =
+        std::string("ising/sb/kernel/") + kernel_.name;
+    ctx_->telemetry().add(kernel_counter);
+    if (qor != nullptr) {
+      qor->add(kernel_counter);
+    }
   }
   bool budget_checked = false;
 

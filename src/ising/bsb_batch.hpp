@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ising/bsb.hpp"
+#include "ising/kernels/force_kernels.hpp"
 #include "ising/model.hpp"
 #include "support/aligned.hpp"
 
@@ -55,10 +56,17 @@ using SbBatchPlaneHook = std::function<void(
 ///
 /// Layout: all state is structure-of-arrays with replicas contiguous —
 /// x[i * R + r] is oscillator i of replica r — so the coupling loop loads
-/// the weight of edge (i, j) once and streams R consecutive doubles of x,
-/// which GCC/Clang auto-vectorize. The CSR adjacency is split into separate
-/// column-index and weight planes (no interleaved pairs) and all planes are
-/// 64-byte aligned.
+/// the weight of edge (i, j) once and streams R consecutive doubles of x.
+/// The CSR adjacency is split into separate column-index and weight planes
+/// (no interleaved pairs) and all planes are 64-byte aligned. Force
+/// evaluation dispatches through the kernel layer of
+/// ising/kernels/force_kernels.hpp: a cpuid-probed explicit-SIMD CSR
+/// kernel (AVX2 / AVX-512, portable lane-blocked fallback) or, when the
+/// model materialized a dense J plane, a blocked dense matrix x
+/// replica-plane kernel with no index gather — selected at construction
+/// from SbParams::kernel (kAuto by default) and reported via
+/// kernel_name() and the "ising/sb/kernel/<name>" telemetry counter.
+/// Every variant is bit-identical by construction.
 ///
 /// Replica r reproduces the scalar reference solve_sb_scalar() with seed
 /// params.seed + r * 0x9e3779b9 bit-for-bit: the per-replica arithmetic uses
@@ -90,6 +98,13 @@ class BsbBatchEngine {
   std::size_t num_spins() const { return n_; }
   std::size_t replicas() const { return R_; }
   std::size_t steps_done() const { return step_; }
+
+  /// Resolved force-kernel name ("scalar", "avx2", "avx512",
+  /// "dense-avx512", ...) after dispatch walked the fallback chain.
+  const char* kernel_name() const { return kernel_.name; }
+
+  /// Resolved force-kernel kind (never kAuto).
+  kernels::ForceKernel kernel_kind() const { return kernel_.kind; }
 
   /// One Euler step for all replicas (pump ramp from the step counter).
   void step();
@@ -128,13 +143,6 @@ class BsbBatchEngine {
                        const SbBatchPlaneHook& plane_hook = nullptr);
 
  private:
-  template <int W, bool Discrete>
-  void force_lanes(std::size_t lane0, std::size_t row_begin,
-                   std::size_t row_end);
-  template <bool Discrete>
-  void compute_forces_rows(std::size_t row_begin, std::size_t row_end);
-  template <bool Discrete>
-  void compute_forces_impl();
   void flip(std::size_t i, std::size_t r, std::int8_t new_sign);
   double exact_energy(std::size_t r);
   void copy_replica_spins(std::size_t r, std::vector<std::int8_t>& out) const;
@@ -152,6 +160,13 @@ class BsbBatchEngine {
   AlignedVector<std::uint32_t> cols_;
   AlignedVector<double> weights_;
   AlignedVector<double> h_;
+
+  // Dispatched force kernel: resolved entry points + the pointer bundle
+  // handed to them (set up once in the constructor, after the planes
+  // above stop reallocating).
+  kernels::SelectedForceKernel kernel_;
+  kernels::ForceRowsFn force_fn_ = nullptr;  // continuous or discrete entry
+  kernels::ForcePlanes planes_;
 
   // SoA replica-contiguous state, n_ * R_ each.
   AlignedVector<double> x_;

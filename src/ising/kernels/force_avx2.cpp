@@ -1,0 +1,159 @@
+// Hand-vectorized AVX2 force kernels. Compiled with -mavx2 -mfma in its
+// own translation unit; only reached through the dispatcher after a
+// runtime CPUID check, so the rest of the binary stays baseline-ISA.
+//
+// Vectorization runs across the replica-contiguous lanes: one ymm holds 4
+// consecutive replicas of the same oscillator, the coupling weight is
+// broadcast, and lane blocks of 8 (two accumulator registers) / 4 / 1 are
+// peeled off exactly like the portable kernel's W = 8/4/1 register files.
+// Each lane's per-edge accumulation order is therefore identical to the
+// scalar reference -- and the arithmetic is mul-then-add (never FMA; the
+// build also pins -ffp-contract=off), so results are bit-exact against
+// every other kernel tier.
+
+#include "ising/kernels/force_kernels_detail.hpp"
+
+#ifdef __AVX2__
+
+#include <immintrin.h>
+
+namespace adsd::kernels::detail {
+
+namespace {
+
+/// w * x (continuous) or w * sign(x) (discrete) for one 4-lane vector.
+/// sign(x) is the branchless select the scalar kernels use: >= 0 maps to
+/// +1 (including -0.0, which IEEE compares equal to +0.0), else -1.
+template <bool Discrete>
+inline __m256d edge_term(__m256d w, __m256d xj) {
+  if constexpr (Discrete) {
+    const __m256d ge = _mm256_cmp_pd(xj, _mm256_setzero_pd(), _CMP_GE_OQ);
+    xj = _mm256_blendv_pd(_mm256_set1_pd(-1.0), _mm256_set1_pd(1.0), ge);
+  }
+  return _mm256_mul_pd(w, xj);
+}
+
+template <bool Discrete>
+inline double edge_term_scalar(double w, double xj) {
+  if constexpr (Discrete) {
+    return w * (xj >= 0.0 ? 1.0 : -1.0);
+  } else {
+    return w * xj;
+  }
+}
+
+template <bool Discrete>
+void csr_force(const ForcePlanes& p, std::size_t row_begin,
+               std::size_t row_end) {
+  const std::size_t R = p.replicas;
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const std::size_t e_begin = p.row_start[i];
+    const std::size_t e_end = p.row_start[i + 1];
+    const double hi = p.h[i];
+    double* fi = p.force + i * R;
+    std::size_t lane = 0;
+    for (; lane + 8 <= R; lane += 8) {
+      __m256d acc0 = _mm256_set1_pd(hi);
+      __m256d acc1 = acc0;
+      for (std::size_t e = e_begin; e < e_end; ++e) {
+        const __m256d w = _mm256_set1_pd(p.weights[e]);
+        const double* xj =
+            p.x + static_cast<std::size_t>(p.cols[e]) * R + lane;
+        acc0 = _mm256_add_pd(acc0,
+                             edge_term<Discrete>(w, _mm256_loadu_pd(xj)));
+        acc1 = _mm256_add_pd(
+            acc1, edge_term<Discrete>(w, _mm256_loadu_pd(xj + 4)));
+      }
+      _mm256_storeu_pd(fi + lane, acc0);
+      _mm256_storeu_pd(fi + lane + 4, acc1);
+    }
+    if (lane + 4 <= R) {
+      __m256d acc = _mm256_set1_pd(hi);
+      for (std::size_t e = e_begin; e < e_end; ++e) {
+        const __m256d w = _mm256_set1_pd(p.weights[e]);
+        const double* xj =
+            p.x + static_cast<std::size_t>(p.cols[e]) * R + lane;
+        acc =
+            _mm256_add_pd(acc, edge_term<Discrete>(w, _mm256_loadu_pd(xj)));
+      }
+      _mm256_storeu_pd(fi + lane, acc);
+      lane += 4;
+    }
+    for (; lane < R; ++lane) {
+      double acc = hi;
+      for (std::size_t e = e_begin; e < e_end; ++e) {
+        acc += edge_term_scalar<Discrete>(
+            p.weights[e], p.x[static_cast<std::size_t>(p.cols[e]) * R + lane]);
+      }
+      fi[lane] = acc;
+    }
+  }
+}
+
+template <bool Discrete>
+void dense_force(const ForcePlanes& p, std::size_t row_begin,
+                 std::size_t row_end) {
+  const std::size_t R = p.replicas;
+  const std::size_t n = p.n;
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const double* ji = p.dense + i * p.dense_stride;
+    const double hi = p.h[i];
+    double* fi = p.force + i * R;
+    std::size_t lane = 0;
+    for (; lane + 8 <= R; lane += 8) {
+      __m256d acc0 = _mm256_set1_pd(hi);
+      __m256d acc1 = acc0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const __m256d w = _mm256_set1_pd(ji[j]);
+        const double* xj = p.x + j * R + lane;
+        acc0 = _mm256_add_pd(acc0,
+                             edge_term<Discrete>(w, _mm256_loadu_pd(xj)));
+        acc1 = _mm256_add_pd(
+            acc1, edge_term<Discrete>(w, _mm256_loadu_pd(xj + 4)));
+      }
+      _mm256_storeu_pd(fi + lane, acc0);
+      _mm256_storeu_pd(fi + lane + 4, acc1);
+    }
+    if (lane + 4 <= R) {
+      __m256d acc = _mm256_set1_pd(hi);
+      for (std::size_t j = 0; j < n; ++j) {
+        const __m256d w = _mm256_set1_pd(ji[j]);
+        const double* xj = p.x + j * R + lane;
+        acc =
+            _mm256_add_pd(acc, edge_term<Discrete>(w, _mm256_loadu_pd(xj)));
+      }
+      _mm256_storeu_pd(fi + lane, acc);
+      lane += 4;
+    }
+    for (; lane < R; ++lane) {
+      double acc = hi;
+      for (std::size_t j = 0; j < n; ++j) {
+        acc += edge_term_scalar<Discrete>(ji[j], p.x[j * R + lane]);
+      }
+      fi[lane] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+void csr_force_avx2(const ForcePlanes& p, std::size_t row_begin,
+                    std::size_t row_end) {
+  csr_force<false>(p, row_begin, row_end);
+}
+void csr_force_avx2_d(const ForcePlanes& p, std::size_t row_begin,
+                      std::size_t row_end) {
+  csr_force<true>(p, row_begin, row_end);
+}
+void dense_force_avx2(const ForcePlanes& p, std::size_t row_begin,
+                      std::size_t row_end) {
+  dense_force<false>(p, row_begin, row_end);
+}
+void dense_force_avx2_d(const ForcePlanes& p, std::size_t row_begin,
+                        std::size_t row_end) {
+  dense_force<true>(p, row_begin, row_end);
+}
+
+}  // namespace adsd::kernels::detail
+
+#endif  // __AVX2__

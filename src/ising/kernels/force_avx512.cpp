@@ -1,0 +1,151 @@
+// Hand-vectorized AVX-512F force kernels: the 8-lane (zmm) sibling of the
+// AVX2 file, same lane-across-replicas vectorization, same mul-then-add
+// bit-exactness contract (no FMA, -ffp-contract=off). Lane blocks of 16
+// (two zmm accumulators) / 8 are peeled, with an AVX2-free scalar tail so
+// the file depends on -mavx512f alone. Only reached after the runtime
+// CPUID + XCR0 probe confirms OS zmm state support.
+
+#include "ising/kernels/force_kernels_detail.hpp"
+
+#ifdef __AVX512F__
+
+#include <immintrin.h>
+
+namespace adsd::kernels::detail {
+
+namespace {
+
+template <bool Discrete>
+inline __m512d edge_term(__m512d w, __m512d xj) {
+  if constexpr (Discrete) {
+    const __mmask8 ge =
+        _mm512_cmp_pd_mask(xj, _mm512_setzero_pd(), _CMP_GE_OQ);
+    xj = _mm512_mask_blend_pd(ge, _mm512_set1_pd(-1.0), _mm512_set1_pd(1.0));
+  }
+  return _mm512_mul_pd(w, xj);
+}
+
+template <bool Discrete>
+inline double edge_term_scalar(double w, double xj) {
+  if constexpr (Discrete) {
+    return w * (xj >= 0.0 ? 1.0 : -1.0);
+  } else {
+    return w * xj;
+  }
+}
+
+template <bool Discrete>
+void csr_force(const ForcePlanes& p, std::size_t row_begin,
+               std::size_t row_end) {
+  const std::size_t R = p.replicas;
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const std::size_t e_begin = p.row_start[i];
+    const std::size_t e_end = p.row_start[i + 1];
+    const double hi = p.h[i];
+    double* fi = p.force + i * R;
+    std::size_t lane = 0;
+    for (; lane + 16 <= R; lane += 16) {
+      __m512d acc0 = _mm512_set1_pd(hi);
+      __m512d acc1 = acc0;
+      for (std::size_t e = e_begin; e < e_end; ++e) {
+        const __m512d w = _mm512_set1_pd(p.weights[e]);
+        const double* xj =
+            p.x + static_cast<std::size_t>(p.cols[e]) * R + lane;
+        acc0 = _mm512_add_pd(acc0,
+                             edge_term<Discrete>(w, _mm512_loadu_pd(xj)));
+        acc1 = _mm512_add_pd(
+            acc1, edge_term<Discrete>(w, _mm512_loadu_pd(xj + 8)));
+      }
+      _mm512_storeu_pd(fi + lane, acc0);
+      _mm512_storeu_pd(fi + lane + 8, acc1);
+    }
+    if (lane + 8 <= R) {
+      __m512d acc = _mm512_set1_pd(hi);
+      for (std::size_t e = e_begin; e < e_end; ++e) {
+        const __m512d w = _mm512_set1_pd(p.weights[e]);
+        const double* xj =
+            p.x + static_cast<std::size_t>(p.cols[e]) * R + lane;
+        acc =
+            _mm512_add_pd(acc, edge_term<Discrete>(w, _mm512_loadu_pd(xj)));
+      }
+      _mm512_storeu_pd(fi + lane, acc);
+      lane += 8;
+    }
+    for (; lane < R; ++lane) {
+      double acc = hi;
+      for (std::size_t e = e_begin; e < e_end; ++e) {
+        acc += edge_term_scalar<Discrete>(
+            p.weights[e], p.x[static_cast<std::size_t>(p.cols[e]) * R + lane]);
+      }
+      fi[lane] = acc;
+    }
+  }
+}
+
+template <bool Discrete>
+void dense_force(const ForcePlanes& p, std::size_t row_begin,
+                 std::size_t row_end) {
+  const std::size_t R = p.replicas;
+  const std::size_t n = p.n;
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const double* ji = p.dense + i * p.dense_stride;
+    const double hi = p.h[i];
+    double* fi = p.force + i * R;
+    std::size_t lane = 0;
+    for (; lane + 16 <= R; lane += 16) {
+      __m512d acc0 = _mm512_set1_pd(hi);
+      __m512d acc1 = acc0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const __m512d w = _mm512_set1_pd(ji[j]);
+        const double* xj = p.x + j * R + lane;
+        acc0 = _mm512_add_pd(acc0,
+                             edge_term<Discrete>(w, _mm512_loadu_pd(xj)));
+        acc1 = _mm512_add_pd(
+            acc1, edge_term<Discrete>(w, _mm512_loadu_pd(xj + 8)));
+      }
+      _mm512_storeu_pd(fi + lane, acc0);
+      _mm512_storeu_pd(fi + lane + 8, acc1);
+    }
+    if (lane + 8 <= R) {
+      __m512d acc = _mm512_set1_pd(hi);
+      for (std::size_t j = 0; j < n; ++j) {
+        const __m512d w = _mm512_set1_pd(ji[j]);
+        const double* xj = p.x + j * R + lane;
+        acc =
+            _mm512_add_pd(acc, edge_term<Discrete>(w, _mm512_loadu_pd(xj)));
+      }
+      _mm512_storeu_pd(fi + lane, acc);
+      lane += 8;
+    }
+    for (; lane < R; ++lane) {
+      double acc = hi;
+      for (std::size_t j = 0; j < n; ++j) {
+        acc += edge_term_scalar<Discrete>(ji[j], p.x[j * R + lane]);
+      }
+      fi[lane] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+void csr_force_avx512(const ForcePlanes& p, std::size_t row_begin,
+                      std::size_t row_end) {
+  csr_force<false>(p, row_begin, row_end);
+}
+void csr_force_avx512_d(const ForcePlanes& p, std::size_t row_begin,
+                        std::size_t row_end) {
+  csr_force<true>(p, row_begin, row_end);
+}
+void dense_force_avx512(const ForcePlanes& p, std::size_t row_begin,
+                        std::size_t row_end) {
+  dense_force<false>(p, row_begin, row_end);
+}
+void dense_force_avx512_d(const ForcePlanes& p, std::size_t row_begin,
+                          std::size_t row_end) {
+  dense_force<true>(p, row_begin, row_end);
+}
+
+}  // namespace adsd::kernels::detail
+
+#endif  // __AVX512F__

@@ -1,0 +1,323 @@
+#include "ising/kernels/force_kernels.hpp"
+
+#include <stdexcept>
+
+#include "ising/kernels/force_kernels_detail.hpp"
+
+namespace adsd::kernels {
+
+namespace {
+
+// ----------------------------------------------------- portable tier
+//
+// The lane-blocked kernel the engine shipped before the explicit-SIMD
+// layer existed: W is a compile-time lane-block width, so `acc` is a
+// register file and the edge loop reads W consecutive replicas of x per
+// coupling without touching the force plane until the row is finished.
+// W = 1 degenerates to the scalar reference kernel (same accumulation
+// order per lane), which is what keeps replica trajectories bit-identical
+// to solve_sb_scalar(). The compiler auto-vectorizes the W-wide inner
+// loops at whatever width the build targets (SSE2 on a default x86-64
+// build), which makes this tier the portable fallback on any ISA.
+
+template <int W, bool Discrete>
+void csr_lanes(const ForcePlanes& p, std::size_t lane0, std::size_t row_begin,
+               std::size_t row_end) {
+  const std::size_t R = p.replicas;
+  const double* x = p.x + lane0;
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    double acc[W];
+    const double hi = p.h[i];
+    for (int t = 0; t < W; ++t) {
+      acc[t] = hi;
+    }
+    const std::size_t e_end = p.row_start[i + 1];
+    for (std::size_t e = p.row_start[i]; e < e_end; ++e) {
+      const double w = p.weights[e];
+      const double* xj = x + static_cast<std::size_t>(p.cols[e]) * R;
+      for (int t = 0; t < W; ++t) {
+        if constexpr (Discrete) {
+          acc[t] += w * (xj[t] >= 0.0 ? 1.0 : -1.0);
+        } else {
+          acc[t] += w * xj[t];
+        }
+      }
+    }
+    double* fi = p.force + i * R + lane0;
+    for (int t = 0; t < W; ++t) {
+      fi[t] = acc[t];
+    }
+  }
+}
+
+template <bool Discrete>
+void csr_force_scalar_impl(const ForcePlanes& p, std::size_t row_begin,
+                           std::size_t row_end) {
+  const std::size_t R = p.replicas;
+  std::size_t lane = 0;
+  while (lane + 8 <= R) {
+    csr_lanes<8, Discrete>(p, lane, row_begin, row_end);
+    lane += 8;
+  }
+  if (lane + 4 <= R) {
+    csr_lanes<4, Discrete>(p, lane, row_begin, row_end);
+    lane += 4;
+  }
+  if (lane + 2 <= R) {
+    csr_lanes<2, Discrete>(p, lane, row_begin, row_end);
+    lane += 2;
+  }
+  if (lane < R) {
+    csr_lanes<1, Discrete>(p, lane, row_begin, row_end);
+  }
+}
+
+// Dense counterpart: the edge loop walks every column of the padded J
+// plane instead of the CSR index list -- sequential weight streaming, no
+// index gather. Structurally-absent entries hold exactly 0.0 and
+// contribute w * x = +-0.0, which leaves every accumulator bit-identical
+// to the CSR traversal (finalize() stores no explicit zero couplings, and
+// a +-0.0 addend only matters against a -0.0 accumulator, which the
+// h-seeded accumulation cannot produce from finite inputs).
+template <int W, bool Discrete>
+void dense_lanes(const ForcePlanes& p, std::size_t lane0,
+                 std::size_t row_begin, std::size_t row_end) {
+  const std::size_t R = p.replicas;
+  const std::size_t n = p.n;
+  const double* x = p.x + lane0;
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    double acc[W];
+    const double hi = p.h[i];
+    for (int t = 0; t < W; ++t) {
+      acc[t] = hi;
+    }
+    const double* ji = p.dense + i * p.dense_stride;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double w = ji[j];
+      const double* xj = x + j * R;
+      for (int t = 0; t < W; ++t) {
+        if constexpr (Discrete) {
+          acc[t] += w * (xj[t] >= 0.0 ? 1.0 : -1.0);
+        } else {
+          acc[t] += w * xj[t];
+        }
+      }
+    }
+    double* fi = p.force + i * R + lane0;
+    for (int t = 0; t < W; ++t) {
+      fi[t] = acc[t];
+    }
+  }
+}
+
+template <bool Discrete>
+void dense_force_scalar_impl(const ForcePlanes& p, std::size_t row_begin,
+                             std::size_t row_end) {
+  const std::size_t R = p.replicas;
+  std::size_t lane = 0;
+  while (lane + 8 <= R) {
+    dense_lanes<8, Discrete>(p, lane, row_begin, row_end);
+    lane += 8;
+  }
+  if (lane + 4 <= R) {
+    dense_lanes<4, Discrete>(p, lane, row_begin, row_end);
+    lane += 4;
+  }
+  if (lane + 2 <= R) {
+    dense_lanes<2, Discrete>(p, lane, row_begin, row_end);
+    lane += 2;
+  }
+  if (lane < R) {
+    dense_lanes<1, Discrete>(p, lane, row_begin, row_end);
+  }
+}
+
+void csr_force_scalar(const ForcePlanes& p, std::size_t b, std::size_t e) {
+  csr_force_scalar_impl<false>(p, b, e);
+}
+void csr_force_scalar_d(const ForcePlanes& p, std::size_t b, std::size_t e) {
+  csr_force_scalar_impl<true>(p, b, e);
+}
+void dense_force_scalar(const ForcePlanes& p, std::size_t b, std::size_t e) {
+  dense_force_scalar_impl<false>(p, b, e);
+}
+void dense_force_scalar_d(const ForcePlanes& p, std::size_t b, std::size_t e) {
+  dense_force_scalar_impl<true>(p, b, e);
+}
+
+// ----------------------------------------------------- dispatch tables
+
+struct Tier {
+  ForceRowsFn csr_c;
+  ForceRowsFn csr_d;
+  ForceRowsFn dense_c;
+  ForceRowsFn dense_d;
+  const char* csr_name;
+  const char* dense_name;
+};
+
+constexpr Tier kScalarTier = {csr_force_scalar, csr_force_scalar_d,
+                              dense_force_scalar, dense_force_scalar_d,
+                              "scalar", "dense-scalar"};
+
+#ifdef ADSD_HAVE_AVX2
+constexpr Tier kAvx2Tier = {detail::csr_force_avx2, detail::csr_force_avx2_d,
+                            detail::dense_force_avx2,
+                            detail::dense_force_avx2_d, "avx2", "dense-avx2"};
+#endif
+
+#ifdef ADSD_HAVE_AVX512
+constexpr Tier kAvx512Tier = {
+    detail::csr_force_avx512, detail::csr_force_avx512_d,
+    detail::dense_force_avx512, detail::dense_force_avx512_d, "avx512",
+    "dense-avx512"};
+#endif
+
+const Tier& tier_for(ForceKernel isa) {
+  switch (isa) {
+#ifdef ADSD_HAVE_AVX2
+    case ForceKernel::kAvx2:
+      return kAvx2Tier;
+#endif
+#ifdef ADSD_HAVE_AVX512
+    case ForceKernel::kAvx512:
+      return kAvx512Tier;
+#endif
+    default:
+      return kScalarTier;
+  }
+}
+
+/// Widest supported explicit-SIMD ISA, or scalar.
+ForceKernel best_isa(const CpuFeatures& f) {
+  if (force_kernel_supported(ForceKernel::kAvx512, f)) {
+    return ForceKernel::kAvx512;
+  }
+  if (force_kernel_supported(ForceKernel::kAvx2, f)) {
+    return ForceKernel::kAvx2;
+  }
+  return ForceKernel::kScalar;
+}
+
+}  // namespace
+
+const char* force_kernel_name(ForceKernel kind) {
+  switch (kind) {
+    case ForceKernel::kAuto:
+      return "auto";
+    case ForceKernel::kScalar:
+      return "scalar";
+    case ForceKernel::kAvx2:
+      return "avx2";
+    case ForceKernel::kAvx512:
+      return "avx512";
+    case ForceKernel::kDense:
+      return "dense";
+  }
+  return "auto";
+}
+
+ForceKernel parse_force_kernel(const std::string& name) {
+  for (ForceKernel kind :
+       {ForceKernel::kAuto, ForceKernel::kScalar, ForceKernel::kAvx2,
+        ForceKernel::kAvx512, ForceKernel::kDense}) {
+    if (name == force_kernel_name(kind)) {
+      return kind;
+    }
+  }
+  throw std::invalid_argument("unknown force kernel '" + name +
+                              "' (valid: auto, scalar, avx2, avx512, dense)");
+}
+
+bool force_kernel_compiled(ForceKernel kind) {
+  switch (kind) {
+    case ForceKernel::kAvx2:
+#ifdef ADSD_HAVE_AVX2
+      return true;
+#else
+      return false;
+#endif
+    case ForceKernel::kAvx512:
+#ifdef ADSD_HAVE_AVX512
+      return true;
+#else
+      return false;
+#endif
+    default:
+      return true;
+  }
+}
+
+bool force_kernel_supported(ForceKernel kind, const CpuFeatures& features) {
+  if (!force_kernel_compiled(kind)) {
+    return false;
+  }
+  switch (kind) {
+    case ForceKernel::kAvx2:
+      // The AVX2 files are built with -mavx2 -mfma, so require both.
+      return features.avx2 && features.fma;
+    case ForceKernel::kAvx512:
+      return features.avx512f;
+    default:
+      return true;
+  }
+}
+
+SelectedForceKernel select_force_kernel(ForceKernel requested,
+                                        const CpuFeatures& features,
+                                        bool dense_available) {
+  // Resolve the dense axis first: dense needs a materialized plane, and
+  // auto prefers it when present (finalize() only materializes one past
+  // the measured near-complete crossover; see DESIGN.md §4.6).
+  const bool use_dense =
+      dense_available &&
+      (requested == ForceKernel::kAuto || requested == ForceKernel::kDense);
+
+  // Resolve the ISA axis with the fallback chain avx512 -> avx2 -> scalar.
+  ForceKernel isa = ForceKernel::kScalar;
+  if (requested == ForceKernel::kAuto || requested == ForceKernel::kDense) {
+    isa = best_isa(features);
+  } else if (requested == ForceKernel::kAvx512) {
+    if (force_kernel_supported(ForceKernel::kAvx512, features)) {
+      isa = ForceKernel::kAvx512;
+    } else if (force_kernel_supported(ForceKernel::kAvx2, features)) {
+      isa = ForceKernel::kAvx2;
+    }
+  } else if (requested == ForceKernel::kAvx2) {
+    if (force_kernel_supported(ForceKernel::kAvx2, features)) {
+      isa = ForceKernel::kAvx2;
+    }
+  }
+
+  const Tier& tier = tier_for(isa);
+  SelectedForceKernel out;
+  if (use_dense) {
+    out.continuous = tier.dense_c;
+    out.discrete = tier.dense_d;
+    out.kind = ForceKernel::kDense;
+    out.name = tier.dense_name;
+  } else {
+    out.continuous = tier.csr_c;
+    out.discrete = tier.csr_d;
+    out.kind = isa;
+    out.name = tier.csr_name;
+  }
+  return out;
+}
+
+std::vector<ForceKernel> selectable_force_kernels(bool dense_available) {
+  std::vector<ForceKernel> out{ForceKernel::kScalar};
+  const CpuFeatures& f = cpu_features();
+  if (force_kernel_supported(ForceKernel::kAvx2, f)) {
+    out.push_back(ForceKernel::kAvx2);
+  }
+  if (force_kernel_supported(ForceKernel::kAvx512, f)) {
+    out.push_back(ForceKernel::kAvx512);
+  }
+  if (dense_available) {
+    out.push_back(ForceKernel::kDense);
+  }
+  return out;
+}
+
+}  // namespace adsd::kernels

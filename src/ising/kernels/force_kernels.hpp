@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/cpu_features.hpp"
+
+namespace adsd::kernels {
+
+/// Force-kernel variants of the batched bSB engine (DESIGN.md §4.6).
+///
+///  - kAuto:   dense plane when the model materialized one, otherwise the
+///             widest explicit-SIMD CSR kernel the CPU supports.
+///  - kScalar: the portable lane-blocked kernel (compile-time register
+///             file, auto-vectorizes at whatever width the build targets).
+///  - kAvx2 /
+///    kAvx512: hand-vectorized CSR kernels; vectorization runs across the
+///             replica-contiguous lanes, so each lane's per-edge
+///             accumulation order -- and therefore bit-exact parity with
+///             solve_sb_scalar() -- is preserved.
+///  - kDense:  blocked dense matrix x replica-plane kernel over the padded
+///             J plane from IsingModel::finalize(); no index gather at all.
+///
+/// A request the host cannot honor falls down the chain
+/// (dense -> SIMD CSR -> scalar; avx512 -> avx2 -> scalar) instead of
+/// failing, and the resolved choice is reported by name through
+/// engine telemetry/QoR ("ising/sb/kernel/<name>").
+enum class ForceKernel { kAuto, kScalar, kAvx2, kAvx512, kDense };
+
+/// Pointer bundle over the engine's flattened planes: replica-contiguous
+/// SoA positions/forces (element i of replica r at index i * replicas + r),
+/// split CSR index/weight planes, and -- when the model materialized one --
+/// the 64-byte-aligned padded row-major dense J plane. All pointers stay
+/// owned by the engine/model; kernels write only force[row * replicas ...].
+struct ForcePlanes {
+  const double* x = nullptr;            // n * replicas positions
+  double* force = nullptr;              // n * replicas output
+  const double* h = nullptr;            // n biases
+  const std::size_t* row_start = nullptr;  // n + 1 CSR offsets
+  const std::uint32_t* cols = nullptr;  // CSR column indices
+  const double* weights = nullptr;      // CSR coupling weights
+  const double* dense = nullptr;        // n x dense_stride row-major J plane
+  std::size_t dense_stride = 0;         // padded row length (multiple of 8)
+  std::size_t n = 0;                    // spins
+  std::size_t replicas = 0;             // lanes per spin
+};
+
+/// One kernel entry point: fill force rows [row_begin, row_end) for every
+/// replica lane. Rows are independent, so a sharded caller splitting
+/// [0, n) across threads gets bit-identical planes in any interleaving.
+using ForceRowsFn = void (*)(const ForcePlanes& planes, std::size_t row_begin,
+                             std::size_t row_end);
+
+/// A resolved dispatch decision: the continuous (bSB) and discrete (dSB)
+/// entry points of one variant, the resolved kind (never kAuto), and the
+/// name reported through telemetry ("scalar", "avx2", "avx512",
+/// "dense-scalar", "dense-avx2", "dense-avx512").
+struct SelectedForceKernel {
+  ForceRowsFn continuous = nullptr;
+  ForceRowsFn discrete = nullptr;
+  ForceKernel kind = ForceKernel::kScalar;
+  const char* name = "scalar";
+};
+
+/// Canonical spelling of a kernel kind ("auto", "scalar", "avx2",
+/// "avx512", "dense") -- the values accepted by the registry `kernel=` key
+/// and the CLI `--kernel` flag.
+const char* force_kernel_name(ForceKernel kind);
+
+/// Parses a kernel name; throws std::invalid_argument listing the valid
+/// names on anything else (the registry's strict-key discipline).
+ForceKernel parse_force_kernel(const std::string& name);
+
+/// True when the variant's code was compiled into this binary (explicit
+/// SIMD files are dropped under -DADSD_DISABLE_SIMD or on non-x86).
+bool force_kernel_compiled(ForceKernel kind);
+
+/// True when the variant is compiled in AND the given CPU can execute it.
+/// kAuto/kScalar/kDense are always supported (kDense additionally needs a
+/// model with a dense plane, which selection checks separately).
+bool force_kernel_supported(ForceKernel kind, const CpuFeatures& features);
+
+/// Resolves a request against CPU features and dense-plane availability,
+/// walking the fallback chain when the request cannot be honored. Never
+/// fails; the result's fn pointers are always callable.
+SelectedForceKernel select_force_kernel(ForceKernel requested,
+                                        const CpuFeatures& features,
+                                        bool dense_available);
+
+/// The kernels that resolve to themselves on this host (with `cpu_features()`
+/// and the given dense availability) -- what the parity tests and the
+/// micro-benchmarks enumerate. Always contains kScalar.
+std::vector<ForceKernel> selectable_force_kernels(bool dense_available);
+
+}  // namespace adsd::kernels

@@ -17,6 +17,9 @@
 //         --p/--rounds/--seed   framework knobs
 //         --replicas <r>    lockstep bSB replicas for the prop solver
 //                           (>= 1; shorthand for the replicas config key)
+//         --kernel <k>      force kernel for the prop solver:
+//                           auto|scalar|avx2|avx512|dense (shorthand for
+//                           the kernel config key; default auto)
 //         --threads <t>     worker threads for the partition fan-out
 //                           (>= 1; default: hardware concurrency)
 //         --telemetry <file>  write the run's telemetry report as JSON
@@ -80,6 +83,9 @@ std::unique_ptr<CoreCopSolver> make_solver(const CliArgs& args, unsigned n) {
   if (takes("replicas") && args.has("replicas") && !config.has("replicas")) {
     config.set("replicas",
                std::to_string(args.get_positive_size("replicas", 1)));
+  }
+  if (takes("kernel") && args.has("kernel") && !config.has("kernel")) {
+    config.set("kernel", args.get_string("kernel", "auto"));
   }
   if (takes("budget") && args.has("ilp-budget") && !config.has("budget")) {
     config.set("budget",
