@@ -28,6 +28,7 @@
 #include "funcs/continuous.hpp"
 #include "ising/bsb.hpp"
 #include "ising/bsb_batch.hpp"
+#include "ising/bsb_pack.hpp"
 #include "ising/kernels/force_kernels.hpp"
 #include "support/cpu_features.hpp"
 #include "support/rng.hpp"
@@ -308,6 +309,67 @@ BENCHMARK_CAPTURE(BM_BsbSolveKernel, avx2, kernels::ForceKernel::kAvx2)
 BENCHMARK_CAPTURE(BM_BsbSolveKernel, avx512, kernels::ForceKernel::kAvx512)
     ->Unit(benchmark::kMillisecond);
 
+std::vector<IsingModel> tiny_models(std::size_t count) {
+  // Independent same-shape core-COP models (n = 9 quantization: 64 spins,
+  // inside the tiny-solve band the packed engine targets), different
+  // random partitions so the coupling values differ per member.
+  std::vector<IsingModel> models;
+  models.reserve(count);
+  for (std::size_t m = 0; m < count; ++m) {
+    models.push_back(make_cop(9, 4, 100 + m).to_ising());
+  }
+  return models;
+}
+
+void BM_TinySolveLooped(benchmark::State& state) {
+  // K tiny solves the pre-packing way: one BsbBatchEngine per instance,
+  // R = 1 (the DALTA hot path, where the per-instance kernels run scalar
+  // lanes), fixed 200 steps so looped and packed do identical work.
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto models = tiny_models(k);
+  SbParams params;
+  params.max_iterations = 200;
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t m = 0; m < k; ++m) {
+      SbParams p = params;
+      p.seed = 900 + m;
+      BsbBatchEngine engine(models[m], p, 1);
+      acc += engine.run().energy;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(k) * 200);
+}
+BENCHMARK(BM_TinySolveLooped)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TinySolvePacked(benchmark::State& state) {
+  // The same K solves through one BsbPackEngine run (slot layout at R = 1):
+  // engine construction included, since building the per-slot planes is
+  // part of the packed path's real cost. Results are bit-identical to the
+  // looped runs above (tests/test_bsb_pack.cpp), so the ratio is pure
+  // throughput.
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto models = tiny_models(k);
+  SbParams params;
+  params.max_iterations = 200;
+  std::vector<PackMember> members;
+  for (std::size_t m = 0; m < k; ++m) {
+    members.push_back({&models[m], 900 + m, {}});
+  }
+  for (auto _ : state) {
+    BsbPackEngine engine(members, params, 1);
+    const auto results = engine.run();
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(k) * 200);
+}
+BENCHMARK(BM_TinySolvePacked)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SampleEnergyScratch(benchmark::State& state) {
   // Per-sampling-point energy refresh of the seed ensemble: every replica's
   // energy recomputed from scratch, O(edges) each.
@@ -490,6 +552,21 @@ int main(int argc, char** argv) {
                        "force_kernel_speedup_avx512");
     add_kernel_speedup("BM_ForceKernelDenseModel", "dense",
                        "force_kernel_speedup_dense");
+    // Packed-vs-looped tiny-solve speedups (single thread, R = 1, 64-spin
+    // instances): one BsbPackEngine run against K sequential BsbBatchEngine
+    // solves of the same instances. Single-thread ratios, valid anywhere.
+    for (const char* k : {"4", "16", "64"}) {
+      const auto looped =
+          secs.find(std::string("BM_TinySolveLooped/") + k);
+      const auto packed =
+          secs.find(std::string("BM_TinySolvePacked/") + k);
+      if (looped != secs.end() && packed != secs.end() &&
+          packed->second > 0.0) {
+        report.add_derived(std::string("packed_solve_speedup_k") + k,
+                           looped->second / packed->second, "max", true,
+                           "single-thread ratio, R=1, 64-spin instances");
+      }
+    }
     const std::string path = args.get_string("json", "");
     std::ofstream f(path);
     if (!f) {

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <optional>
 #include <stdexcept>
 #include <tuple>
 
 #include "ising/bsb_batch.hpp"
+#include "ising/bsb_pack.hpp"
 #include "ising/exhaustive.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace adsd {
 
@@ -100,6 +104,260 @@ void anti_collapse_intervene(const ColumnCop& cop, ReplicaView v) {
   }
 }
 
+/// The Theorem-3 feedback closure (Sec. 3.3.2, batched): one plane sweep
+/// computes the optimal column types for every replica at once and pins the
+/// T oscillators before the integration continues; replicas whose reset
+/// landed degenerate take the scalar anti-collapse re-seeding path. Shared
+/// between the standalone solve and the packed batch (one closure per
+/// member there, so each member keeps its own scratch).
+SbBatchPlaneHook make_theorem3_hook(const ColumnCop& cop, const RunContext& ctx,
+                                    bool anti_collapse) {
+  return [&cop, &ctx, anti_collapse, cost_scratch = std::vector<double>{},
+          degenerate = std::vector<std::uint8_t>{}](
+             std::span<double> x, std::span<double> y,
+             std::size_t replicas) mutable {
+    cop.reset_optimal_t_planes(x, y, replicas, cost_scratch,
+                               anti_collapse ? &degenerate : nullptr);
+    ctx.telemetry().add("ising/theorem3/resets", replicas);
+    qor_add(ctx.qor(), "ising/theorem3/resets",
+            static_cast<double>(replicas));
+    if (!anti_collapse) {
+      return;
+    }
+    std::size_t intervened = 0;
+    for (std::size_t rep = 0; rep < replicas; ++rep) {
+      if (degenerate[rep] != 0) {
+        anti_collapse_intervene(
+            cop, ReplicaView(x.data() + rep, y.data() + rep, cop.num_spins(),
+                             replicas));
+        ++intervened;
+      }
+    }
+    if (intervened > 0) {
+      ctx.telemetry().add("ising/theorem3/anti_collapse", intervened);
+      qor_add(ctx.qor(), "ising/theorem3/anti_collapse",
+              static_cast<double>(intervened));
+    }
+    trace_counter(ctx.tracer(), "ising/theorem3/degenerate_replicas",
+                  static_cast<double>(intervened));
+  };
+}
+
+/// Symmetry-breaking start (Options::column_seed_init): V1/V2 oscillators
+/// at +-0.1 spelling the two dominant exact columns, plus the refined
+/// incumbent those columns alternate to — bSB's answer replaces it only
+/// when strictly better.
+struct WarmStart {
+  std::vector<double> positions;  // empty when seeding is disabled
+  ColumnSetting incumbent;
+  double objective = 0.0;
+  bool have = false;
+};
+
+WarmStart column_seed_warm_start(const ColumnCop& cop) {
+  WarmStart warm;
+  const std::size_t r = cop.rows();
+  const auto [col1, col2] = dominant_column_pair(cop.exact_matrix());
+  warm.positions.assign(cop.num_spins(), 0.0);
+  for (std::size_t i = 0; i < r; ++i) {
+    warm.positions[cop.v1_spin(i)] = col1.get(i) ? 0.1 : -0.1;
+    warm.positions[cop.v2_spin(i)] = col2.get(i) ? 0.1 : -0.1;
+  }
+  ColumnSetting incumbent;
+  incumbent.v1 = col1;
+  incumbent.v2 = col2;
+  incumbent.t = BitVec(cop.cols());
+  warm.objective = alternate_to_fixpoint(cop, incumbent, 8);
+  warm.incumbent = std::move(incumbent);
+  warm.have = true;
+  return warm;
+}
+
+/// Final Theorem-3 polish of one decoded candidate plus its objective. The
+/// polish delta (pre - post objective) is recorded only with QoR armed;
+/// the extra evaluations read state only, so the off path is untouched.
+double polish_and_score(const ColumnCop& cop, const RunContext& ctx,
+                        ColumnSetting& s, bool final_polish) {
+  if (final_polish) {
+    if (QorRecorder* q = ctx.qor()) {
+      const double pre = cop.objective(s);
+      cop.reset_optimal_t(s);
+      q->sample("ising/theorem3/polish_delta", pre - cop.objective(s));
+    } else {
+      cop.reset_optimal_t(s);
+    }
+  }
+  return cop.objective(s);
+}
+
+/// The full bSB core solve (Theorem-3 feedback, warm incumbent, restarts,
+/// final polish) as a free function, so IsingCoreSolver::do_solve and
+/// PackedCoreCopSolver's single-instance path share one implementation.
+ColumnSetting ising_core_solve(const ColumnCop& cop, const RunContext& ctx,
+                               std::uint64_t seed, CoreSolveStats* stats,
+                               const IsingCoreSolver::Options& options) {
+  IsingModel model = cop.to_ising();
+
+  SbBatchPlaneHook plane_hook;
+  if (options.use_theorem3) {
+    plane_hook = make_theorem3_hook(cop, ctx, options.anti_collapse);
+  }
+
+  ColumnSetting best;
+  double best_obj = 0.0;
+  std::size_t total_iters = 0;
+  bool any_early = false;
+  bool have_best = false;
+
+  WarmStart warm;
+  if (options.column_seed_init) {
+    warm = column_seed_warm_start(cop);
+    best = std::move(warm.incumbent);
+    best_obj = warm.objective;
+    have_best = true;
+  }
+
+  const std::size_t restarts = std::max<std::size_t>(1, options.restarts);
+  for (std::size_t attempt = 0; attempt < restarts; ++attempt) {
+    // One trace span per restart, so each restart's energy trajectory is a
+    // separate segment of the flame graph.
+    const TraceSpan restart_span(ctx.tracer(), "ising/bsb/restart");
+    SbParams params = options.sb;
+    params.seed = seed + 0x9e3779b9u * attempt;
+    // First attempt runs from the informed seed; further restarts explore
+    // from the plain start with fresh momenta.
+    if (attempt == 0 && !warm.positions.empty()) {
+      params.initial_positions = warm.positions;
+    }
+    const IsingSolveResult res =
+        solve_sb_batch(model, params,
+                       std::max<std::size_t>(1, options.replicas), nullptr,
+                       plane_hook, &ctx);
+    total_iters += res.iterations;
+    any_early = any_early || res.stopped_early;
+
+    ColumnSetting s = cop.decode(res.spins);
+    const double obj = polish_and_score(cop, ctx, s, options.final_polish);
+    if (!have_best || obj < best_obj) {
+      best = std::move(s);
+      best_obj = obj;
+      have_best = true;
+    }
+    if (ctx.expired()) {
+      any_early = true;
+      break;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->objective = best_obj;
+    stats->iterations = total_iters;
+    stats->stopped_early = any_early;
+    stats->proven_optimal = false;
+  }
+  return best;
+}
+
+/// One packed chunk of the batched solve: up to `pack` same-n instances
+/// through one BsbPackEngine per restart attempt. Every member replicates
+/// the standalone ising_core_solve state machine — same warm start, same
+/// per-attempt seeds, same Theorem-3 closure per member, same polish and
+/// best-selection — so packed results are bit-identical per instance.
+void solve_packed_chunk(std::span<const ColumnCop> cops, const RunContext& ctx,
+                        std::span<const std::uint64_t> seeds,
+                        std::span<ColumnSetting> out,
+                        std::span<CoreSolveStats> stats,
+                        std::span<const std::size_t> members,
+                        const IsingCoreSolver::Options& options,
+                        PackLayout layout) {
+  const std::size_t M = members.size();
+  if (M == 1) {
+    const std::size_t idx = members[0];
+    out[idx] = ising_core_solve(cops[idx], ctx, seeds[idx], &stats[idx],
+                                options);
+    return;
+  }
+
+  struct MemberState {
+    std::optional<IsingModel> model;
+    SbBatchPlaneHook hook;
+    WarmStart warm;
+    ColumnSetting best;
+    double best_obj = 0.0;
+    std::size_t total_iters = 0;
+    bool any_early = false;
+    bool have_best = false;
+  };
+  std::vector<MemberState> ms(M);
+  for (std::size_t m = 0; m < M; ++m) {
+    const ColumnCop& cop = cops[members[m]];
+    ms[m].model.emplace(cop.to_ising());
+    if (options.use_theorem3) {
+      ms[m].hook = make_theorem3_hook(cop, ctx, options.anti_collapse);
+    }
+    if (options.column_seed_init) {
+      ms[m].warm = column_seed_warm_start(cop);
+      ms[m].best = std::move(ms[m].warm.incumbent);
+      ms[m].best_obj = ms[m].warm.objective;
+      ms[m].have_best = true;
+    }
+  }
+
+  PackPlaneHook pack_hook;
+  if (options.use_theorem3) {
+    pack_hook = [&ms](std::size_t m, std::span<double> x, std::span<double> y,
+                      std::size_t replicas) {
+      ms[m].hook(x, y, replicas);
+    };
+  }
+
+  const std::size_t replicas = std::max<std::size_t>(1, options.replicas);
+  const std::size_t restarts = std::max<std::size_t>(1, options.restarts);
+  for (std::size_t attempt = 0; attempt < restarts; ++attempt) {
+    std::vector<PackMember> pack(M);
+    for (std::size_t m = 0; m < M; ++m) {
+      pack[m].model = &*ms[m].model;
+      pack[m].seed = seeds[members[m]] + 0x9e3779b9u * attempt;
+      if (attempt == 0 && !ms[m].warm.positions.empty()) {
+        pack[m].initial_positions = ms[m].warm.positions;
+      }
+    }
+    BsbPackEngine engine(pack, options.sb, replicas, layout);
+    engine.set_context(&ctx);
+    const std::vector<IsingSolveResult> results = engine.run(pack_hook);
+
+    for (std::size_t m = 0; m < M; ++m) {
+      const IsingSolveResult& res = results[m];
+      // solve_sb_batch scales iterations by the replica count; mirror it.
+      ms[m].total_iters += res.iterations * replicas;
+      ms[m].any_early = ms[m].any_early || res.stopped_early;
+      const ColumnCop& cop = cops[members[m]];
+      ColumnSetting s = cop.decode(res.spins);
+      const double obj = polish_and_score(cop, ctx, s, options.final_polish);
+      if (!ms[m].have_best || obj < ms[m].best_obj) {
+        ms[m].best = std::move(s);
+        ms[m].best_obj = obj;
+        ms[m].have_best = true;
+      }
+    }
+    if (ctx.expired()) {
+      for (std::size_t m = 0; m < M; ++m) {
+        ms[m].any_early = true;
+      }
+      break;
+    }
+  }
+
+  for (std::size_t m = 0; m < M; ++m) {
+    const std::size_t idx = members[m];
+    out[idx] = std::move(ms[m].best);
+    stats[idx].objective = ms[m].best_obj;
+    stats[idx].iterations = ms[m].total_iters;
+    stats[idx].stopped_early = ms[m].any_early;
+    stats[idx].proven_optimal = false;
+  }
+}
+
 }  // namespace
 
 ColumnSetting CoreCopSolver::solve(const ColumnCop& cop, const RunContext& ctx,
@@ -125,6 +383,59 @@ ColumnSetting CoreCopSolver::solve(const ColumnCop& cop, const RunContext& ctx,
   return s;
 }
 
+std::vector<ColumnSetting> CoreCopSolver::solve_batch(
+    std::span<const ColumnCop> cops, const RunContext& ctx,
+    std::span<const std::uint64_t> seeds,
+    std::vector<CoreSolveStats>* stats) const {
+  if (cops.size() != seeds.size()) {
+    throw std::invalid_argument(
+        "CoreCopSolver::solve_batch: one seed per instance required");
+  }
+  std::vector<ColumnSetting> out(cops.size());
+  std::vector<CoreSolveStats> local(cops.size());
+  if (!batched()) {
+    // Unbatched solvers get the exact caller-side loop, per-solve spans
+    // and all, so feeding a batch is never a behavior change.
+    for (std::size_t i = 0; i < cops.size(); ++i) {
+      out[i] = solve(cops[i], ctx, seeds[i], &local[i]);
+    }
+  } else if (!cops.empty()) {
+    TelemetrySink& sink = ctx.telemetry();
+    const std::string span_path = "core/solve_batch/" + name();
+    const auto span = sink.span(span_path);
+    const TraceSpan trace_span(ctx.tracer(), span_path);
+    do_solve_batch(cops, ctx, seeds, out, local);
+    sink.add("core/solves", cops.size());
+    sink.add("core/batch_solves");
+    QorRecorder* q = ctx.qor();
+    const std::string qor_name =
+        q != nullptr ? "core/objective/" + name() : std::string{};
+    for (const CoreSolveStats& s : local) {
+      sink.add("core/iterations", s.iterations);
+      if (s.stopped_early) {
+        sink.add("core/early_stops");
+      }
+      if (q != nullptr) {
+        q->sample(qor_name, s.objective);
+      }
+    }
+  }
+  if (stats != nullptr) {
+    *stats = std::move(local);
+  }
+  return out;
+}
+
+void CoreCopSolver::do_solve_batch(std::span<const ColumnCop> cops,
+                                   const RunContext& ctx,
+                                   std::span<const std::uint64_t> seeds,
+                                   std::span<ColumnSetting> out,
+                                   std::span<CoreSolveStats> stats) const {
+  for (std::size_t i = 0; i < cops.size(); ++i) {
+    out[i] = do_solve(cops[i], ctx, seeds[i], &stats[i]);
+  }
+}
+
 IsingCoreSolver::Options IsingCoreSolver::Options::paper_defaults(
     unsigned num_inputs) {
   Options o;
@@ -142,134 +453,72 @@ ColumnSetting IsingCoreSolver::do_solve(const ColumnCop& cop,
                                         const RunContext& ctx,
                                         std::uint64_t seed,
                                         CoreSolveStats* stats) const {
-  IsingModel model = cop.to_ising();
-  const std::size_t r = cop.rows();
-  const std::size_t c = cop.cols();
+  return ising_core_solve(cop, ctx, seed, stats, options_);
+}
 
-  SbBatchPlaneHook plane_hook;
-  if (options_.use_theorem3) {
-    // Sec. 3.3.2, batched: one plane sweep computes the Theorem-3 optimal
-    // column types for every replica at once (replica-contiguous inner
-    // loops over the SoA planes) and pins the T oscillators to the
-    // corresponding poles before the integration continues. With
-    // anti_collapse, replicas whose reset landed degenerate (all columns on
-    // one pattern, or identical patterns) — flagged by the same sweep —
-    // take the scalar re-seeding path, escaping the rank-1 fixed point the
-    // mean-field dynamics otherwise cannot leave; that per-replica
-    // O(rows * cols) pass now runs only for the rare degenerate replicas.
-    const bool anti_collapse = options_.anti_collapse;
-    plane_hook = [&cop, &ctx, anti_collapse,
-                  cost_scratch = std::vector<double>{},
-                  degenerate = std::vector<std::uint8_t>{}](
-                     std::span<double> x, std::span<double> y,
-                     std::size_t replicas) mutable {
-      cop.reset_optimal_t_planes(x, y, replicas, cost_scratch,
-                                 anti_collapse ? &degenerate : nullptr);
-      ctx.telemetry().add("ising/theorem3/resets", replicas);
-      qor_add(ctx.qor(), "ising/theorem3/resets",
-              static_cast<double>(replicas));
-      if (!anti_collapse) {
-        return;
-      }
-      std::size_t intervened = 0;
-      for (std::size_t rep = 0; rep < replicas; ++rep) {
-        if (degenerate[rep] != 0) {
-          anti_collapse_intervene(
-              cop, ReplicaView(x.data() + rep, y.data() + rep,
-                               cop.num_spins(), replicas));
-          ++intervened;
-        }
-      }
-      if (intervened > 0) {
-        ctx.telemetry().add("ising/theorem3/anti_collapse", intervened);
-        qor_add(ctx.qor(), "ising/theorem3/anti_collapse",
-                static_cast<double>(intervened));
-      }
-      trace_counter(ctx.tracer(), "ising/theorem3/degenerate_replicas",
-                    static_cast<double>(intervened));
-    };
+ColumnSetting PackedCoreCopSolver::do_solve(const ColumnCop& cop,
+                                            const RunContext& ctx,
+                                            std::uint64_t seed,
+                                            CoreSolveStats* stats) const {
+  // A lone instance takes the standalone path — bit-identical to
+  // IsingCoreSolver with the same core options, no packing overhead.
+  return ising_core_solve(cop, ctx, seed, stats, options_.core);
+}
+
+void PackedCoreCopSolver::do_solve_batch(std::span<const ColumnCop> cops,
+                                         const RunContext& ctx,
+                                         std::span<const std::uint64_t> seeds,
+                                         std::span<ColumnSetting> out,
+                                         std::span<CoreSolveStats> stats) const {
+  // Bucket instances by num_spins (stable, so same-shape batches — the
+  // DALTA case, where all P candidates share the r x c shape — keep input
+  // order), then carve buckets into chunks of at most `pack` members.
+  std::vector<std::size_t> order(cops.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&cops](std::size_t a, std::size_t b) {
+                     return cops[a].num_spins() < cops[b].num_spins();
+                   });
+
+  const std::size_t pack = std::max<std::size_t>(1, options_.pack);
+  struct Chunk {
+    std::size_t begin;
+    std::size_t end;
+  };
+  std::vector<Chunk> chunks;
+  for (std::size_t i = 0; i < order.size();) {
+    const std::size_t n = cops[order[i]].num_spins();
+    std::size_t j = i;
+    while (j < order.size() && cops[order[j]].num_spins() == n &&
+           j - i < pack) {
+      ++j;
+    }
+    chunks.push_back({i, j});
+    i = j;
   }
 
-  ColumnSetting best;
-  double best_obj = 0.0;
-  std::size_t total_iters = 0;
-  bool any_early = false;
-  bool have_best = false;
+  auto run_chunk = [&](std::size_t c) {
+    const Chunk& chunk = chunks[c];
+    solve_packed_chunk(cops, ctx, seeds, out, stats,
+                       std::span<const std::size_t>(order.data() + chunk.begin,
+                                                    chunk.end - chunk.begin),
+                       options_.core, options_.layout);
+  };
 
-  // Symmetry-breaking start: V1/V2 oscillators at +-0.1 spelling the two
-  // dominant exact columns (see Options::column_seed_init). T oscillators
-  // start at zero; the Theorem-3 hook assigns them at the first sample.
-  // The refined seed doubles as the warm incumbent: bSB's answer replaces
-  // it only when strictly better.
-  std::vector<double> seeded_x;
-  if (options_.column_seed_init) {
-    const auto [col1, col2] = dominant_column_pair(cop.exact_matrix());
-    seeded_x.assign(cop.num_spins(), 0.0);
-    for (std::size_t i = 0; i < r; ++i) {
-      seeded_x[cop.v1_spin(i)] = col1.get(i) ? 0.1 : -0.1;
-      seeded_x[cop.v2_spin(i)] = col2.get(i) ? 0.1 : -0.1;
-    }
-    ColumnSetting incumbent;
-    incumbent.v1 = col1;
-    incumbent.v2 = col2;
-    incumbent.t = BitVec(c);
-    best_obj = alternate_to_fixpoint(cop, incumbent, 8);
-    best = std::move(incumbent);
-    have_best = true;
-  }
-
-  const std::size_t restarts = std::max<std::size_t>(1, options_.restarts);
-  for (std::size_t attempt = 0; attempt < restarts; ++attempt) {
-    // One trace span per restart, so each restart's energy trajectory is a
-    // separate segment of the flame graph.
-    const TraceSpan restart_span(ctx.tracer(), "ising/bsb/restart");
-    SbParams params = options_.sb;
-    params.seed = seed + 0x9e3779b9u * attempt;
-    // First attempt runs from the informed seed; further restarts explore
-    // from the plain start with fresh momenta.
-    if (attempt == 0 && !seeded_x.empty()) {
-      params.initial_positions = seeded_x;
-    }
-    const IsingSolveResult res =
-        solve_sb_batch(model, params,
-                       std::max<std::size_t>(1, options_.replicas), nullptr,
-                       plane_hook, &ctx);
-    total_iters += res.iterations;
-    any_early = any_early || res.stopped_early;
-
-    ColumnSetting s = cop.decode(res.spins);
-    if (options_.final_polish) {
-      // The Theorem-3 polish delta (pre - post objective) is the quality
-      // the closed-form reset adds on top of the raw bSB answer. The extra
-      // objective evaluations run only with QoR armed and read state only,
-      // so the off path is untouched.
-      if (QorRecorder* q = ctx.qor()) {
-        const double pre = cop.objective(s);
-        cop.reset_optimal_t(s);
-        q->sample("ising/theorem3/polish_delta", pre - cop.objective(s));
-      } else {
-        cop.reset_optimal_t(s);
-      }
-    }
-    const double obj = cop.objective(s);
-    if (!have_best || obj < best_obj) {
-      best = std::move(s);
-      best_obj = obj;
-      have_best = true;
-    }
-    if (ctx.expired()) {
-      any_early = true;
-      break;
+  // Parallelism across whole packs: each chunk's engine run is serial
+  // (members are tiny; SIMD across members does the intra-pack work), so
+  // chunks are the natural unit for the pool. A nested call from inside a
+  // caller's parallel_for runs inline via the pool's nesting guard.
+  if (ctx.parallel() && chunks.size() > 1) {
+    ThreadPool& pool = ctx.pool();
+    if (pool.thread_count() > 1) {
+      pool.parallel_for(chunks.size(), run_chunk);
+      return;
     }
   }
-
-  if (stats != nullptr) {
-    stats->objective = best_obj;
-    stats->iterations = total_iters;
-    stats->stopped_early = any_early;
-    stats->proven_optimal = false;
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    run_chunk(c);
   }
-  return best;
 }
 
 ColumnSetting ExhaustiveCoreSolver::do_solve(const ColumnCop& cop,

@@ -2,10 +2,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/column_cop.hpp"
 #include "ising/bsb.hpp"
+#include "ising/bsb_pack.hpp"
 #include "ising/sa.hpp"
 #include "support/run_context.hpp"
 #include "support/timer.hpp"
@@ -44,10 +47,35 @@ class CoreCopSolver {
     return solve(cop, RunContext::fallback(), seed, stats);
   }
 
+  /// True when the solver has a real batched implementation. Callers with
+  /// many independent same-shape COPs (run_dalta's P candidates per
+  /// output-round) should then hand the whole batch to solve_batch()
+  /// instead of looping tiny solves.
+  virtual bool batched() const { return false; }
+
+  /// Solves `cops.size()` independent instances; `seeds[i]` is instance
+  /// i's solve seed (same contract as solve()). Results and stats come
+  /// back in input order. The default path loops solve() — identical
+  /// telemetry and results to a caller-side loop — while batched()
+  /// solvers override do_solve_batch and get one "core/solve_batch/<name>"
+  /// span around the whole batch plus the usual per-solve counters.
+  std::vector<ColumnSetting> solve_batch(
+      std::span<const ColumnCop> cops, const RunContext& ctx,
+      std::span<const std::uint64_t> seeds,
+      std::vector<CoreSolveStats>* stats = nullptr) const;
+
  protected:
   virtual ColumnSetting do_solve(const ColumnCop& cop, const RunContext& ctx,
                                  std::uint64_t seed,
                                  CoreSolveStats* stats) const = 0;
+
+  /// Batched counterpart of do_solve; only reached when batched() is
+  /// true. `out` and `stats` are pre-sized to cops.size().
+  virtual void do_solve_batch(std::span<const ColumnCop> cops,
+                              const RunContext& ctx,
+                              std::span<const std::uint64_t> seeds,
+                              std::span<ColumnSetting> out,
+                              std::span<CoreSolveStats> stats) const;
 };
 
 /// The paper's proposal: ballistic simulated bifurcation on the Ising
@@ -105,6 +133,57 @@ class IsingCoreSolver final : public CoreCopSolver {
   ColumnSetting do_solve(const ColumnCop& cop, const RunContext& ctx,
                          std::uint64_t seed,
                          CoreSolveStats* stats) const override;
+
+ private:
+  Options options_;
+};
+
+/// Packed variant of IsingCoreSolver (registry spec `prop,pack=K,...`):
+/// one BsbPackEngine run advances up to `pack` independent core COPs at
+/// once (DESIGN.md §4.7), so DALTA's per-output-round batch of P tiny
+/// candidate solves stops paying per-solve kernel setup and — on the
+/// R = 1 hot path — runs the force pass at full SIMD width across
+/// instances instead of scalar lanes. Single solves and every packed
+/// member are bit-identical to IsingCoreSolver with the same core
+/// options: same per-instance seeds, Theorem-3 feedback, dynamic stop,
+/// restarts, warm incumbent, and final polish (see BsbPackEngine for the
+/// one budget-rescale caveat under positive time budgets).
+///
+/// do_solve_batch buckets instances by num_spins (stable order), carves
+/// buckets into chunks of at most `pack`, and — when the context allows
+/// parallelism — distributes whole chunks over ctx.pool(): parallelism
+/// across packs, SIMD across members, replicas inside the engine.
+class PackedCoreCopSolver final : public CoreCopSolver {
+ public:
+  struct Options {
+    /// Shared per-instance solver options (seed handling, restarts,
+    /// replicas, Theorem-3, polish) — the packed solve replicates
+    /// IsingCoreSolver with exactly these options per member.
+    IsingCoreSolver::Options core{};
+
+    /// Maximum members per packed engine run (the K of `pack=K`).
+    std::size_t pack = 16;
+
+    /// Engine layout; kAuto picks slots at replicas <= 2, blocks above.
+    PackLayout layout = PackLayout::kAuto;
+  };
+
+  explicit PackedCoreCopSolver(Options options) : options_(options) {}
+
+  std::string name() const override { return "ising-bsb-pack"; }
+  bool batched() const override { return true; }
+
+  const Options& options() const { return options_; }
+
+ protected:
+  ColumnSetting do_solve(const ColumnCop& cop, const RunContext& ctx,
+                         std::uint64_t seed,
+                         CoreSolveStats* stats) const override;
+
+  void do_solve_batch(std::span<const ColumnCop> cops, const RunContext& ctx,
+                      std::span<const std::uint64_t> seeds,
+                      std::span<ColumnSetting> out,
+                      std::span<CoreSolveStats> stats) const override;
 
  private:
   Options options_;

@@ -126,17 +126,12 @@ DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
       }
 
       std::vector<std::optional<Candidate>> candidates(params.num_partitions);
-      auto evaluate = [&](std::size_t p) {
-        // Runs on a pool worker under parallel dispatch, so this span lands
-        // on that worker's trace timeline — the per-thread work
-        // distribution of the candidate fan-out read straight off the
-        // flame graph.
-        const TraceSpan candidate_trace(tracer, "dalta/candidate");
-        // Per-worker scratch reused across candidate partitions (and across
-        // rounds): the Boolean matrix, the probability table, and the joint
-        // D table are all shape r x c for every candidate, so only the first
-        // evaluation on each thread allocates.
-        thread_local EvalScratch scratch;
+      // Candidate p's COP, built into `scratch` buffers (the Boolean
+      // matrix, the probability table, and the joint D table are all shape
+      // r x c for every candidate, so a reused scratch allocates once).
+      // ColumnCop owns copies of everything it needs, so the returned COP
+      // outlives the scratch contents.
+      auto build_cop = [&](std::size_t p, EvalScratch& scratch) {
         const InputPartition& w = candidates_w[p];
         const PartitionIndexer idx(w);
         if (!scratch.matrix) {
@@ -146,22 +141,30 @@ DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
         BooleanMatrix::from_function_into(exact, k, w, idx, matrix);
         matrix_probs_into(dist, w, idx, scratch.probs);
 
-        ColumnCop cop = [&] {
-          if (params.mode == DecompMode::kSeparate) {
-            return ColumnCop::separate(matrix, scratch.probs);
-          }
-          const std::size_t c = w.num_cols();
-          scratch.d.resize(w.num_rows() * c);
-          // Every input pattern owns exactly one (row, col) cell, so one
-          // pass with the byte-LUT indexer fills the whole D table.
-          for (std::uint64_t x = 0; x < patterns; ++x) {
-            scratch.d[idx.row_of(x) * c + idx.col_of(x)] = d_by_input[x];
-          }
-          return ColumnCop::joint(matrix, scratch.probs, scratch.d,
-                                  static_cast<double>(std::int64_t{1} << k));
-        }();
-
-        Candidate cand{w, {}, {}};
+        if (params.mode == DecompMode::kSeparate) {
+          return ColumnCop::separate(matrix, scratch.probs);
+        }
+        const std::size_t c = w.num_cols();
+        scratch.d.resize(w.num_rows() * c);
+        // Every input pattern owns exactly one (row, col) cell, so one
+        // pass with the byte-LUT indexer fills the whole D table.
+        for (std::uint64_t x = 0; x < patterns; ++x) {
+          scratch.d[idx.row_of(x) * c + idx.col_of(x)] = d_by_input[x];
+        }
+        return ColumnCop::joint(matrix, scratch.probs, scratch.d,
+                                static_cast<double>(std::int64_t{1} << k));
+      };
+      auto evaluate = [&](std::size_t p) {
+        // Runs on a pool worker under parallel dispatch, so this span lands
+        // on that worker's trace timeline — the per-thread work
+        // distribution of the candidate fan-out read straight off the
+        // flame graph.
+        const TraceSpan candidate_trace(tracer, "dalta/candidate");
+        // Per-worker scratch reused across candidate partitions (and across
+        // rounds), so only the first evaluation on each thread allocates.
+        thread_local EvalScratch scratch;
+        ColumnCop cop = build_cop(p, scratch);
+        Candidate cand{candidates_w[p], {}, {}};
         cand.setting =
             solver.solve(cop, ctx, ctx.stream_seed("dalta/candidate", round,
                                                    k, p),
@@ -170,7 +173,29 @@ DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
         candidates[p] = std::move(cand);
       };
 
-      if (ctx.parallel() && params.parallel && params.num_partitions > 1) {
+      if (solver.batched() && params.num_partitions > 1) {
+        // Batched fan-out: same COPs and per-candidate seeds as the looped
+        // path, handed to the solver in one solve_batch call so packed
+        // solvers advance the whole P-candidate round together.
+        const TraceSpan batch_trace(tracer, "dalta/candidate_batch");
+        EvalScratch scratch;
+        std::vector<ColumnCop> cops;
+        cops.reserve(params.num_partitions);
+        std::vector<std::uint64_t> seeds(params.num_partitions);
+        for (std::size_t p = 0; p < params.num_partitions; ++p) {
+          cops.push_back(build_cop(p, scratch));
+          seeds[p] = ctx.stream_seed("dalta/candidate", round, k, p);
+        }
+        std::vector<CoreSolveStats> stats;
+        std::vector<ColumnSetting> settings =
+            solver.solve_batch(cops, ctx, seeds, &stats);
+        for (std::size_t p = 0; p < params.num_partitions; ++p) {
+          Candidate cand{candidates_w[p], std::move(settings[p]), stats[p]};
+          cand.stats.objective = cops[p].objective(cand.setting);
+          candidates[p] = std::move(cand);
+        }
+      } else if (ctx.parallel() && params.parallel &&
+                 params.num_partitions > 1) {
         ctx.pool().parallel_for(params.num_partitions, evaluate);
       } else {
         for (std::size_t p = 0; p < params.num_partitions; ++p) {

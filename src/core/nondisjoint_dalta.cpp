@@ -113,49 +113,57 @@ NdDaltaResult run_dalta_nd(const TruthTable& exact,
 
       std::vector<std::optional<NdCandidate>> candidates(
           params.num_partitions);
+      // Slice sl of candidate p as a COP, built into reusable `probs`/`d`
+      // buffers (every slice matrix of a run has the same r x c shape;
+      // ColumnCop copies what it keeps).
+      auto build_cop = [&](const NonDisjointPartition& w, std::uint64_t sl,
+                           std::vector<double>& probs,
+                           std::vector<double>& d) {
+        const std::size_t r = w.num_rows();
+        const std::size_t c = w.num_cols();
+        const BooleanMatrix matrix = slice_matrix(exact, k, w, sl);
+        probs.assign(r * c, 0.0);
+        d.clear();
+        if (params.mode == DecompMode::kJoint) {
+          d.resize(r * c);
+        }
+        for (std::size_t i = 0; i < r; ++i) {
+          for (std::size_t j = 0; j < c; ++j) {
+            const std::uint64_t x = w.input_of(sl, i, j);
+            probs[i * c + j] = dist.prob(x);
+            if (!d.empty()) {
+              d[i * c + j] = d_by_input[x];
+            }
+          }
+        }
+        return params.mode == DecompMode::kSeparate
+                   ? ColumnCop::separate(matrix, probs)
+                   : ColumnCop::joint(matrix, probs, d,
+                                      static_cast<double>(std::int64_t{1}
+                                                          << k));
+      };
+      // Slice 0 must reuse run_dalta's per-candidate seed so that
+      // shared_size == 0 reproduces the disjoint flow exactly; the
+      // four-counter stream_seed guarantees that at sl == 0 by
+      // construction.
+      auto slice_seed = [&](std::size_t p, std::uint64_t sl) {
+        return ctx.stream_seed("dalta/candidate", round, k, p, sl);
+      };
       auto evaluate = [&](std::size_t p) {
         // Lands on the evaluating pool worker's trace timeline (see
         // run_dalta's candidate span).
         const TraceSpan candidate_trace(tracer, "dalta_nd/candidate");
         const NonDisjointPartition& w = candidates_w[p];
         NdCandidate cand{w, {}, 0.0, 0};
-        const std::size_t r = w.num_rows();
-        const std::size_t c = w.num_cols();
 
-        // Per-worker buffers reused across slices and candidates (every
-        // slice matrix of a run has the same r x c shape).
+        // Per-worker buffers reused across slices and candidates.
         thread_local std::vector<double> probs;
         thread_local std::vector<double> d;
         for (std::uint64_t sl = 0; sl < w.num_slices(); ++sl) {
-          const BooleanMatrix matrix = slice_matrix(exact, k, w, sl);
-          probs.assign(r * c, 0.0);
-          d.clear();
-          if (params.mode == DecompMode::kJoint) {
-            d.resize(r * c);
-          }
-          for (std::size_t i = 0; i < r; ++i) {
-            for (std::size_t j = 0; j < c; ++j) {
-              const std::uint64_t x = w.input_of(sl, i, j);
-              probs[i * c + j] = dist.prob(x);
-              if (!d.empty()) {
-                d[i * c + j] = d_by_input[x];
-              }
-            }
-          }
-          ColumnCop cop =
-              params.mode == DecompMode::kSeparate
-                  ? ColumnCop::separate(matrix, probs)
-                  : ColumnCop::joint(matrix, probs, d,
-                                     static_cast<double>(std::int64_t{1}
-                                                         << k));
+          ColumnCop cop = build_cop(w, sl, probs, d);
           CoreSolveStats stats;
-          // Slice 0 must reuse run_dalta's per-candidate seed so that
-          // shared_size == 0 reproduces the disjoint flow exactly.
-          ColumnSetting cs = solver.solve(
-              cop, ctx,
-              ctx.stream_seed("dalta/candidate", round, k,
-                              p + sl * 0x51de5ull),
-              &stats);
+          ColumnSetting cs = solver.solve(cop, ctx, slice_seed(p, sl),
+                                          &stats);
           cand.objective += cop.objective(cs);
           cand.iterations += stats.iterations;
           cand.setting.slices.push_back(std::move(cs));
@@ -163,7 +171,40 @@ NdDaltaResult run_dalta_nd(const TruthTable& exact,
         candidates[p] = std::move(cand);
       };
 
-      if (ctx.parallel() && params.parallel && params.num_partitions > 1) {
+      const std::uint64_t slices = candidates_w.front().num_slices();
+      if (solver.batched() && params.num_partitions * slices > 1) {
+        // Batched fan-out: the whole (partition, slice) grid flattened
+        // into one solve_batch call with the same per-slice seeds as the
+        // looped path, so packed solvers advance every slice of every
+        // candidate together.
+        const TraceSpan batch_trace(tracer, "dalta_nd/candidate_batch");
+        std::vector<double> probs;
+        std::vector<double> d;
+        std::vector<ColumnCop> cops;
+        cops.reserve(params.num_partitions * slices);
+        std::vector<std::uint64_t> seeds;
+        seeds.reserve(params.num_partitions * slices);
+        for (std::size_t p = 0; p < params.num_partitions; ++p) {
+          for (std::uint64_t sl = 0; sl < slices; ++sl) {
+            cops.push_back(build_cop(candidates_w[p], sl, probs, d));
+            seeds.push_back(slice_seed(p, sl));
+          }
+        }
+        std::vector<CoreSolveStats> stats;
+        std::vector<ColumnSetting> settings =
+            solver.solve_batch(cops, ctx, seeds, &stats);
+        for (std::size_t p = 0; p < params.num_partitions; ++p) {
+          NdCandidate cand{candidates_w[p], {}, 0.0, 0};
+          for (std::uint64_t sl = 0; sl < slices; ++sl) {
+            const std::size_t i = p * slices + sl;
+            cand.objective += cops[i].objective(settings[i]);
+            cand.iterations += stats[i].iterations;
+            cand.setting.slices.push_back(std::move(settings[i]));
+          }
+          candidates[p] = std::move(cand);
+        }
+      } else if (ctx.parallel() && params.parallel &&
+                 params.num_partitions > 1) {
         ctx.pool().parallel_for(params.num_partitions, evaluate);
       } else {
         for (std::size_t p = 0; p < params.num_partitions; ++p) {

@@ -187,7 +187,8 @@ const SolverRegistry& SolverRegistry::global() {
            {"ising-bsb"},
            {"n", "replicas", "restarts", "theorem3", "anti-collapse",
             "polish", "seed-init", "max-iter", "dt", "discrete", "kernel",
-            "stop", "stop-interval", "stop-window", "stop-epsilon"},
+            "stop", "stop-interval", "stop-window", "stop-epsilon", "pack",
+            "pack-layout"},
            [](const SolverConfig& c) -> std::unique_ptr<CoreCopSolver> {
              auto options = IsingCoreSolver::Options::paper_defaults(
                  static_cast<unsigned>(c.get_size("n", 9)));
@@ -213,6 +214,21 @@ const SolverRegistry& SolverRegistry::global() {
                  c.get_size("stop-window", options.sb.stop.window);
              options.sb.stop.epsilon =
                  c.get_double("stop-epsilon", options.sb.stop.epsilon);
+             // pack=K (K > 0) swaps in the multi-instance packed engine:
+             // bit-identical per instance, one force pass for K solves.
+             const std::size_t pack = c.get_size("pack", 0);
+             if (pack > 0) {
+               PackedCoreCopSolver::Options packed;
+               packed.core = options;
+               packed.pack = pack;
+               packed.layout = parse_pack_layout(
+                   c.get_string("pack-layout", "auto"));
+               return std::make_unique<PackedCoreCopSolver>(packed);
+             }
+             if (c.has("pack-layout")) {
+               throw std::invalid_argument(
+                   "solver 'prop': 'pack-layout' requires 'pack' > 0");
+             }
              return std::make_unique<IsingCoreSolver>(options);
            }});
 

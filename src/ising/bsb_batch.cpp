@@ -223,6 +223,17 @@ IsingSolveResult BsbBatchEngine::run(const SbBatchHook& hook,
   copy_replica_spins(0, result.spins);
   result.energy = energies_[0];
 
+  // Deadline-at-entry: a run started after the context deadline already
+  // expired (a restart boundary of an anytime solver looping tiny solves)
+  // must not burn a whole pump ramp before the first sampling point
+  // notices. Returns the initial state, flagged as an early stop.
+  if (ctx_ != nullptr && ctx_->expired()) {
+    result.stopped_early = true;
+    ctx_->telemetry().add("ising/sb/deadline_hits");
+    trace_instant(ctx_->tracer(), "ising/bsb/deadline_hit");
+    return result;
+  }
+
   const std::size_t sample_every =
       params_.stop.sample_interval > 0 ? params_.stop.sample_interval : 10;
   DynamicStopMonitor monitor(params_.stop);

@@ -1,0 +1,559 @@
+#include "ising/bsb_pack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "ising/stop.hpp"
+#include "support/cpu_features.hpp"
+#include "support/rng.hpp"
+#include "support/run_context.hpp"
+
+namespace adsd {
+
+const char* pack_layout_name(PackLayout layout) {
+  switch (layout) {
+    case PackLayout::kAuto:
+      return "auto";
+    case PackLayout::kSlots:
+      return "slots";
+    case PackLayout::kBlocks:
+      return "blocks";
+  }
+  return "auto";
+}
+
+PackLayout parse_pack_layout(const std::string& name) {
+  for (PackLayout layout :
+       {PackLayout::kAuto, PackLayout::kSlots, PackLayout::kBlocks}) {
+    if (name == pack_layout_name(layout)) {
+      return layout;
+    }
+  }
+  throw std::invalid_argument("unknown pack layout '" + name +
+                              "' (valid: auto, slots, blocks)");
+}
+
+BsbPackEngine::BsbPackEngine(std::span<const PackMember> members,
+                             const SbParams& params, std::size_t replicas,
+                             PackLayout layout)
+    : members_(members.begin(), members.end()),
+      params_(params),
+      R_(replicas),
+      S_(members.size()),
+      active_(members.size()) {
+  if (members_.empty()) {
+    throw std::invalid_argument("BsbPackEngine: need >= 1 member");
+  }
+  if (replicas == 0) {
+    throw std::invalid_argument("BsbPackEngine: need >= 1 replica");
+  }
+  if (params.max_iterations == 0 || params.dt <= 0.0 ||
+      params.detuning <= 0.0) {
+    throw std::invalid_argument("BsbPackEngine: bad parameters");
+  }
+  for (const PackMember& m : members_) {
+    if (m.model == nullptr || !m.model->finalized()) {
+      throw std::invalid_argument(
+          "BsbPackEngine: every member model must be finalized");
+    }
+  }
+  n_ = members_[0].model->num_spins();
+  for (const PackMember& m : members_) {
+    if (m.model->num_spins() != n_) {
+      throw std::invalid_argument(
+          "BsbPackEngine: members must share num_spins (bucket by n)");
+    }
+    if (!m.initial_positions.empty() && m.initial_positions.size() != n_) {
+      throw std::invalid_argument("BsbPackEngine: initial_positions size");
+    }
+  }
+
+  // Auto policy: the slot layout streams a dense n*n plane per slot every
+  // force pass, so it is gated on that working set staying near cache
+  // size (the K = 64 x 64-spin micro-bench point -- 2 MB -- is already
+  // bandwidth-bound but still ahead of looped solves; measured end-to-end
+  // it beats kBlocks by ~2x on DALTA's small candidate COPs at any
+  // R <= 8). Past the gate the composite-CSR layout wins: no structural
+  // zeros, memory linear in the members' real edge counts.
+  constexpr std::size_t kSlotPlaneDoubles = (4u << 20) / sizeof(double);
+  layout_ = layout == PackLayout::kAuto
+                ? (n_ * n_ * S_ <= kSlotPlaneDoubles && R_ <= 8
+                       ? PackLayout::kSlots
+                       : PackLayout::kBlocks)
+                : layout;
+
+  // Per-member c0 from the member's own coupling RMS — the exact
+  // standalone expression, so a packed member integrates with the same
+  // coupling strength it would alone.
+  const std::size_t M = S_;
+  c0_.resize(M);
+  for (std::size_t m = 0; m < M; ++m) {
+    double c0 = params_.c0;
+    if (c0 <= 0.0) {
+      const double rms = members_[m].model->coupling_rms();
+      c0 = rms > 0.0 ? 0.5 * params_.detuning /
+                           (rms * std::sqrt(static_cast<double>(n_)))
+                     : 1.0;
+    }
+    c0_[m] = c0;
+  }
+
+  x_.assign(n_ * R_ * S_, 0.0);
+  y_.assign(n_ * R_ * S_, 0.0);
+  force_.assign(n_ * R_ * S_, 0.0);
+
+  if (layout_ == PackLayout::kSlots) {
+    // Per-slot dense block-diagonal weight/bias planes: wp[(i*n + j)*S + s]
+    // is J_s(i, j), 0.0 where member s has no coupling. Structural zeros
+    // contribute +-0.0 per edge, which leaves the h-seeded accumulators
+    // bit-identical to the member's CSR traversal (same argument as the
+    // per-instance dense kernels; finalize() stores neighbors ascending).
+    hp_.assign(n_ * S_, 0.0);
+    wp_.assign(n_ * n_ * S_, 0.0);
+    slot_of_member_.resize(M);
+    member_of_slot_.resize(M);
+    c0_slot_.resize(M);
+    for (std::size_t m = 0; m < M; ++m) {
+      slot_of_member_[m] = m;
+      member_of_slot_[m] = m;
+      c0_slot_[m] = c0_[m];
+      const IsingModel& model = *members_[m].model;
+      for (std::size_t i = 0; i < n_; ++i) {
+        hp_[i * S_ + m] = model.bias(i);
+        for (const auto& [j, w] : model.neighbors(i)) {
+          wp_[(i * n_ + static_cast<std::size_t>(j)) * S_ + m] = w;
+        }
+      }
+    }
+    pack_kernel_ = kernels::select_pack_force_kernel(params_.kernel,
+                                                     cpu_features());
+    pack_fn_ = params_.discrete ? pack_kernel_.discrete
+                                : pack_kernel_.continuous;
+    kernel_name_ = pack_kernel_.name;
+    pack_planes_ = kernels::PackForcePlanes{};
+    pack_planes_.x = x_.data();
+    pack_planes_.force = force_.data();
+    pack_planes_.hp = hp_.data();
+    pack_planes_.wp = wp_.data();
+    pack_planes_.n = n_;
+    pack_planes_.replicas = R_;
+    pack_planes_.slots = S_;
+    pack_planes_.active = active_;
+  } else {
+    // Composite block-diagonal CSR: member m occupies rows
+    // [m*n, (m+1)*n), columns offset by m*n, in the standard
+    // replica-contiguous layout — the existing per-instance force kernels
+    // run one active block's row range at a time, unchanged. The dense
+    // axis is unavailable (no composite dense plane), so a kDense request
+    // falls to the widest CSR ISA — still bit-identical.
+    row_start_.assign(S_ * n_ + 1, 0);
+    std::size_t nnz = 0;
+    for (std::size_t m = 0; m < M; ++m) {
+      const IsingModel& model = *members_[m].model;
+      for (std::size_t i = 0; i < n_; ++i) {
+        nnz += model.neighbors(i).size();
+        row_start_[m * n_ + i + 1] = nnz;
+      }
+    }
+    cols_.resize(nnz);
+    weights_.resize(nnz);
+    h_.resize(S_ * n_);
+    for (std::size_t m = 0; m < M; ++m) {
+      const IsingModel& model = *members_[m].model;
+      const std::uint32_t col_base = static_cast<std::uint32_t>(m * n_);
+      for (std::size_t i = 0; i < n_; ++i) {
+        h_[m * n_ + i] = model.bias(i);
+        std::size_t e = row_start_[m * n_ + i];
+        for (const auto& [j, w] : model.neighbors(i)) {
+          cols_[e] = col_base + j;
+          weights_[e] = w;
+          ++e;
+        }
+      }
+    }
+    block_active_.assign(M, 1);
+    block_kernel_ = kernels::select_force_kernel(params_.kernel,
+                                                 cpu_features(),
+                                                 /*dense_available=*/false);
+    force_fn_ = params_.discrete ? block_kernel_.discrete
+                                 : block_kernel_.continuous;
+    kernel_name_ = block_kernel_.name;
+    planes_ = kernels::ForcePlanes{};
+    planes_.x = x_.data();
+    planes_.force = force_.data();
+    planes_.h = h_.data();
+    planes_.row_start = row_start_.data();
+    planes_.cols = cols_.data();
+    planes_.weights = weights_.data();
+    planes_.n = S_ * n_;
+    planes_.replicas = R_;
+  }
+
+  // Standalone replica seeding per member: Rng(seed + r * 0x9e3779b9),
+  // x from initial_positions first, then the momenta sweep — the same
+  // draw order as BsbBatchEngine.
+  for (std::size_t m = 0; m < M; ++m) {
+    const PackMember& member = members_[m];
+    for (std::size_t r = 0; r < R_; ++r) {
+      Rng rng(member.seed + 0x9e3779b9u * r);
+      if (!member.initial_positions.empty()) {
+        for (std::size_t i = 0; i < n_; ++i) {
+          const double xi = member.initial_positions[i];
+          if (layout_ == PackLayout::kSlots) {
+            x_[(i * R_ + r) * S_ + m] = xi;
+          } else {
+            x_[m * n_ * R_ + i * R_ + r] = xi;
+          }
+        }
+      }
+      for (std::size_t i = 0; i < n_; ++i) {
+        const double yi = rng.next_double(-0.1, 0.1);
+        if (layout_ == PackLayout::kSlots) {
+          y_[(i * R_ + r) * S_ + m] = yi;
+        } else {
+          y_[m * n_ * R_ + i * R_ + r] = yi;
+        }
+      }
+    }
+  }
+
+  spins_.resize(M * n_ * R_);
+  for (std::size_t m = 0; m < M; ++m) {
+    for (std::size_t lane = 0; lane < n_ * R_; ++lane) {
+      spins_[m * n_ * R_ + lane] =
+          member_x(m, lane) >= 0.0 ? std::int8_t{1} : std::int8_t{-1};
+    }
+  }
+  scratch_spins_.resize(n_);
+  scratch_x_.resize(n_ * R_);
+  scratch_y_.resize(n_ * R_);
+  energies_.resize(M * R_);
+  dirty_.assign(M * R_, 0);
+  for (std::size_t m = 0; m < M; ++m) {
+    for (std::size_t r = 0; r < R_; ++r) {
+      energies_[m * R_ + r] = exact_energy(m, r);
+    }
+  }
+}
+
+double BsbPackEngine::member_x(std::size_t m, std::size_t lane) const {
+  if (layout_ == PackLayout::kSlots) {
+    return x_[lane * S_ + slot_of_member_[m]];
+  }
+  return x_[m * n_ * R_ + lane];
+}
+
+void BsbPackEngine::gather_member(std::size_t m, std::vector<double>& x_out,
+                                  std::vector<double>& y_out) const {
+  const std::size_t s = slot_of_member_[m];
+  for (std::size_t lane = 0; lane < n_ * R_; ++lane) {
+    x_out[lane] = x_[lane * S_ + s];
+    y_out[lane] = y_[lane * S_ + s];
+  }
+}
+
+void BsbPackEngine::scatter_member(std::size_t m,
+                                   const std::vector<double>& x_in,
+                                   const std::vector<double>& y_in) {
+  const std::size_t s = slot_of_member_[m];
+  for (std::size_t lane = 0; lane < n_ * R_; ++lane) {
+    x_[lane * S_ + s] = x_in[lane];
+    y_[lane * S_ + s] = y_in[lane];
+  }
+}
+
+void BsbPackEngine::compute_forces() {
+  // No pool sharding here: members are tiny by design and callers
+  // parallelize across whole packs instead (PackedCoreCopSolver).
+  if (layout_ == PackLayout::kSlots) {
+    pack_planes_.active = active_;
+    pack_fn_(pack_planes_, 0, n_);
+    return;
+  }
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    if (block_active_[m] != 0) {
+      force_fn_(planes_, m * n_, (m + 1) * n_);
+    }
+  }
+}
+
+void BsbPackEngine::step() {
+  const auto total = static_cast<double>(params_.max_iterations);
+  // Shared pump ramp: every member started at step 0 and advances in
+  // lockstep, so the global step counter equals each member's own —
+  // bit-for-bit the standalone ramp expression.
+  const double a =
+      params_.detuning * (static_cast<double>(step_) + 1.0) / total;
+  const double stiffness = params_.detuning - a;
+
+  compute_forces();
+
+  const double dt = params_.dt;
+  const double detuning = params_.detuning;
+  if (layout_ == PackLayout::kSlots) {
+    const std::size_t S = S_;
+    const std::size_t A = active_;
+    for (std::size_t g = 0; g < n_ * R_; ++g) {
+      double* yg = y_.data() + g * S;
+      double* xg = x_.data() + g * S;
+      const double* fg = force_.data() + g * S;
+      for (std::size_t s = 0; s < A; ++s) {
+        // Standalone expression tree per lane, with the slot's own c0.
+        yg[s] += dt * (-stiffness * xg[s] + c0_slot_[s] * fg[s]);
+        const double xk = xg[s] + dt * detuning * yg[s];
+        const double lo = xk < -1.0 ? -1.0 : xk;
+        const double clamped = lo > 1.0 ? 1.0 : lo;
+        yg[s] = clamped == xk ? yg[s] : 0.0;
+        xg[s] = clamped;
+      }
+    }
+  } else {
+    for (std::size_t m = 0; m < members_.size(); ++m) {
+      if (block_active_[m] == 0) {
+        continue;
+      }
+      const double c0 = c0_[m];
+      const std::size_t base = m * n_ * R_;
+      for (std::size_t k = base; k < base + n_ * R_; ++k) {
+        y_[k] += dt * (-stiffness * x_[k] + c0 * force_[k]);
+        const double xk = x_[k] + dt * detuning * y_[k];
+        const double lo = xk < -1.0 ? -1.0 : xk;
+        const double clamped = lo > 1.0 ? 1.0 : lo;
+        y_[k] = clamped == xk ? y_[k] : 0.0;
+        x_[k] = clamped;
+      }
+    }
+  }
+  ++step_;
+}
+
+void BsbPackEngine::flip(std::size_t m, std::size_t i, std::size_t r,
+                         std::int8_t new_sign) {
+  // The standalone flip telescope against the member's own adjacency
+  // (model.neighbors order == the engine's CSR edge order).
+  const std::int8_t* sm = spins_.data() + m * n_ * R_;
+  const std::int8_t old_sign = sm[i * R_ + r];
+  const IsingModel& model = *members_[m].model;
+  double field = model.bias(i);
+  for (const auto& [j, w] : model.neighbors(i)) {
+    field +=
+        w * static_cast<double>(sm[static_cast<std::size_t>(j) * R_ + r]);
+  }
+  energies_[m * R_ + r] += 2.0 * static_cast<double>(old_sign) * field;
+  spins_[m * n_ * R_ + i * R_ + r] = new_sign;
+  dirty_[m * R_ + r] = 1;
+}
+
+void BsbPackEngine::sample(std::size_t m) {
+  // Standalone flip discovery order: i outer, r inner.
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t r = 0; r < R_; ++r) {
+      const double xv = member_x(m, i * R_ + r);
+      const std::int8_t ns = xv >= 0.0 ? std::int8_t{1} : std::int8_t{-1};
+      if (ns != spins_[m * n_ * R_ + i * R_ + r]) {
+        flip(m, i, r, ns);
+      }
+    }
+  }
+}
+
+double BsbPackEngine::exact_energy(std::size_t m, std::size_t r) {
+  copy_member_spins(m, r, scratch_spins_);
+  return members_[m].model->energy(scratch_spins_);
+}
+
+void BsbPackEngine::copy_member_spins(std::size_t m, std::size_t r,
+                                      std::vector<std::int8_t>& out) const {
+  out.resize(n_);
+  const std::int8_t* sm = spins_.data() + m * n_ * R_;
+  for (std::size_t i = 0; i < n_; ++i) {
+    out[i] = sm[i * R_ + r];
+  }
+}
+
+double BsbPackEngine::consider_all(std::size_t m, IsingSolveResult& result) {
+  // Standalone best-energy slack filter per member (see
+  // BsbBatchEngine::run): tracked energies within flip-rounding slack of
+  // the incumbent trigger one from-scratch recomputation and are snapped.
+  double best_now = energies_[m * R_];
+  for (std::size_t r = 0; r < R_; ++r) {
+    const double slack = 1e-9 + 1e-12 * std::fabs(result.energy);
+    if (dirty_[m * R_ + r] != 0 &&
+        energies_[m * R_ + r] < result.energy + slack) {
+      const double es = exact_energy(m, r);
+      energies_[m * R_ + r] = es;
+      dirty_[m * R_ + r] = 0;
+      if (es < result.energy) {
+        result.energy = es;
+        copy_member_spins(m, r, result.spins);
+      }
+    }
+    best_now = std::min(best_now, energies_[m * R_ + r]);
+  }
+  return best_now;
+}
+
+void BsbPackEngine::retire_slot(std::size_t m) {
+  // Swap-compact the retired member's slot out of the active prefix so
+  // the pack kernels keep streaming a dense front of live instances. The
+  // force plane is not swapped: it is recomputed from x before its next
+  // read, and kernels touch only the active prefix.
+  const std::size_t s = slot_of_member_[m];
+  const std::size_t last = active_ - 1;
+  if (s != last) {
+    for (std::size_t g = 0; g < n_ * R_; ++g) {
+      std::swap(x_[g * S_ + s], x_[g * S_ + last]);
+      std::swap(y_[g * S_ + s], y_[g * S_ + last]);
+    }
+    for (std::size_t g = 0; g < n_; ++g) {
+      std::swap(hp_[g * S_ + s], hp_[g * S_ + last]);
+    }
+    for (std::size_t g = 0; g < n_ * n_; ++g) {
+      std::swap(wp_[g * S_ + s], wp_[g * S_ + last]);
+    }
+    std::swap(c0_slot_[s], c0_slot_[last]);
+    const std::size_t other = member_of_slot_[last];
+    member_of_slot_[s] = other;
+    slot_of_member_[other] = s;
+    member_of_slot_[last] = m;
+    slot_of_member_[m] = last;
+  }
+  --active_;
+}
+
+std::vector<IsingSolveResult> BsbPackEngine::run(
+    const PackPlaneHook& plane_hook) {
+  const std::size_t M = members_.size();
+  std::vector<IsingSolveResult> results(M);
+  for (std::size_t m = 0; m < M; ++m) {
+    copy_member_spins(m, 0, results[m].spins);
+    results[m].energy = energies_[m * R_];
+  }
+
+  const std::size_t sample_every =
+      params_.stop.sample_interval > 0 ? params_.stop.sample_interval : 10;
+  std::vector<DynamicStopMonitor> monitors;
+  monitors.reserve(M);
+  for (std::size_t m = 0; m < M; ++m) {
+    monitors.emplace_back(params_.stop);
+  }
+
+  TraceRecorder* tracer = ctx_ != nullptr ? ctx_->tracer() : nullptr;
+  const TraceSpan run_span(tracer, "ising/pack/run");
+  // Per-block spans: one open span per member, closed at retirement, so a
+  // trace shows exactly how long each instance stayed live in the pack.
+  std::vector<TraceRecorder::SpanToken> member_spans(M);
+  if (tracer != nullptr) {
+    for (std::size_t m = 0; m < M; ++m) {
+      member_spans[m] = tracer->begin("ising/pack/member");
+    }
+  }
+
+  QorRecorder* qor = ctx_ != nullptr ? ctx_->qor() : nullptr;
+  if (ctx_ != nullptr) {
+    ctx_->telemetry().add("ising/pack/runs");
+    ctx_->telemetry().add("ising/pack/members", M);
+    const std::string kernel_counter =
+        std::string("ising/pack/kernel/") + kernel_name_;
+    ctx_->telemetry().add(kernel_counter);
+    if (qor != nullptr) {
+      qor->add(kernel_counter);
+    }
+  }
+
+  std::vector<std::uint8_t> live(M, 1);
+  std::size_t retired_early = 0;
+
+  auto finish_member = [&](std::size_t m, bool variance) {
+    live[m] = 0;
+    results[m].iterations = step_;
+    results[m].stopped_early = true;
+    ++retired_early;
+    if (ctx_ != nullptr) {
+      ctx_->telemetry().add(variance ? "ising/pack/dynamic_stops"
+                                     : "ising/pack/deadline_hits");
+    }
+    trace_instant(tracer, variance ? "ising/pack/dynamic_stop"
+                                   : "ising/pack/deadline_hit");
+    if (tracer != nullptr) {
+      tracer->end(member_spans[m]);
+    }
+    if (layout_ == PackLayout::kSlots) {
+      retire_slot(m);
+    } else {
+      block_active_[m] = 0;
+      --active_;
+    }
+  };
+
+  // Deadline-at-entry: a pack started after the deadline expired (e.g. a
+  // later restart) must not burn a whole pump ramp before noticing.
+  if (ctx_ != nullptr && ctx_->expired()) {
+    for (std::size_t m = 0; m < M; ++m) {
+      finish_member(m, /*variance=*/false);
+    }
+  }
+
+  while (step_ < params_.max_iterations && active_ > 0) {
+    step();
+    if (step_ % sample_every == 0) {
+      for (std::size_t m = 0; m < M; ++m) {
+        if (live[m] == 0) {
+          continue;
+        }
+        if (plane_hook) {
+          if (layout_ == PackLayout::kBlocks) {
+            plane_hook(m,
+                       std::span<double>(x_.data() + m * n_ * R_, n_ * R_),
+                       std::span<double>(y_.data() + m * n_ * R_, n_ * R_),
+                       R_);
+          } else {
+            gather_member(m, scratch_x_, scratch_y_);
+            plane_hook(m, std::span<double>(scratch_x_),
+                       std::span<double>(scratch_y_), R_);
+            scatter_member(m, scratch_x_, scratch_y_);
+          }
+        }
+        sample(m);
+        const double best_now = consider_all(m, results[m]);
+        // Standalone ordering: the variance verdict first, the deadline
+        // only when the member did not already stop. Retirement points
+        // double as the deadline-check granularity for tiny solves.
+        const bool variance_stop = monitors[m].observe(best_now);
+        const bool deadline_stop =
+            !variance_stop && ctx_ != nullptr && ctx_->expired();
+        if (variance_stop || deadline_stop) {
+          finish_member(m, variance_stop);
+        }
+      }
+    }
+  }
+
+  for (std::size_t m = 0; m < M; ++m) {
+    if (live[m] == 0) {
+      continue;
+    }
+    // Members that ran the full ramp: capture flips from any trailing
+    // unsampled steps, exactly like the standalone post-loop pass.
+    sample(m);
+    consider_all(m, results[m]);
+    results[m].iterations = step_;
+    if (tracer != nullptr) {
+      tracer->end(member_spans[m]);
+    }
+  }
+
+  if (ctx_ != nullptr) {
+    std::size_t member_steps = 0;
+    for (std::size_t m = 0; m < M; ++m) {
+      member_steps += results[m].iterations;
+    }
+    ctx_->telemetry().add("ising/pack/steps", member_steps);
+    ctx_->telemetry().add("ising/pack/retired", retired_early);
+  }
+  return results;
+}
+
+}  // namespace adsd

@@ -1,0 +1,208 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "ising/bsb.hpp"
+#include "ising/bsb_batch.hpp"
+#include "ising/kernels/force_kernels.hpp"
+#include "ising/model.hpp"
+#include "support/aligned.hpp"
+
+namespace adsd {
+
+class RunContext;
+
+/// How BsbPackEngine lays out the packed instances (DESIGN.md §4.7).
+///
+///  - kSlots:  slot-minor SoA — oscillator i of replica r of the instance
+///             in slot s at x[(i * R + r) * S + s] — with a per-slot
+///             block-diagonal dense weight plane, advanced by the
+///             dedicated pack force kernels that vectorize ACROSS
+///             INSTANCES. This is the fast path for small replica counts
+///             (the DALTA hot path runs R = 1, where the per-instance
+///             kernels degenerate to scalar lanes); the dense plane costs
+///             ~2x the CSR flops, which the full-width SIMD pays back
+///             many times over at R <= 2.
+///  - kBlocks: one composite block-diagonal CSR — instance s occupies
+///             rows [s*n, (s+1)*n), columns offset by s*n — in the
+///             standard replica-contiguous layout, advanced by the
+///             existing per-instance force kernels one active block's row
+///             range at a time. At R > 2 those kernels already fill the
+///             vector width across replicas, so the composite CSR keeps
+///             their flop count while amortizing per-solve overhead.
+///  - kAuto:   kSlots while the per-slot dense weight planes stay near
+///             cache size (n * n * slots <= 4 MB of doubles, R <= 8),
+///             else kBlocks.
+///
+/// Both layouts produce bit-identical results (every kernel tier shares
+/// the per-lane accumulation-order contract), so the choice is purely a
+/// throughput decision.
+enum class PackLayout { kAuto, kSlots, kBlocks };
+
+const char* pack_layout_name(PackLayout layout);
+PackLayout parse_pack_layout(const std::string& name);
+
+/// One instance of a packed solve. The model must be finalized, have the
+/// same num_spins() as every other member, and outlive the engine;
+/// initial_positions (when non-empty, size n) is the member's replica-0
+/// warm start, also borrowed for the engine's lifetime.
+struct PackMember {
+  const IsingModel* model = nullptr;
+  std::uint64_t seed = 1;
+  std::span<const double> initial_positions = {};
+};
+
+/// Per-member intervention hook: called at every sampling point for each
+/// live member with its state in the STANDALONE layout (element i of
+/// replica r at index i * replicas + r) — the same planes an
+/// SbBatchPlaneHook sees, plus the member index. In the kBlocks layout the
+/// spans alias engine storage (zero copy); in kSlots the engine gathers
+/// into a scratch plane before the call and scatters mutations back, so
+/// hooks written against BsbBatchEngine (the Theorem-3 reset) work
+/// unchanged and see bit-identical values either way.
+using PackPlaneHook = std::function<void(
+    std::size_t member, std::span<double> x, std::span<double> y,
+    std::size_t replicas)>;
+
+/// Multi-instance packed bSB: K independent same-n Ising instances
+/// advanced in lockstep so one force pass fills K x R replica planes
+/// (DESIGN.md §4.7). Per-member state is fully independent — per-member
+/// dynamic-stop variance windows, per-member incremental energy tracking
+/// and best selection, per-member early retirement — and every member's
+/// trajectory is bit-identical to the same instance solved alone through
+/// BsbBatchEngine with SbParams.seed = member.seed:
+///
+///  - replica r of member m seeds Rng(member.seed + r * 0x9e3779b9) with
+///    the standalone draw order (x from initial_positions, then the
+///    momenta sweep),
+///  - c0 is derived per member from its own coupling RMS when
+///    params.c0 <= 0,
+///  - the Euler update uses the standalone expression tree per lane (the
+///    pump ramp reads the shared step counter, which equals the member's
+///    own step count because all members start at step 0),
+///  - sampling, the flip telescope, the best-energy slack filter, and the
+///    variance-stop/deadline ordering replicate BsbBatchEngine::run()
+///    per member.
+///
+/// A member whose variance window closes (or whose context deadline has
+/// expired — retirement points double as the deadline checks for tiny
+/// solves) is retired immediately: in kSlots its slot is swap-compacted
+/// out of the active prefix so the force kernels touch only live
+/// instances; in kBlocks its row range is simply skipped. The engine run
+/// ends when every member has retired or the shared pump ramp completes.
+///
+/// The shared SbParams supplies everything except seed/initial_positions,
+/// which come from each PackMember (SbParams.seed and
+/// SbParams.initial_positions are ignored). One intentional difference
+/// from BsbBatchEngine: the packed run never takes the budget-aware
+/// iteration rescale (it would couple members through the shared ramp),
+/// so under a positive RunContext time budget a packed solve may iterate
+/// where a standalone one rescaled. Deadline-less contexts — and the
+/// parity tests — are unaffected.
+///
+/// The engine does not shard force rows over the pool: members are tiny by
+/// design, and callers (PackedCoreCopSolver) parallelize across packs
+/// instead.
+class BsbPackEngine {
+ public:
+  BsbPackEngine(std::span<const PackMember> members, const SbParams& params,
+                std::size_t replicas, PackLayout layout = PackLayout::kAuto);
+
+  /// Attaches an execution context (must outlive the engine; nullptr
+  /// detaches): deadline checks at retirement points, ising/pack/*
+  /// telemetry, per-member trace spans.
+  void set_context(const RunContext* ctx) { ctx_ = ctx; }
+
+  std::size_t num_members() const { return members_.size(); }
+  std::size_t num_spins() const { return n_; }
+  std::size_t replicas() const { return R_; }
+  std::size_t steps_done() const { return step_; }
+
+  /// Resolved layout (never kAuto).
+  PackLayout layout() const { return layout_; }
+
+  /// Resolved force-kernel name: "pack-scalar|pack-avx2|pack-avx512" in
+  /// kSlots, the per-instance CSR kernel name in kBlocks.
+  const char* kernel_name() const { return kernel_name_; }
+
+  /// One Euler step for every replica of every live member.
+  void step();
+
+  /// Force evaluation alone (fills the internal force plane from the
+  /// current positions); exposed for the micro-benchmarks.
+  void compute_forces();
+
+  /// Full packed solve. Returns one IsingSolveResult per member, in
+  /// member order; `iterations` counts Euler steps of one replica of that
+  /// member (callers scale by replicas(), as with BsbBatchEngine). At
+  /// each sampling point `plane_hook` (if any) runs once per live member
+  /// before that member's energy sampling.
+  std::vector<IsingSolveResult> run(const PackPlaneHook& plane_hook = nullptr);
+
+ private:
+  double member_x(std::size_t m, std::size_t lane) const;
+  void gather_member(std::size_t m, std::vector<double>& x_out,
+                     std::vector<double>& y_out) const;
+  void scatter_member(std::size_t m, const std::vector<double>& x_in,
+                      const std::vector<double>& y_in);
+  void flip(std::size_t m, std::size_t i, std::size_t r, std::int8_t new_sign);
+  void sample(std::size_t m);
+  double exact_energy(std::size_t m, std::size_t r);
+  void copy_member_spins(std::size_t m, std::size_t r,
+                         std::vector<std::int8_t>& out) const;
+  double consider_all(std::size_t m, IsingSolveResult& result);
+  void retire_slot(std::size_t m);
+
+  std::vector<PackMember> members_;
+  SbParams params_;
+  const RunContext* ctx_ = nullptr;
+  PackLayout layout_;
+  std::size_t n_;
+  std::size_t R_;
+  std::size_t S_;       // slot capacity == num_members()
+  std::size_t active_;  // live members
+  std::size_t step_ = 0;
+  const char* kernel_name_ = "pack-scalar";
+
+  std::vector<double> c0_;  // per member
+
+  // kSlots planes: slot-minor state + per-slot dense weight/bias planes.
+  AlignedVector<double> hp_;  // n * S
+  AlignedVector<double> wp_;  // n * n * S
+  std::vector<double> c0_slot_;          // per slot, compacted with the state
+  std::vector<std::size_t> slot_of_member_;
+  std::vector<std::size_t> member_of_slot_;
+  kernels::SelectedPackForceKernel pack_kernel_;
+  kernels::PackForceRowsFn pack_fn_ = nullptr;
+  kernels::PackForcePlanes pack_planes_;
+
+  // kBlocks planes: composite block-diagonal CSR in the standard layout.
+  std::vector<std::size_t> row_start_;  // S * n + 1
+  AlignedVector<std::uint32_t> cols_;
+  AlignedVector<double> weights_;
+  AlignedVector<double> h_;
+  std::vector<std::uint8_t> block_active_;  // per member
+  kernels::SelectedForceKernel block_kernel_;
+  kernels::ForceRowsFn force_fn_ = nullptr;
+  kernels::ForcePlanes planes_;
+
+  // State planes: n * R * S doubles (kSlots: slot-minor; kBlocks: member-
+  // major standalone layout).
+  AlignedVector<double> x_;
+  AlignedVector<double> y_;
+  AlignedVector<double> force_;
+
+  // Per-member incremental-energy tracking, member-major standalone
+  // layout: spins_[m * n * R + i * R + r].
+  AlignedVector<std::int8_t> spins_;
+  std::vector<double> energies_;      // M * R
+  std::vector<std::uint8_t> dirty_;   // M * R
+  std::vector<std::int8_t> scratch_spins_;  // n
+  std::vector<double> scratch_x_;     // n * R hook gather plane (kSlots)
+  std::vector<double> scratch_y_;
+};
+
+}  // namespace adsd

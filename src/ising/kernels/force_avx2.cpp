@@ -42,6 +42,18 @@ inline double edge_term_scalar(double w, double xj) {
   }
 }
 
+/// 2-lane variant for the pack kernel's slot tail (S mod 4 in {2, 3}):
+/// same per-lane arithmetic, so the bit-exactness contract holds at any
+/// active-slot count.
+template <bool Discrete>
+inline __m128d edge_term_128(__m128d w, __m128d xj) {
+  if constexpr (Discrete) {
+    const __m128d ge = _mm_cmp_pd(xj, _mm_setzero_pd(), _CMP_GE_OQ);
+    xj = _mm_blendv_pd(_mm_set1_pd(-1.0), _mm_set1_pd(1.0), ge);
+  }
+  return _mm_mul_pd(w, xj);
+}
+
 template <bool Discrete>
 void csr_force(const ForcePlanes& p, std::size_t row_begin,
                std::size_t row_end) {
@@ -135,6 +147,73 @@ void dense_force(const ForcePlanes& p, std::size_t row_begin,
   }
 }
 
+// Slot-packed kernel (DESIGN.md §4.7): the vector axis is the slot axis,
+// so both the weight and the position are vector loads (each slot solves a
+// different instance -- no broadcastable scalar weight). Slot blocks of 8
+// (two accumulators) / 4 / 1 are peeled over the active prefix exactly
+// like the replica peel above; each slot's accumulation order matches the
+// per-instance kernels, keeping packed solves bit-exact.
+template <bool Discrete>
+void pack_force(const PackForcePlanes& p, std::size_t row_begin,
+                std::size_t row_end) {
+  const std::size_t R = p.replicas;
+  const std::size_t S = p.slots;
+  const std::size_t n = p.n;
+  const std::size_t A = p.active;
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const double* hi = p.hp + i * S;
+    const double* wi = p.wp + i * n * S;
+    for (std::size_t r = 0; r < R; ++r) {
+      const double* xr = p.x + r * S;
+      double* fi = p.force + (i * R + r) * S;
+      std::size_t s = 0;
+      for (; s + 8 <= A; s += 8) {
+        __m256d acc0 = _mm256_loadu_pd(hi + s);
+        __m256d acc1 = _mm256_loadu_pd(hi + s + 4);
+        for (std::size_t j = 0; j < n; ++j) {
+          const double* wj = wi + j * S + s;
+          const double* xj = xr + j * R * S + s;
+          acc0 = _mm256_add_pd(
+              acc0, edge_term<Discrete>(_mm256_loadu_pd(wj),
+                                        _mm256_loadu_pd(xj)));
+          acc1 = _mm256_add_pd(
+              acc1, edge_term<Discrete>(_mm256_loadu_pd(wj + 4),
+                                        _mm256_loadu_pd(xj + 4)));
+        }
+        _mm256_storeu_pd(fi + s, acc0);
+        _mm256_storeu_pd(fi + s + 4, acc1);
+      }
+      if (s + 4 <= A) {
+        __m256d acc = _mm256_loadu_pd(hi + s);
+        for (std::size_t j = 0; j < n; ++j) {
+          acc = _mm256_add_pd(
+              acc, edge_term<Discrete>(_mm256_loadu_pd(wi + j * S + s),
+                                       _mm256_loadu_pd(xr + j * R * S + s)));
+        }
+        _mm256_storeu_pd(fi + s, acc);
+        s += 4;
+      }
+      if (s + 2 <= A) {
+        __m128d acc = _mm_loadu_pd(hi + s);
+        for (std::size_t j = 0; j < n; ++j) {
+          acc = _mm_add_pd(
+              acc, edge_term_128<Discrete>(_mm_loadu_pd(wi + j * S + s),
+                                           _mm_loadu_pd(xr + j * R * S + s)));
+        }
+        _mm_storeu_pd(fi + s, acc);
+        s += 2;
+      }
+      for (; s < A; ++s) {
+        double acc = hi[s];
+        for (std::size_t j = 0; j < n; ++j) {
+          acc += edge_term_scalar<Discrete>(wi[j * S + s], xr[j * R * S + s]);
+        }
+        fi[s] = acc;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void csr_force_avx2(const ForcePlanes& p, std::size_t row_begin,
@@ -152,6 +231,14 @@ void dense_force_avx2(const ForcePlanes& p, std::size_t row_begin,
 void dense_force_avx2_d(const ForcePlanes& p, std::size_t row_begin,
                         std::size_t row_end) {
   dense_force<true>(p, row_begin, row_end);
+}
+void pack_force_avx2(const PackForcePlanes& p, std::size_t row_begin,
+                     std::size_t row_end) {
+  pack_force<false>(p, row_begin, row_end);
+}
+void pack_force_avx2_d(const PackForcePlanes& p, std::size_t row_begin,
+                       std::size_t row_end) {
+  pack_force<true>(p, row_begin, row_end);
 }
 
 }  // namespace adsd::kernels::detail

@@ -34,6 +34,19 @@ inline double edge_term_scalar(double w, double xj) {
   }
 }
 
+/// 4-lane variant for the pack kernel's slot tail (S mod 8 in {4..7}):
+/// AVX is a prerequisite of AVX-512F, so __m256d is available in this TU.
+/// Same per-lane arithmetic, keeping the bit-exactness contract at any
+/// active-slot count.
+template <bool Discrete>
+inline __m256d edge_term_256(__m256d w, __m256d xj) {
+  if constexpr (Discrete) {
+    const __m256d ge = _mm256_cmp_pd(xj, _mm256_setzero_pd(), _CMP_GE_OQ);
+    xj = _mm256_blendv_pd(_mm256_set1_pd(-1.0), _mm256_set1_pd(1.0), ge);
+  }
+  return _mm256_mul_pd(w, xj);
+}
+
 template <bool Discrete>
 void csr_force(const ForcePlanes& p, std::size_t row_begin,
                std::size_t row_end) {
@@ -127,6 +140,73 @@ void dense_force(const ForcePlanes& p, std::size_t row_begin,
   }
 }
 
+// Slot-packed kernel: zmm sibling of the AVX2 pack kernel, slot blocks of
+// 16 (two zmm accumulators) / 8 peeled over the active prefix with an
+// AVX-512-only scalar tail. Weights and positions are both vector loads
+// (per-slot J matrices), accumulation order per slot matches the
+// per-instance kernels.
+template <bool Discrete>
+void pack_force(const PackForcePlanes& p, std::size_t row_begin,
+                std::size_t row_end) {
+  const std::size_t R = p.replicas;
+  const std::size_t S = p.slots;
+  const std::size_t n = p.n;
+  const std::size_t A = p.active;
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const double* hi = p.hp + i * S;
+    const double* wi = p.wp + i * n * S;
+    for (std::size_t r = 0; r < R; ++r) {
+      const double* xr = p.x + r * S;
+      double* fi = p.force + (i * R + r) * S;
+      std::size_t s = 0;
+      for (; s + 16 <= A; s += 16) {
+        __m512d acc0 = _mm512_loadu_pd(hi + s);
+        __m512d acc1 = _mm512_loadu_pd(hi + s + 8);
+        for (std::size_t j = 0; j < n; ++j) {
+          const double* wj = wi + j * S + s;
+          const double* xj = xr + j * R * S + s;
+          acc0 = _mm512_add_pd(
+              acc0, edge_term<Discrete>(_mm512_loadu_pd(wj),
+                                        _mm512_loadu_pd(xj)));
+          acc1 = _mm512_add_pd(
+              acc1, edge_term<Discrete>(_mm512_loadu_pd(wj + 8),
+                                        _mm512_loadu_pd(xj + 8)));
+        }
+        _mm512_storeu_pd(fi + s, acc0);
+        _mm512_storeu_pd(fi + s + 8, acc1);
+      }
+      if (s + 8 <= A) {
+        __m512d acc = _mm512_loadu_pd(hi + s);
+        for (std::size_t j = 0; j < n; ++j) {
+          acc = _mm512_add_pd(
+              acc, edge_term<Discrete>(_mm512_loadu_pd(wi + j * S + s),
+                                       _mm512_loadu_pd(xr + j * R * S + s)));
+        }
+        _mm512_storeu_pd(fi + s, acc);
+        s += 8;
+      }
+      if (s + 4 <= A) {
+        __m256d acc = _mm256_loadu_pd(hi + s);
+        for (std::size_t j = 0; j < n; ++j) {
+          acc = _mm256_add_pd(
+              acc, edge_term_256<Discrete>(
+                       _mm256_loadu_pd(wi + j * S + s),
+                       _mm256_loadu_pd(xr + j * R * S + s)));
+        }
+        _mm256_storeu_pd(fi + s, acc);
+        s += 4;
+      }
+      for (; s < A; ++s) {
+        double acc = hi[s];
+        for (std::size_t j = 0; j < n; ++j) {
+          acc += edge_term_scalar<Discrete>(wi[j * S + s], xr[j * R * S + s]);
+        }
+        fi[s] = acc;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void csr_force_avx512(const ForcePlanes& p, std::size_t row_begin,
@@ -144,6 +224,14 @@ void dense_force_avx512(const ForcePlanes& p, std::size_t row_begin,
 void dense_force_avx512_d(const ForcePlanes& p, std::size_t row_begin,
                           std::size_t row_end) {
   dense_force<true>(p, row_begin, row_end);
+}
+void pack_force_avx512(const PackForcePlanes& p, std::size_t row_begin,
+                       std::size_t row_end) {
+  pack_force<false>(p, row_begin, row_end);
+}
+void pack_force_avx512_d(const PackForcePlanes& p, std::size_t row_begin,
+                         std::size_t row_end) {
+  pack_force<true>(p, row_begin, row_end);
 }
 
 }  // namespace adsd::kernels::detail

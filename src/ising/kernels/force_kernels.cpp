@@ -132,6 +132,81 @@ void dense_force_scalar_impl(const ForcePlanes& p, std::size_t row_begin,
   }
 }
 
+// ----------------------------------------------------- portable pack tier
+//
+// Slot-packed counterpart of dense_lanes: the lane-block walks `active`
+// consecutive SLOTS (independent instances) of one (row, replica) group
+// instead of consecutive replicas of one instance, and both the weight and
+// the position are per-slot loads (each slot is a different J matrix, so
+// there is no broadcastable scalar weight). Accumulation per slot is
+// hp[i*S+s], then += wp[(i*n+j)*S+s] * x[(j*R+r)*S+s] for ascending j --
+// identical order and rounding to the per-instance kernels, which is what
+// the packed-parity tests pin down.
+
+template <int W, bool Discrete>
+void pack_lanes(const PackForcePlanes& p, std::size_t slot0,
+                std::size_t row_begin, std::size_t row_end) {
+  const std::size_t R = p.replicas;
+  const std::size_t S = p.slots;
+  const std::size_t n = p.n;
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const double* hi = p.hp + i * S + slot0;
+    const double* wi = p.wp + i * n * S + slot0;
+    for (std::size_t r = 0; r < R; ++r) {
+      double acc[W];
+      for (int t = 0; t < W; ++t) {
+        acc[t] = hi[t];
+      }
+      const double* xr = p.x + r * S + slot0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double* wj = wi + j * S;
+        const double* xj = xr + j * R * S;
+        for (int t = 0; t < W; ++t) {
+          if constexpr (Discrete) {
+            acc[t] += wj[t] * (xj[t] >= 0.0 ? 1.0 : -1.0);
+          } else {
+            acc[t] += wj[t] * xj[t];
+          }
+        }
+      }
+      double* fi = p.force + (i * R + r) * S + slot0;
+      for (int t = 0; t < W; ++t) {
+        fi[t] = acc[t];
+      }
+    }
+  }
+}
+
+template <bool Discrete>
+void pack_force_scalar_impl(const PackForcePlanes& p, std::size_t row_begin,
+                            std::size_t row_end) {
+  const std::size_t A = p.active;
+  std::size_t s = 0;
+  while (s + 8 <= A) {
+    pack_lanes<8, Discrete>(p, s, row_begin, row_end);
+    s += 8;
+  }
+  if (s + 4 <= A) {
+    pack_lanes<4, Discrete>(p, s, row_begin, row_end);
+    s += 4;
+  }
+  if (s + 2 <= A) {
+    pack_lanes<2, Discrete>(p, s, row_begin, row_end);
+    s += 2;
+  }
+  if (s < A) {
+    pack_lanes<1, Discrete>(p, s, row_begin, row_end);
+  }
+}
+
+void pack_force_scalar(const PackForcePlanes& p, std::size_t b, std::size_t e) {
+  pack_force_scalar_impl<false>(p, b, e);
+}
+void pack_force_scalar_d(const PackForcePlanes& p, std::size_t b,
+                         std::size_t e) {
+  pack_force_scalar_impl<true>(p, b, e);
+}
+
 void csr_force_scalar(const ForcePlanes& p, std::size_t b, std::size_t e) {
   csr_force_scalar_impl<false>(p, b, e);
 }
@@ -185,6 +260,41 @@ const Tier& tier_for(ForceKernel isa) {
 #endif
     default:
       return kScalarTier;
+  }
+}
+
+struct PackTier {
+  PackForceRowsFn c;
+  PackForceRowsFn d;
+  const char* name;
+};
+
+constexpr PackTier kPackScalarTier = {pack_force_scalar, pack_force_scalar_d,
+                                      "pack-scalar"};
+
+#ifdef ADSD_HAVE_AVX2
+constexpr PackTier kPackAvx2Tier = {detail::pack_force_avx2,
+                                    detail::pack_force_avx2_d, "pack-avx2"};
+#endif
+
+#ifdef ADSD_HAVE_AVX512
+constexpr PackTier kPackAvx512Tier = {detail::pack_force_avx512,
+                                      detail::pack_force_avx512_d,
+                                      "pack-avx512"};
+#endif
+
+const PackTier& pack_tier_for(ForceKernel isa) {
+  switch (isa) {
+#ifdef ADSD_HAVE_AVX2
+    case ForceKernel::kAvx2:
+      return kPackAvx2Tier;
+#endif
+#ifdef ADSD_HAVE_AVX512
+    case ForceKernel::kAvx512:
+      return kPackAvx512Tier;
+#endif
+    default:
+      return kPackScalarTier;
   }
 }
 
@@ -317,6 +427,35 @@ std::vector<ForceKernel> selectable_force_kernels(bool dense_available) {
   if (dense_available) {
     out.push_back(ForceKernel::kDense);
   }
+  return out;
+}
+
+SelectedPackForceKernel select_pack_force_kernel(ForceKernel requested,
+                                                 const CpuFeatures& features) {
+  // Pack planes are dense per construction, so the dense axis collapses:
+  // kAuto and kDense both mean "widest ISA". Explicit ISA requests walk
+  // the same avx512 -> avx2 -> scalar chain as select_force_kernel().
+  ForceKernel isa = ForceKernel::kScalar;
+  if (requested == ForceKernel::kAuto || requested == ForceKernel::kDense) {
+    isa = best_isa(features);
+  } else if (requested == ForceKernel::kAvx512) {
+    if (force_kernel_supported(ForceKernel::kAvx512, features)) {
+      isa = ForceKernel::kAvx512;
+    } else if (force_kernel_supported(ForceKernel::kAvx2, features)) {
+      isa = ForceKernel::kAvx2;
+    }
+  } else if (requested == ForceKernel::kAvx2) {
+    if (force_kernel_supported(ForceKernel::kAvx2, features)) {
+      isa = ForceKernel::kAvx2;
+    }
+  }
+
+  const PackTier& tier = pack_tier_for(isa);
+  SelectedPackForceKernel out;
+  out.continuous = tier.c;
+  out.discrete = tier.d;
+  out.kind = isa;
+  out.name = tier.name;
   return out;
 }
 

@@ -94,4 +94,51 @@ SelectedForceKernel select_force_kernel(ForceKernel requested,
 /// micro-benchmarks enumerate. Always contains kScalar.
 std::vector<ForceKernel> selectable_force_kernels(bool dense_available);
 
+/// Pointer bundle of the multi-instance packed bSB engine (DESIGN.md §4.7):
+/// `slots` same-n Ising instances advanced by one force pass. The state is
+/// slot-minor SoA -- oscillator i of replica r of the instance in slot s
+/// lives at x[(i * replicas + r) * slots + s] -- so for a fixed (i, r) the
+/// instances are `slots` consecutive doubles and the kernels vectorize
+/// ACROSS INSTANCES at full width even at replicas == 1, where the
+/// per-instance CSR kernels degenerate to scalar code.
+///
+/// Weights are the block-diagonal dense model stored without the zero
+/// off-diagonal blocks: wp[(i * n + j) * slots + s] is J_s(i, j) of the
+/// instance in slot s (0.0 where that instance has no coupling), and
+/// hp[i * slots + s] is its bias h_s(i). Retired instances are swap-
+/// compacted to the tail, so kernels touch only the first `active` slots
+/// of every slot group.
+struct PackForcePlanes {
+  const double* x = nullptr;   // n * replicas * slots positions
+  double* force = nullptr;     // n * replicas * slots output
+  const double* hp = nullptr;  // n * slots per-slot biases
+  const double* wp = nullptr;  // n * n * slots per-slot dense couplings
+  std::size_t n = 0;           // spins per instance
+  std::size_t replicas = 0;    // lockstep replicas per instance
+  std::size_t slots = 0;       // slot capacity (the stride)
+  std::size_t active = 0;      // live instances, a prefix of every group
+};
+
+/// One pack-kernel entry point: fill force rows [row_begin, row_end) for
+/// every replica of every active slot. Rows are independent, exactly like
+/// ForceRowsFn.
+using PackForceRowsFn = void (*)(const PackForcePlanes& planes,
+                                 std::size_t row_begin, std::size_t row_end);
+
+/// Resolved pack-kernel dispatch decision; names are "pack-scalar",
+/// "pack-avx2", "pack-avx512".
+struct SelectedPackForceKernel {
+  PackForceRowsFn continuous = nullptr;
+  PackForceRowsFn discrete = nullptr;
+  ForceKernel kind = ForceKernel::kScalar;  // resolved ISA tier, never kAuto
+  const char* name = "pack-scalar";
+};
+
+/// Resolves a pack-kernel request against CPU features. The pack kernels
+/// are dense by construction, so kAuto and kDense both mean "widest ISA";
+/// explicit ISA requests walk the same avx512 -> avx2 -> scalar fallback
+/// chain as select_force_kernel(). Never fails.
+SelectedPackForceKernel select_pack_force_kernel(ForceKernel requested,
+                                                 const CpuFeatures& features);
+
 }  // namespace adsd::kernels

@@ -37,4 +37,21 @@ void dense_force_avx512(const ForcePlanes& p, std::size_t row_begin,
 void dense_force_avx512_d(const ForcePlanes& p, std::size_t row_begin,
                           std::size_t row_end);
 
+// Pack kernels (DESIGN.md §4.7): same contract per (instance, replica)
+// lane, but the vector axis is the slot axis -- `active` consecutive
+// instances per (row, replica) group. Each slot's accumulator still sees
+// hp then w * x per ascending column j with one rounding per multiply and
+// one per add, so a packed instance's trajectory is bit-identical to the
+// same instance run alone through any per-instance kernel.
+
+void pack_force_avx2(const PackForcePlanes& p, std::size_t row_begin,
+                     std::size_t row_end);
+void pack_force_avx2_d(const PackForcePlanes& p, std::size_t row_begin,
+                       std::size_t row_end);
+
+void pack_force_avx512(const PackForcePlanes& p, std::size_t row_begin,
+                       std::size_t row_end);
+void pack_force_avx512_d(const PackForcePlanes& p, std::size_t row_begin,
+                         std::size_t row_end);
+
 }  // namespace adsd::kernels::detail

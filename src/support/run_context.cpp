@@ -49,6 +49,16 @@ std::uint64_t RunContext::stream_seed(std::string_view tag, std::uint64_t a,
   return h;
 }
 
+std::uint64_t RunContext::stream_seed(std::string_view tag, std::uint64_t a,
+                                      std::uint64_t b, std::uint64_t c,
+                                      std::uint64_t d) const {
+  // The d round only fires for d != 0 so the four-counter form degrades to
+  // the three-counter one at d == 0 (callers adding a grid axis keep every
+  // existing stream stable).
+  std::uint64_t h = stream_seed(tag, a, b, c);
+  return d == 0 ? h : splitmix_round(h ^ d);
+}
+
 ThreadPool& RunContext::pool() const {
   if (options_.threads == Options::kSharedPool) {
     return ThreadPool::shared();

@@ -92,6 +92,15 @@ class RunContext {
   std::uint64_t stream_seed(std::string_view tag, std::uint64_t a = 0,
                             std::uint64_t b = 0, std::uint64_t c = 0) const;
 
+  /// Four-counter variant for call sites with an extra grid axis (e.g. the
+  /// non-disjoint screener's (partition, slice) pairs). The d round is
+  /// applied only when d != 0, so stream_seed(tag, a, b, c, 0) equals the
+  /// three-counter value — existing streams keep their seeds and a new
+  /// axis's slice 0 aliases the un-sliced stream by construction.
+  std::uint64_t stream_seed(std::string_view tag, std::uint64_t a,
+                            std::uint64_t b, std::uint64_t c,
+                            std::uint64_t d) const;
+
   /// Ready-to-use generator over stream_seed().
   Rng stream(std::string_view tag, std::uint64_t a = 0, std::uint64_t b = 0,
              std::uint64_t c = 0) const {

@@ -1,0 +1,478 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/column_cop.hpp"
+#include "core/cop_solvers.hpp"
+#include "core/dalta.hpp"
+#include "core/nondisjoint_dalta.hpp"
+#include "core/solver_registry.hpp"
+#include "funcs/registry.hpp"
+#include "ising/bsb.hpp"
+#include "ising/bsb_batch.hpp"
+#include "ising/bsb_pack.hpp"
+#include "ising/model.hpp"
+#include "support/rng.hpp"
+#include "support/run_context.hpp"
+
+namespace adsd {
+namespace {
+
+IsingModel random_model(std::size_t n, double density, Rng& rng) {
+  IsingModel m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.set_bias(i, rng.next_double(-1.0, 1.0));
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.next_double() < density) {
+        m.add_coupling(i, j, rng.next_double(-1.0, 1.0));
+      }
+    }
+  }
+  m.finalize();
+  return m;
+}
+
+std::vector<IsingModel> member_models(std::size_t count, std::size_t n,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<IsingModel> models;
+  models.reserve(count);
+  for (std::size_t m = 0; m < count; ++m) {
+    models.push_back(random_model(n, 0.3 + 0.1 * (m % 5), rng));
+  }
+  return models;
+}
+
+/// The standalone reference every packed member must reproduce bit-for-bit:
+/// BsbBatchEngine on the member's own model with SbParams.seed = its seed.
+IsingSolveResult standalone(const IsingModel& model, SbParams params,
+                            std::uint64_t seed, std::size_t replicas) {
+  params.seed = seed;
+  BsbBatchEngine engine(model, params, replicas);
+  return engine.run();
+}
+
+// ------------------------------------------------------- member bit parity
+
+TEST(BsbPackParity, MembersMatchStandaloneAcrossLayoutsAndReplicas) {
+  const auto models = member_models(5, 12, 101);
+  SbParams params;
+  params.max_iterations = 300;
+  params.stop.enabled = true;
+  params.stop.epsilon = 1e-6;
+  params.stop.sample_interval = 5;
+  params.stop.window = 6;
+
+  for (const PackLayout layout : {PackLayout::kSlots, PackLayout::kBlocks}) {
+    for (const std::size_t replicas :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      std::vector<PackMember> members;
+      for (std::size_t m = 0; m < models.size(); ++m) {
+        members.push_back({&models[m], 1000 + 7 * m, {}});
+      }
+      BsbPackEngine engine(members, params, replicas, layout);
+      const auto packed = engine.run();
+      ASSERT_EQ(packed.size(), models.size());
+      for (std::size_t m = 0; m < models.size(); ++m) {
+        const auto ref =
+            standalone(models[m], params, members[m].seed, replicas);
+        EXPECT_EQ(ref.energy, packed[m].energy)
+            << pack_layout_name(layout) << " R=" << replicas << " m=" << m;
+        EXPECT_EQ(ref.spins, packed[m].spins)
+            << pack_layout_name(layout) << " R=" << replicas << " m=" << m;
+        EXPECT_EQ(ref.iterations, packed[m].iterations);
+        EXPECT_EQ(ref.stopped_early, packed[m].stopped_early);
+      }
+    }
+  }
+}
+
+TEST(BsbPackParity, MembersMatchStandaloneAtEveryKernelRequest) {
+  const auto models = member_models(4, 10, 202);
+  for (const kernels::ForceKernel kernel :
+       {kernels::ForceKernel::kScalar, kernels::ForceKernel::kAvx2,
+        kernels::ForceKernel::kAvx512, kernels::ForceKernel::kDense,
+        kernels::ForceKernel::kAuto}) {
+    SbParams params;
+    params.max_iterations = 250;
+    params.kernel = kernel;
+    params.stop.enabled = true;
+    params.stop.epsilon = 1e-7;
+    params.stop.sample_interval = 10;
+    params.stop.window = 5;
+
+    for (const PackLayout layout :
+         {PackLayout::kSlots, PackLayout::kBlocks}) {
+      std::vector<PackMember> members;
+      for (std::size_t m = 0; m < models.size(); ++m) {
+        members.push_back({&models[m], 31 + m, {}});
+      }
+      BsbPackEngine engine(members, params, 2, layout);
+      const auto packed = engine.run();
+      for (std::size_t m = 0; m < models.size(); ++m) {
+        const auto ref = standalone(models[m], params, members[m].seed, 2);
+        EXPECT_EQ(ref.energy, packed[m].energy)
+            << kernels::force_kernel_name(kernel) << " "
+            << pack_layout_name(layout) << " m=" << m;
+        EXPECT_EQ(ref.spins, packed[m].spins);
+        EXPECT_EQ(ref.iterations, packed[m].iterations);
+      }
+    }
+  }
+}
+
+TEST(BsbPackParity, DiscreteVariantMatchesStandalone) {
+  const auto models = member_models(3, 11, 303);
+  SbParams params;
+  params.max_iterations = 150;
+  params.discrete = true;
+  std::vector<PackMember> members;
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    members.push_back({&models[m], 71 + m, {}});
+  }
+  for (const PackLayout layout : {PackLayout::kSlots, PackLayout::kBlocks}) {
+    BsbPackEngine engine(members, params, 1, layout);
+    const auto packed = engine.run();
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      const auto ref = standalone(models[m], params, members[m].seed, 1);
+      EXPECT_EQ(ref.energy, packed[m].energy);
+      EXPECT_EQ(ref.spins, packed[m].spins);
+    }
+  }
+}
+
+TEST(BsbPackParity, InitialPositionsWarmStartMatchesStandalone) {
+  const auto models = member_models(3, 9, 404);
+  SbParams params;
+  params.max_iterations = 120;
+  Rng rng(55);
+  std::vector<std::vector<double>> warm(models.size());
+  std::vector<PackMember> members;
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    warm[m].resize(9);
+    for (double& v : warm[m]) {
+      v = rng.next_double(-0.1, 0.1);
+    }
+    members.push_back({&models[m], 5 + m, warm[m]});
+  }
+  for (const PackLayout layout : {PackLayout::kSlots, PackLayout::kBlocks}) {
+    BsbPackEngine engine(members, params, 2, layout);
+    const auto packed = engine.run();
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      SbParams p = params;
+      p.initial_positions = warm[m];
+      const auto ref = standalone(models[m], p, members[m].seed, 2);
+      EXPECT_EQ(ref.energy, packed[m].energy);
+      EXPECT_EQ(ref.spins, packed[m].spins);
+    }
+  }
+}
+
+// ------------------------------------------- retirement at different steps
+
+TEST(BsbPackRetirement, MembersRetireAtDifferentIterationsAndStayExact) {
+  // A loose variance window makes each member's dynamic stop fire at its
+  // own step; the packed run must retire them one by one (slot compaction
+  // in kSlots) without disturbing the survivors.
+  const auto models = member_models(6, 10, 505);
+  SbParams params;
+  params.max_iterations = 4000;
+  params.stop.enabled = true;
+  params.stop.epsilon = 1e-3;
+  params.stop.sample_interval = 5;
+  params.stop.window = 4;
+
+  for (const PackLayout layout : {PackLayout::kSlots, PackLayout::kBlocks}) {
+    std::vector<PackMember> members;
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      members.push_back({&models[m], 900 + 13 * m, {}});
+    }
+    BsbPackEngine engine(members, params, 1, layout);
+    const auto packed = engine.run();
+    std::set<std::size_t> distinct;
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      const auto ref = standalone(models[m], params, members[m].seed, 1);
+      EXPECT_EQ(ref.energy, packed[m].energy)
+          << pack_layout_name(layout) << " m=" << m;
+      EXPECT_EQ(ref.spins, packed[m].spins);
+      EXPECT_EQ(ref.iterations, packed[m].iterations);
+      EXPECT_TRUE(packed[m].stopped_early) << "m=" << m;
+      distinct.insert(packed[m].iterations);
+    }
+    // The point of the test: retirement actually happened at unequal steps.
+    EXPECT_GT(distinct.size(), 1u) << pack_layout_name(layout);
+  }
+}
+
+// ----------------------------------------------------- intervention hooks
+
+TEST(BsbPackHook, PlaneHookSeesStandaloneLayoutAndStaysExact) {
+  const auto models = member_models(4, 8, 606);
+  SbParams params;
+  params.max_iterations = 100;
+  params.stop.sample_interval = 10;
+  const std::size_t replicas = 2;
+
+  // Per-member pinning intervention, written once against the standalone
+  // plane layout (element i of replica r at i * replicas + r).
+  auto pin = [](std::size_t member, std::span<double> x, std::span<double> y,
+                std::size_t reps) {
+    const std::size_t i = member % 8;
+    for (std::size_t r = 0; r < reps; ++r) {
+      x[i * reps + r] = (member % 2 == 0) ? 1.0 : -1.0;
+      y[i * reps + r] = 0.0;
+    }
+  };
+
+  for (const PackLayout layout : {PackLayout::kSlots, PackLayout::kBlocks}) {
+    std::vector<PackMember> members;
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      members.push_back({&models[m], 40 + m, {}});
+    }
+    BsbPackEngine engine(members, params, replicas, layout);
+    const auto packed = engine.run(pin);
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      SbParams p = params;
+      p.seed = members[m].seed;
+      BsbBatchEngine ref_engine(models[m], p, replicas);
+      const auto ref = ref_engine.run(
+          nullptr, [&](std::span<double> x, std::span<double> y,
+                       std::size_t reps) { pin(m, x, y, reps); });
+      EXPECT_EQ(ref.energy, packed[m].energy)
+          << pack_layout_name(layout) << " m=" << m;
+      EXPECT_EQ(ref.spins, packed[m].spins);
+    }
+  }
+}
+
+// ------------------------------------------------------ deadline handling
+
+TEST(BsbPackDeadline, ExpiredContextRetiresEveryMemberImmediately) {
+  const auto models = member_models(3, 8, 707);
+  SbParams params;
+  params.max_iterations = 100000;
+  RunContext::Options opts;
+  opts.time_budget_s = 1e-9;
+  const RunContext ctx(opts);
+  while (!ctx.expired()) {
+  }
+  std::vector<PackMember> members;
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    members.push_back({&models[m], 3 + m, {}});
+  }
+  BsbPackEngine engine(members, params, 1);
+  engine.set_context(&ctx);
+  const auto packed = engine.run();
+  for (const auto& res : packed) {
+    EXPECT_TRUE(res.stopped_early);
+    EXPECT_EQ(res.iterations, 0u);
+  }
+}
+
+TEST(BsbPackDeadline, BatchEngineChecksDeadlineAtRestartBoundary) {
+  Rng rng(14);
+  const auto model = random_model(8, 0.5, rng);
+  SbParams params;
+  params.max_iterations = 100000;
+  RunContext::Options opts;
+  opts.time_budget_s = 1e-9;
+  const RunContext ctx(opts);
+  while (!ctx.expired()) {
+  }
+  const auto res = solve_sb_batch(model, params, 1, nullptr, nullptr, &ctx);
+  EXPECT_TRUE(res.stopped_early);
+  EXPECT_EQ(res.iterations, 0u);
+}
+
+// ------------------------------------------------------ argument checking
+
+TEST(BsbPack, RejectsBadArguments) {
+  Rng rng(21);
+  const auto a = random_model(6, 0.8, rng);
+  const auto b = random_model(7, 0.8, rng);
+  SbParams params;
+  EXPECT_THROW(BsbPackEngine({}, params, 1), std::invalid_argument);
+  {
+    const std::vector<PackMember> mixed = {{&a, 1, {}}, {&b, 2, {}}};
+    EXPECT_THROW(BsbPackEngine(mixed, params, 1), std::invalid_argument);
+  }
+  {
+    IsingModel unfinalized(6);
+    const std::vector<PackMember> raw = {{&unfinalized, 1, {}}};
+    EXPECT_THROW(BsbPackEngine(raw, params, 1), std::invalid_argument);
+  }
+  EXPECT_THROW(parse_pack_layout("bogus"), std::invalid_argument);
+  EXPECT_EQ(parse_pack_layout("slots"), PackLayout::kSlots);
+  EXPECT_EQ(parse_pack_layout("blocks"), PackLayout::kBlocks);
+  EXPECT_EQ(parse_pack_layout("auto"), PackLayout::kAuto);
+}
+
+// ------------------------------------------------- packed core COP solver
+
+ColumnCop benchmark_cop(unsigned output, unsigned shift = 0) {
+  const TruthTable tt = make_benchmark_table("exp", 9, 7);
+  const InputDistribution dist = InputDistribution::uniform(9);
+  Rng rng(77 + shift);
+  const InputPartition w = InputPartition::random(9, 4, rng);
+  const BooleanMatrix matrix = BooleanMatrix::from_function(tt, output, w);
+  const std::vector<double> probs = matrix_probs(dist, w);
+  return ColumnCop::separate(matrix, probs);
+}
+
+TEST(PackedCoreCopSolver, SingleSolveMatchesIsingCoreSolver) {
+  const ColumnCop cop = benchmark_cop(3);
+  const auto plain = SolverRegistry::global().make_from_spec("prop,n=9");
+  const auto packed =
+      SolverRegistry::global().make_from_spec("prop,n=9,pack=8");
+  CoreSolveStats sp;
+  CoreSolveStats sq;
+  const ColumnSetting p = plain->solve(cop, 42, &sp);
+  const ColumnSetting q = packed->solve(cop, 42, &sq);
+  EXPECT_TRUE(p.v1 == q.v1 && p.v2 == q.v2 && p.t == q.t);
+  EXPECT_EQ(sp.objective, sq.objective);
+  EXPECT_EQ(sp.iterations, sq.iterations);
+  EXPECT_EQ(sp.stopped_early, sq.stopped_early);
+}
+
+TEST(PackedCoreCopSolver, BatchMatchesLoopedSolvesAcrossConfigs) {
+  std::vector<ColumnCop> cops;
+  for (unsigned k = 0; k < 6; ++k) {
+    cops.push_back(benchmark_cop(k % 7, k));
+  }
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < cops.size(); ++i) {
+    seeds.push_back(1000 + 17 * i);
+  }
+  // Theorem-3 + dynamic stop are on by default; replicas=1 lands in the
+  // slot layout, replicas=4 in the block layout, restarts=2 exercises the
+  // per-attempt reseed, pack=3 forces multiple chunks per batch.
+  for (const std::string extra :
+       {std::string(""), std::string(",replicas=4"),
+        std::string(",restarts=2"), std::string(",pack-layout=blocks")}) {
+    // pack-layout only exists on the packed side; the reference solver
+    // must not see it (it changes nothing about per-member results).
+    const bool layout_only = extra.find("pack-layout") != std::string::npos;
+    const auto plain = SolverRegistry::global().make_from_spec(
+        "prop,n=9" + (layout_only ? std::string("") : extra));
+    const auto packed = SolverRegistry::global().make_from_spec(
+        "prop,n=9,pack=3" + extra);
+    const RunContext ctx(std::uint64_t{7});
+    std::vector<CoreSolveStats> packed_stats;
+    const auto batch = packed->solve_batch(cops, ctx, seeds, &packed_stats);
+    ASSERT_EQ(batch.size(), cops.size());
+    for (std::size_t i = 0; i < cops.size(); ++i) {
+      CoreSolveStats ref_stats;
+      const ColumnSetting ref =
+          plain->solve(cops[i], ctx, seeds[i], &ref_stats);
+      EXPECT_TRUE(ref.v1 == batch[i].v1 && ref.v2 == batch[i].v2 &&
+                  ref.t == batch[i].t)
+          << "config '" << extra << "' instance " << i;
+      EXPECT_EQ(ref_stats.objective, packed_stats[i].objective);
+      EXPECT_EQ(ref_stats.iterations, packed_stats[i].iterations);
+      EXPECT_EQ(ref_stats.stopped_early, packed_stats[i].stopped_early);
+    }
+  }
+}
+
+TEST(PackedCoreCopSolver, UnbatchedSolverBatchEqualsLoop) {
+  // The default solve_batch path (no batched() override) must equal a
+  // caller-side loop for any solver.
+  std::vector<ColumnCop> cops;
+  for (unsigned k = 0; k < 3; ++k) {
+    cops.push_back(benchmark_cop(k, 10 + k));
+  }
+  const std::vector<std::uint64_t> seeds = {5, 6, 7};
+  const auto solver = SolverRegistry::global().make_from_spec("prop,n=9");
+  const RunContext ctx(std::uint64_t{3});
+  std::vector<CoreSolveStats> stats;
+  const auto batch = solver->solve_batch(cops, ctx, seeds, &stats);
+  for (std::size_t i = 0; i < cops.size(); ++i) {
+    CoreSolveStats ref_stats;
+    const ColumnSetting ref = solver->solve(cops[i], ctx, seeds[i], &ref_stats);
+    EXPECT_TRUE(ref.v1 == batch[i].v1 && ref.v2 == batch[i].v2 &&
+                ref.t == batch[i].t);
+    EXPECT_EQ(ref_stats.objective, stats[i].objective);
+  }
+  EXPECT_THROW(solver->solve_batch(cops, ctx, std::vector<std::uint64_t>{1}),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------- registry spec keys
+
+TEST(PackedCoreCopSolver, RegistrySpecBuildsPackedSolver) {
+  const auto packed =
+      SolverRegistry::global().make_from_spec("prop,pack=16");
+  EXPECT_EQ(packed->name(), "ising-bsb-pack");
+  EXPECT_TRUE(packed->batched());
+  const auto plain = SolverRegistry::global().make_from_spec("prop");
+  EXPECT_EQ(plain->name(), "ising-bsb");
+  EXPECT_FALSE(plain->batched());
+  // pack-layout without pack is a configuration error; bogus layouts too.
+  EXPECT_THROW(
+      SolverRegistry::global().make_from_spec("prop,pack-layout=slots"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      SolverRegistry::global().make_from_spec("prop,pack=4,pack-layout=x"),
+      std::invalid_argument);
+}
+
+// --------------------------------------------------- end-to-end DALTA runs
+
+TEST(DaltaPacked, RunDaltaBitIdenticalWithPackedSolver) {
+  const TruthTable exact = make_benchmark_table("exp", 8, 6);
+  const InputDistribution dist = InputDistribution::uniform(8);
+  DaltaParams params;
+  params.free_size = 3;
+  params.num_partitions = 4;
+  params.rounds = 1;
+  params.seed = 42;
+
+  const auto plain = SolverRegistry::global().make_from_spec("prop,n=8");
+  const auto packed =
+      SolverRegistry::global().make_from_spec("prop,n=8,pack=4");
+  const auto a = run_dalta(exact, dist, params, *plain);
+  const auto b = run_dalta(exact, dist, params, *packed);
+
+  EXPECT_EQ(a.med, b.med);
+  EXPECT_EQ(a.error_rate, b.error_rate);
+  EXPECT_EQ(a.cop_solves, b.cop_solves);
+  EXPECT_EQ(a.solver_iterations, b.solver_iterations);
+  for (std::uint64_t x = 0; x < exact.num_patterns(); ++x) {
+    ASSERT_EQ(a.approx.word(x), b.approx.word(x)) << "pattern " << x;
+  }
+  ASSERT_EQ(a.outputs.size(), b.outputs.size());
+  for (std::size_t k = 0; k < a.outputs.size(); ++k) {
+    EXPECT_EQ(a.outputs[k].objective, b.outputs[k].objective);
+  }
+}
+
+TEST(DaltaPacked, RunDaltaNdBitIdenticalWithPackedSolver) {
+  const TruthTable exact = make_benchmark_table("exp", 8, 6);
+  const InputDistribution dist = InputDistribution::uniform(8);
+  NdDaltaParams params;
+  params.free_size = 3;
+  params.shared_size = 1;
+  params.num_partitions = 3;
+  params.rounds = 1;
+  params.seed = 42;
+
+  const auto plain = SolverRegistry::global().make_from_spec("prop,n=8");
+  const auto packed =
+      SolverRegistry::global().make_from_spec("prop,n=8,pack=6");
+  const auto a = run_dalta_nd(exact, dist, params, *plain);
+  const auto b = run_dalta_nd(exact, dist, params, *packed);
+
+  EXPECT_EQ(a.med, b.med);
+  EXPECT_EQ(a.error_rate, b.error_rate);
+  EXPECT_EQ(a.cop_solves, b.cop_solves);
+  EXPECT_EQ(a.solver_iterations, b.solver_iterations);
+  for (std::uint64_t x = 0; x < exact.num_patterns(); ++x) {
+    ASSERT_EQ(a.approx.word(x), b.approx.word(x)) << "pattern " << x;
+  }
+}
+
+}  // namespace
+}  // namespace adsd

@@ -244,10 +244,13 @@ TEST(QorIntegration, TightDeadlineTriggersBudgetRescale) {
   const auto dist = InputDistribution::uniform(8);
   // High iteration count + replicas with the variance stop disabled, so
   // the first sampling point's timing estimate says the full run cannot
-  // fit a microscopic budget and the engine must rescale.
+  // fit the budget and the engine must rescale. The budget must be small
+  // enough that max-iter cannot fit, but large enough that the first
+  // solve *starts* before it expires -- the engine's deadline-at-entry
+  // check returns immediately (no rescale) on an already-expired context.
   const auto solver = SolverRegistry::global().make(
       "prop",
-      SolverRegistry::parse_spec("prop,replicas=4,max-iter=200000,stop=0")
+      SolverRegistry::parse_spec("prop,replicas=4,max-iter=2000000,stop=0")
           .second);
   DaltaParams params;
   params.free_size = 4;
@@ -260,7 +263,7 @@ TEST(QorIntegration, TightDeadlineTriggersBudgetRescale) {
   opts.seed = params.seed;
   opts.qor = true;
   opts.parallel = false;
-  opts.time_budget_s = 1e-4;
+  opts.time_budget_s = 0.05;
   const RunContext ctx(opts);
   (void)run_dalta(exact, dist, params, *solver, ctx);
 

@@ -20,6 +20,9 @@
 //         --kernel <k>      force kernel for the prop solver:
 //                           auto|scalar|avx2|avx512|dense (shorthand for
 //                           the kernel config key; default auto)
+//         --pack <K>        pack up to K candidate solves per force pass
+//                           (prop solver; shorthand for the pack config
+//                           key; results are bit-identical to unpacked)
 //         --threads <t>     worker threads for the partition fan-out
 //                           (>= 1; default: hardware concurrency)
 //         --telemetry <file>  write the run's telemetry report as JSON
@@ -86,6 +89,9 @@ std::unique_ptr<CoreCopSolver> make_solver(const CliArgs& args, unsigned n) {
   }
   if (takes("kernel") && args.has("kernel") && !config.has("kernel")) {
     config.set("kernel", args.get_string("kernel", "auto"));
+  }
+  if (takes("pack") && args.has("pack") && !config.has("pack")) {
+    config.set("pack", std::to_string(args.get_positive_size("pack", 1)));
   }
   if (takes("budget") && args.has("ilp-budget") && !config.has("budget")) {
     config.set("budget",
