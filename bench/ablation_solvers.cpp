@@ -1,9 +1,10 @@
 // A3 -- Solver ablation: the same core-COP Ising instances handed to every
-// solver in the library (bSB, dSB, SA on the Ising model; alternating
-// minimization, annealing, branch-and-bound, and -- on tiny shapes --
-// exhaustive search on the COP). Reports solution quality and time,
-// separating the contribution of the Ising *formulation* from the bSB
-// *search*.
+// solver in the library (bSB, dSB, SA, SimCIM, and DOCH on the Ising
+// model -- all registry-built on the unified engine layer -- plus
+// alternating minimization, annealing, branch-and-bound on the COP, and
+// the portfolio meta-solver racing the Ising engines). Reports solution
+// quality and time, separating the contribution of the Ising
+// *formulation* from the bSB *search*.
 //
 // Observability: --telemetry/--trace/--report <file> write the same JSON
 // artifacts as adsd_cli (see tools/trace_summary).
@@ -12,7 +13,6 @@
 
 #include "common.hpp"
 #include "funcs/continuous.hpp"
-#include "ising/sa.hpp"
 
 int main(int argc, char** argv) {
   using namespace adsd;
@@ -62,24 +62,14 @@ int main(int argc, char** argv) {
 
   run_cop_solver("bSB (proposed)", "prop", "dynamic stop + Theorem 3");
   run_cop_solver("dSB", "prop,discrete=1", "discrete SB variant");
-  {
-    // SA directly on the Ising formulation (not the BA setting-level SA).
-    double sum = 0.0;
-    Timer timer;
-    for (std::size_t i = 0; i < pool.size(); ++i) {
-      const IsingModel model = pool[i].to_ising();
-      SaParams sp;
-      sp.sweeps = 300;
-      sp.seed = seed + i;
-      const auto res = solve_sa(model, sp);
-      auto s = pool[i].decode(res.spins);
-      sum += pool[i].objective(s);
-    }
-    table.add_row({"SA on Ising model",
-                   Table::num(sum / static_cast<double>(pool.size()), 5),
-                   Table::num(timer.seconds(), 3),
-                   "sequential spin updates"});
-  }
+  // The remaining Ising dynamics, registry-built on the same engine layer
+  // (previously SA here was a hand-rolled loop around solve_sa).
+  run_cop_solver("SA on Ising model", "sa,sweeps=300",
+                 "sequential spin updates");
+  run_cop_solver("SimCIM", "simcim", "pump-ramp mean field");
+  run_cop_solver("DOCH", "doch", "difference-of-convex, momentum");
+  run_cop_solver("portfolio (race)", "portfolio",
+                 "prop|simcim|doch, anchor-committed");
   run_cop_solver("alternating min", "alt", "Lloyd-style");
   run_cop_solver("BA anneal", "ba", "setting-level SA");
   run_cop_solver("greedy (DALTA)", "dalta", "one-shot");

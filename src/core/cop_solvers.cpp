@@ -218,21 +218,92 @@ ColumnSetting ising_core_solve(const ColumnCop& cop, const RunContext& ctx,
   }
 
   const std::size_t restarts = std::max<std::size_t>(1, options.restarts);
+  const std::size_t replicas = std::max<std::size_t>(1, options.replicas);
+  const char* restart_span_name = "ising/bsb/restart";
+  switch (options.engine) {
+    case IsingEngineKind::kSa:
+      restart_span_name = "ising/sa/restart";
+      break;
+    case IsingEngineKind::kSimcim:
+      restart_span_name = "ising/simcim/restart";
+      break;
+    case IsingEngineKind::kDoch:
+      restart_span_name = "ising/doch/restart";
+      break;
+    case IsingEngineKind::kBsb:
+      break;
+  }
   for (std::size_t attempt = 0; attempt < restarts; ++attempt) {
     // One trace span per restart, so each restart's energy trajectory is a
     // separate segment of the flame graph.
-    const TraceSpan restart_span(ctx.tracer(), "ising/bsb/restart");
-    SbParams params = options.sb;
-    params.seed = seed + 0x9e3779b9u * attempt;
+    const TraceSpan restart_span(ctx.tracer(), restart_span_name);
+    const std::uint64_t attempt_seed = seed + 0x9e3779b9u * attempt;
     // First attempt runs from the informed seed; further restarts explore
-    // from the plain start with fresh momenta.
-    if (attempt == 0 && !warm.positions.empty()) {
-      params.initial_positions = warm.positions;
+    // from the plain start with fresh momenta / noise / kicks.
+    const bool use_warm = attempt == 0 && !warm.positions.empty();
+    IsingSolveResult res;
+    switch (options.engine) {
+      case IsingEngineKind::kBsb: {
+        SbParams params = options.sb;
+        params.seed = attempt_seed;
+        if (use_warm) {
+          params.initial_positions = warm.positions;
+        }
+        res = solve_sb_batch(model, params, replicas, nullptr, plane_hook,
+                             &ctx);
+        break;
+      }
+      case IsingEngineKind::kSa: {
+        // Scalar spin-flip dynamics: replicas are realized as shifted-seed
+        // repeats picking the best energy, iterations summed (matching the
+        // ensemble engines' replica-scaled counts). Warm *positions* and
+        // the Theorem-3 plane hook don't apply — SA has no oscillator
+        // planes — but the warm incumbent and final polish still do.
+        bool have = false;
+        for (std::size_t rep = 0; rep < replicas; ++rep) {
+          SaParams params = options.sa;
+          params.seed = attempt_seed + 0x9e3779b9u * rep;
+          IsingSolveResult one = solve_sa(model, params, &ctx);
+          if (!have || one.energy < res.energy) {
+            const std::size_t iters_so_far = have ? res.iterations : 0;
+            const bool early_so_far = have && res.stopped_early;
+            res = std::move(one);
+            res.iterations += iters_so_far;
+            res.stopped_early = res.stopped_early || early_so_far;
+          } else {
+            res.iterations += one.iterations;
+            res.stopped_early = res.stopped_early || one.stopped_early;
+          }
+          have = true;
+          if (ctx.expired()) {
+            break;
+          }
+        }
+        break;
+      }
+      case IsingEngineKind::kSimcim: {
+        SimcimParams params = options.simcim;
+        params.seed = attempt_seed;
+        if (use_warm) {
+          params.initial_positions = warm.positions;
+        }
+        res = solve_simcim(model, params, replicas, nullptr, plane_hook,
+                           &ctx);
+        break;
+      }
+      case IsingEngineKind::kDoch: {
+        DochParams params = options.doch;
+        params.seed = attempt_seed;
+        if (use_warm) {
+          params.initial_positions = warm.positions;
+          // A full-amplitude kick would drown the ±0.1 warm pattern; keep
+          // the first attempt in the seed's basin.
+          params.init_amp = std::min(params.init_amp, 0.1);
+        }
+        res = solve_doch(model, params, replicas, nullptr, plane_hook, &ctx);
+        break;
+      }
     }
-    const IsingSolveResult res =
-        solve_sb_batch(model, params,
-                       std::max<std::size_t>(1, options.replicas), nullptr,
-                       plane_hook, &ctx);
     total_iters += res.iterations;
     any_early = any_early || res.stopped_early;
 

@@ -3,13 +3,16 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/column_cop.hpp"
 #include "ising/bsb.hpp"
 #include "ising/bsb_pack.hpp"
+#include "ising/doch.hpp"
 #include "ising/sa.hpp"
+#include "ising/simcim.hpp"
 #include "support/run_context.hpp"
 #include "support/timer.hpp"
 
@@ -78,14 +81,41 @@ class CoreCopSolver {
                               std::span<CoreSolveStats> stats) const;
 };
 
+/// Which Ising engine an IsingCoreSolver drives through the shared
+/// restart/Theorem-3/polish state machine (DESIGN.md §4.8). kBsb is the
+/// paper's proposal; the others reuse the identical COP scaffolding with a
+/// different dynamics core.
+enum class IsingEngineKind {
+  kBsb,     // ballistic/discrete simulated bifurcation (the paper)
+  kSa,      // Metropolis simulated annealing
+  kSimcim,  // mean-field coherent Ising machine
+  kDoch,    // difference-of-convex heuristic (ADOCH with momentum > 0)
+};
+
 /// The paper's proposal: ballistic simulated bifurcation on the Ising
 /// formulation, with the dynamic stop criterion (Sec. 3.3.1) and the
 /// Theorem-3 column-type reset fed back at every sampling point
 /// (Sec. 3.3.2). A final Theorem-3 reset polishes the decoded setting.
+/// Options::engine swaps the dynamics core (SA / SimCIM / DOCH) while the
+/// surrounding state machine — warm start, restarts, Theorem-3 feedback,
+/// final polish, best selection — stays identical.
 class IsingCoreSolver final : public CoreCopSolver {
  public:
   struct Options {
+    /// Dynamics core driven by the restart loop. Engine-specific
+    /// parameters live in the matching member below (sb / sa / simcim /
+    /// doch); the shared fields (restarts, replicas, Theorem-3, polish,
+    /// column seed) apply to every kind. SA realizes `replicas` as
+    /// shifted-seed repeats (its dynamics are scalar) and ignores warm
+    /// positions (spin starts are drawn, not continuous) — the warm
+    /// *incumbent* still applies.
+    IsingEngineKind engine = IsingEngineKind::kBsb;
+
     SbParams sb{};
+    SaParams sa{};
+    SimcimParams simcim{};
+    DochParams doch{};
+
     bool use_theorem3 = true;
     bool final_polish = true;
     std::size_t restarts = 1;
@@ -125,7 +155,19 @@ class IsingCoreSolver final : public CoreCopSolver {
 
   explicit IsingCoreSolver(Options options) : options_(options) {}
 
-  std::string name() const override { return "ising-bsb"; }
+  std::string name() const override {
+    switch (options_.engine) {
+      case IsingEngineKind::kSa:
+        return "ising-sa";
+      case IsingEngineKind::kSimcim:
+        return "ising-simcim";
+      case IsingEngineKind::kDoch:
+        return "ising-doch";
+      case IsingEngineKind::kBsb:
+        break;
+    }
+    return "ising-bsb";
+  }
 
   const Options& options() const { return options_; }
 
@@ -168,7 +210,12 @@ class PackedCoreCopSolver final : public CoreCopSolver {
     PackLayout layout = PackLayout::kAuto;
   };
 
-  explicit PackedCoreCopSolver(Options options) : options_(options) {}
+  explicit PackedCoreCopSolver(Options options) : options_(options) {
+    if (options_.core.engine != IsingEngineKind::kBsb) {
+      throw std::invalid_argument(
+          "PackedCoreCopSolver: pack supports the bSB engine only");
+    }
+  }
 
   std::string name() const override { return "ising-bsb-pack"; }
   bool batched() const override { return true; }

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cop_solvers.hpp"
+#include "support/qor.hpp"
+
+namespace adsd {
+
+/// Racing portfolio meta-solver (registry spec
+/// `"portfolio,members=prop|simcim|doch,budget-ms=...,mode=race|adapt"`,
+/// DESIGN.md §4.8): runs every member solver on the same COP with the same
+/// seed and commits the strictly best objective. Member 0 is the *anchor*
+/// — it always runs, and ties go to it — so with the default `prop` anchor
+/// the portfolio never returns a worse setting than plain bSB on the same
+/// seed (the property bench_diff gates in CI).
+///
+/// budget-ms > 0 makes the race anytime: the soft budget is checked at
+/// member boundaries (a started member finishes; the per-member deadline
+/// machinery inside each engine handles intra-solve budgets), and members
+/// that would start past it are skipped and counted. Without a budget the
+/// race is deterministic — every member always runs — which is what the
+/// fixed-seed CI gate wants.
+///
+/// mode=adapt additionally accumulates per-(instance-family, member) win
+/// rates across the solver's lifetime in a WinRateTable (families are
+/// "r{rows}c{cols}" COP shapes) and, once a family has min_trials races,
+/// reorders the non-anchor members by descending win rate and prunes those
+/// below prune_below — DALTA's thousands of same-family core COPs make
+/// the table converge within one run.
+class PortfolioCoreSolver final : public CoreCopSolver {
+ public:
+  enum class Mode { kRace, kAdapt };
+
+  struct Options {
+    /// Registry specs of the member solvers; members[0] is the anchor.
+    /// Nested portfolios are rejected.
+    std::vector<std::string> member_specs = {"prop", "simcim", "doch"};
+
+    /// Soft race budget in milliseconds; <= 0 disables (deterministic).
+    double budget_ms = 0.0;
+
+    Mode mode = Mode::kRace;
+
+    /// Adapt mode: races a family must accumulate before reorder/prune
+    /// kicks in for it.
+    std::uint64_t min_trials = 8;
+
+    /// Adapt mode: non-anchor members whose family win rate drops below
+    /// this after min_trials races are skipped.
+    double prune_below = 0.05;
+  };
+
+  explicit PortfolioCoreSolver(Options options);
+
+  std::string name() const override { return "portfolio"; }
+
+  const Options& options() const { return options_; }
+
+  /// Member solvers in configured order (anchor first).
+  const std::vector<std::unique_ptr<CoreCopSolver>>& members() const {
+    return members_;
+  }
+
+  /// The accumulated adapt-mode decision records (empty in race mode).
+  const WinRateTable& win_rates() const { return wins_; }
+
+ protected:
+  ColumnSetting do_solve(const ColumnCop& cop, const RunContext& ctx,
+                         std::uint64_t seed,
+                         CoreSolveStats* stats) const override;
+
+ private:
+  Options options_;
+  std::vector<std::unique_ptr<CoreCopSolver>> members_;
+  mutable WinRateTable wins_;
+};
+
+}  // namespace adsd

@@ -4,6 +4,7 @@
 #include <charconv>
 #include <stdexcept>
 
+#include "core/portfolio_solver.hpp"
 #include "ising/kernels/force_kernels.hpp"
 
 namespace adsd {
@@ -14,6 +15,14 @@ namespace {
                             const char* want) {
   throw std::invalid_argument("solver config key '" + key + "': '" + value +
                               "' is not a valid " + want);
+}
+
+std::string join(const std::vector<std::string>& items) {
+  std::string out;
+  for (const std::string& item : items) {
+    out += out.empty() ? item : ", " + item;
+  }
+  return out;
 }
 
 }  // namespace
@@ -122,24 +131,33 @@ std::unique_ptr<CoreCopSolver> SolverRegistry::make(
     const std::string& name, const SolverConfig& config) const {
   const Entry* entry = find(name);
   if (entry == nullptr) {
-    std::string known;
+    // Enumerate everything a valid spec could have named — canonical names
+    // and aliases, each sorted — so a typo'd spec is self-correcting.
+    std::vector<std::string> names;
+    std::vector<std::string> aliases;
     for (const Entry& e : entries_) {
-      known += known.empty() ? e.name : ", " + e.name;
+      names.push_back(e.name);
+      aliases.insert(aliases.end(), e.aliases.begin(), e.aliases.end());
     }
-    throw std::invalid_argument("unknown solver '" + name +
-                                "' (known: " + known + ")");
+    std::sort(names.begin(), names.end());
+    std::sort(aliases.begin(), aliases.end());
+    std::string message = "unknown solver '" + name + "' (known: ";
+    message += join(names);
+    if (!aliases.empty()) {
+      message += "; aliases: " + join(aliases);
+    }
+    message += ")";
+    throw std::invalid_argument(message);
   }
   for (const auto& [key, value] : config.values()) {
     if (std::find(entry->keys.begin(), entry->keys.end(), key) ==
         entry->keys.end()) {
-      std::string known;
-      for (const std::string& k : entry->keys) {
-        known += known.empty() ? k : ", " + k;
-      }
+      std::vector<std::string> keys = entry->keys;
+      std::sort(keys.begin(), keys.end());
       throw std::invalid_argument(
           "solver '" + entry->name + "' does not take key '" + key + "'" +
-          (known.empty() ? std::string(" (no keys)")
-                         : " (keys: " + known + ")"));
+          (keys.empty() ? std::string(" (no keys)")
+                        : " (keys: " + join(keys) + ")"));
     }
   }
   return entry->factory(config);
@@ -230,6 +248,185 @@ const SolverRegistry& SolverRegistry::global() {
                    "solver 'prop': 'pack-layout' requires 'pack' > 0");
              }
              return std::make_unique<IsingCoreSolver>(options);
+           }});
+
+    // Shared stop-key plumbing of the engine-family entries: every engine
+    // entry takes the same stop / stop-interval / stop-window /
+    // stop-epsilon keys over paper-default dynamic-stop settings.
+    const auto apply_stop_keys = [](const SolverConfig& c,
+                                    DynamicStopParams& stop,
+                                    const DynamicStopParams& defaults) {
+      stop = defaults;
+      stop.enabled = c.get_bool("stop", stop.enabled);
+      stop.sample_interval =
+          c.get_size("stop-interval", stop.sample_interval);
+      stop.window = c.get_size("stop-window", stop.window);
+      stop.epsilon = c.get_double("stop-epsilon", stop.epsilon);
+    };
+    const auto apply_shared_keys = [](const SolverConfig& c,
+                                      IsingCoreSolver::Options& options) {
+      options.replicas = std::max<std::size_t>(1, c.get_size("replicas", 1));
+      options.restarts = std::max<std::size_t>(1, c.get_size("restarts", 1));
+      options.use_theorem3 = c.get_bool("theorem3", true);
+      options.anti_collapse = c.get_bool("anti-collapse", true);
+      options.final_polish = c.get_bool("polish", true);
+      options.column_seed_init = c.get_bool("seed-init", true);
+    };
+
+    r.add({"sa",
+           "Metropolis simulated annealing on the Ising formulation "
+           "(engine-rehosted baseline)",
+           {"ising-sa"},
+           {"n", "replicas", "restarts", "polish", "seed-init", "sweeps",
+            "beta-start", "beta-end", "stop", "stop-interval", "stop-window",
+            "stop-epsilon"},
+           [apply_stop_keys,
+            apply_shared_keys](const SolverConfig& c)
+               -> std::unique_ptr<CoreCopSolver> {
+             auto options = IsingCoreSolver::Options::paper_defaults(
+                 static_cast<unsigned>(c.get_size("n", 9)));
+             options.engine = IsingEngineKind::kSa;
+             apply_shared_keys(c, options);
+             // Spin-flip dynamics have no oscillator planes: the Theorem-3
+             // feedback and anti-collapse interventions don't apply.
+             options.use_theorem3 = false;
+             options.anti_collapse = false;
+             options.sa.sweeps = c.get_size("sweeps", options.sa.sweeps);
+             options.sa.beta_start =
+                 c.get_double("beta-start", options.sa.beta_start);
+             options.sa.beta_end =
+                 c.get_double("beta-end", options.sa.beta_end);
+             apply_stop_keys(c, options.sa.stop, options.sb.stop);
+             return std::make_unique<IsingCoreSolver>(options);
+           }});
+
+    r.add({"simcim",
+           "Mean-field coherent Ising machine (pump ramp + noise) on the "
+           "shared engine chassis",
+           {"ising-simcim"},
+           {"n", "replicas", "restarts", "theorem3", "anti-collapse",
+            "polish", "seed-init", "max-iter", "dt", "pump-start", "pump-end",
+            "noise", "c0", "kernel", "stop", "stop-interval", "stop-window",
+            "stop-epsilon"},
+           [apply_stop_keys,
+            apply_shared_keys](const SolverConfig& c)
+               -> std::unique_ptr<CoreCopSolver> {
+             auto options = IsingCoreSolver::Options::paper_defaults(
+                 static_cast<unsigned>(c.get_size("n", 9)));
+             options.engine = IsingEngineKind::kSimcim;
+             apply_shared_keys(c, options);
+             options.simcim.max_iterations =
+                 c.get_size("max-iter", options.simcim.max_iterations);
+             options.simcim.dt = c.get_double("dt", options.simcim.dt);
+             options.simcim.pump_start =
+                 c.get_double("pump-start", options.simcim.pump_start);
+             options.simcim.pump_end =
+                 c.get_double("pump-end", options.simcim.pump_end);
+             options.simcim.noise =
+                 c.get_double("noise", options.simcim.noise);
+             options.simcim.c0 = c.get_double("c0", options.simcim.c0);
+             options.simcim.kernel = kernels::parse_force_kernel(
+                 c.get_string("kernel", "auto"));
+             apply_stop_keys(c, options.simcim.stop, options.sb.stop);
+             return std::make_unique<IsingCoreSolver>(options);
+           }});
+
+    r.add({"doch",
+           "Difference-of-convex heuristic (ADOCH with momentum > 0) on "
+           "the shared engine chassis",
+           {"ising-doch"},
+           {"n", "replicas", "restarts", "theorem3", "anti-collapse",
+            "polish", "seed-init", "max-iter", "rho", "momentum", "init-amp",
+            "kernel", "stop", "stop-interval", "stop-window",
+            "stop-epsilon"},
+           [apply_stop_keys,
+            apply_shared_keys](const SolverConfig& c)
+               -> std::unique_ptr<CoreCopSolver> {
+             auto options = IsingCoreSolver::Options::paper_defaults(
+                 static_cast<unsigned>(c.get_size("n", 9)));
+             options.engine = IsingEngineKind::kDoch;
+             apply_shared_keys(c, options);
+             options.doch.max_iterations =
+                 c.get_size("max-iter", options.doch.max_iterations);
+             options.doch.rho = c.get_double("rho", options.doch.rho);
+             options.doch.momentum =
+                 c.get_double("momentum", options.doch.momentum);
+             options.doch.init_amp =
+                 c.get_double("init-amp", options.doch.init_amp);
+             options.doch.kernel = kernels::parse_force_kernel(
+                 c.get_string("kernel", "auto"));
+             apply_stop_keys(c, options.doch.stop, options.sb.stop);
+             return std::make_unique<IsingCoreSolver>(options);
+           }});
+
+    r.add({"portfolio",
+           "Racing meta-solver: members race on the same seed, strictly "
+           "best objective wins (ties to the anchor)",
+           {},
+           {"members", "budget-ms", "mode", "min-trials", "prune-below",
+            "n", "replicas", "kernel"},
+           [](const SolverConfig& c) -> std::unique_ptr<CoreCopSolver> {
+             PortfolioCoreSolver::Options opt;
+             opt.member_specs.clear();
+             const std::string members =
+                 c.get_string("members", "prop|simcim|doch");
+             // The registry is fully built by the time factories run, so
+             // nested lookups (member validation, shared-key forwarding)
+             // are safe here.
+             const SolverRegistry& reg = SolverRegistry::global();
+             std::size_t start = 0;
+             while (start <= members.size()) {
+               const std::size_t bar = members.find('|', start);
+               const std::string m =
+                   members.substr(start, bar == std::string::npos
+                                             ? std::string::npos
+                                             : bar - start);
+               if (!m.empty()) {
+                 const SolverRegistry::Entry* member_entry = reg.find(m);
+                 if (member_entry == nullptr) {
+                   // Route through make() for the enumerating error text.
+                   (void)reg.make(m);
+                 }
+                 // Forward the shared shape/tuning keys to every member
+                 // that takes them, so "portfolio,n=9,replicas=4" sizes
+                 // the whole roster consistently.
+                 std::string spec = m;
+                 for (const char* key : {"n", "replicas", "kernel"}) {
+                   if (c.has(key) &&
+                       std::find(member_entry->keys.begin(),
+                                 member_entry->keys.end(),
+                                 key) != member_entry->keys.end()) {
+                     spec += std::string(",") + key + "=" +
+                             c.get_string(key, "");
+                   }
+                 }
+                 opt.member_specs.push_back(std::move(spec));
+               }
+               if (bar == std::string::npos) {
+                 break;
+               }
+               start = bar + 1;
+             }
+             if (opt.member_specs.empty()) {
+               throw std::invalid_argument(
+                   "solver 'portfolio': 'members' must name at least one "
+                   "solver ('a|b|c')");
+             }
+             opt.budget_ms = c.get_double("budget-ms", 0.0);
+             const std::string mode = c.get_string("mode", "race");
+             if (mode == "race") {
+               opt.mode = PortfolioCoreSolver::Mode::kRace;
+             } else if (mode == "adapt") {
+               opt.mode = PortfolioCoreSolver::Mode::kAdapt;
+             } else {
+               throw std::invalid_argument(
+                   "solver 'portfolio': mode '" + mode +
+                   "' is not one of race, adapt");
+             }
+             opt.min_trials = c.get_size("min-trials", opt.min_trials);
+             opt.prune_below =
+                 c.get_double("prune-below", opt.prune_below);
+             return std::make_unique<PortfolioCoreSolver>(opt);
            }});
 
     r.add({"dalta",

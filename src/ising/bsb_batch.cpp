@@ -1,36 +1,20 @@
 #include "ising/bsb_batch.hpp"
 
-#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
 
-#include "ising/stop.hpp"
-#include "support/cpu_features.hpp"
 #include "support/rng.hpp"
 #include "support/run_context.hpp"
-#include "support/thread_pool.hpp"
+#include "support/telemetry.hpp"
 
 namespace adsd {
 
-namespace {
-
-// Minimum n * R before force evaluation is sharded across the pool: below
-// this the whole kernel runs in a few microseconds and chunk dispatch would
-// dominate (the batched kernel streams ~2.6 G lanes/s single-threaded).
-constexpr std::size_t kForceShardMinLanes = 8192;
-
-}  // namespace
-
 BsbBatchEngine::BsbBatchEngine(const IsingModel& model, const SbParams& params,
                                std::size_t replicas)
-    : model_(model), params_(params), n_(model.num_spins()), R_(replicas) {
-  if (!model.finalized()) {
-    throw std::invalid_argument("BsbBatchEngine: model must be finalized");
-  }
-  if (replicas == 0) {
-    throw std::invalid_argument("BsbBatchEngine: need >= 1 replica");
-  }
+    : EnsembleEngineBase(model, replicas, params.kernel, params.discrete,
+                         "BsbBatchEngine"),
+      params_(params) {
   if (params.max_iterations == 0 || params.dt <= 0.0 ||
       params.detuning <= 0.0) {
     throw std::invalid_argument("BsbBatchEngine: bad parameters");
@@ -42,62 +26,12 @@ BsbBatchEngine::BsbBatchEngine(const IsingModel& model, const SbParams& params,
 
   c0_ = params.c0;
   if (c0_ <= 0.0) {
-    const double rms = model.coupling_rms();
-    c0_ = rms > 0.0 ? 0.5 * params.detuning /
-                          (rms * std::sqrt(static_cast<double>(n_)))
-                    : 1.0;
+    c0_ = default_coupling_strength(model, params.detuning);
   }
-
-  // Flatten the CSR adjacency into separate index/weight planes so the hot
-  // loop streams two homogeneous arrays instead of interleaved pairs.
-  row_start_.assign(n_ + 1, 0);
-  std::size_t nnz = 0;
-  for (std::size_t i = 0; i < n_; ++i) {
-    nnz += model.neighbors(i).size();
-    row_start_[i + 1] = nnz;
-  }
-  cols_.resize(nnz);
-  weights_.resize(nnz);
-  for (std::size_t i = 0; i < n_; ++i) {
-    std::size_t e = row_start_[i];
-    for (const auto& [j, w] : model.neighbors(i)) {
-      cols_[e] = j;
-      weights_[e] = w;
-      ++e;
-    }
-  }
-  h_.resize(n_);
-  for (std::size_t i = 0; i < n_; ++i) {
-    h_[i] = model.bias(i);
-  }
-
-  // Resolve the force kernel once: cpuid-probed ISA tier, dense fast path
-  // when the model materialized a plane, explicit override via
-  // params.kernel. The dispatch never fails — unsupported requests walk
-  // the fallback chain (avx512 -> avx2 -> scalar, dense -> CSR).
-  kernel_ = kernels::select_force_kernel(params_.kernel, cpu_features(),
-                                         model.has_dense_plane());
-  force_fn_ = params_.discrete ? kernel_.discrete : kernel_.continuous;
-  planes_ = kernels::ForcePlanes{};
-  planes_.h = h_.data();
-  planes_.row_start = row_start_.data();
-  planes_.cols = cols_.data();
-  planes_.weights = weights_.data();
-  if (kernel_.kind == kernels::ForceKernel::kDense) {
-    planes_.dense = model.dense_plane().data();
-    planes_.dense_stride = model.dense_stride();
-  }
-  planes_.n = n_;
-  planes_.replicas = R_;
 
   // Replica-contiguous state; replica r reproduces the scalar reference with
   // seed params.seed + r * 0x9e3779b9 (same draw order: x first, then the
   // momenta sweep).
-  x_.assign(n_ * R_, 0.0);
-  y_.assign(n_ * R_, 0.0);
-  force_.assign(n_ * R_, 0.0);
-  planes_.x = x_.data();
-  planes_.force = force_.data();
   for (std::size_t r = 0; r < R_; ++r) {
     Rng rng(params_.seed + 0x9e3779b9u * r);
     if (!params_.initial_positions.empty()) {
@@ -110,40 +44,7 @@ BsbBatchEngine::BsbBatchEngine(const IsingModel& model, const SbParams& params,
     }
   }
 
-  spins_.resize(n_ * R_);
-  for (std::size_t k = 0; k < n_ * R_; ++k) {
-    spins_[k] = x_[k] >= 0.0 ? std::int8_t{1} : std::int8_t{-1};
-  }
-  scratch_spins_.resize(n_);
-  energies_.resize(R_);
-  for (std::size_t r = 0; r < R_; ++r) {
-    energies_[r] = exact_energy(r);
-  }
-  // Tracked energies start as from-scratch values, so every replica is in
-  // sync with IsingModel::energy() until the first flip.
-  dirty_.assign(R_, 0);
-}
-
-void BsbBatchEngine::compute_forces() {
-  // The dispatched kernel fills force rows [begin, end); rows are
-  // independent (each writes only force_[i * R + ...]), so sharding across
-  // the pool produces bit-identical planes in any interleaving. Every
-  // kernel preserves the per-lane per-edge accumulation order of the
-  // scalar reference (see ising/kernels/force_kernels.hpp), which is what
-  // keeps replica trajectories bit-identical to solve_sb_scalar.
-  if (ctx_ != nullptr && ctx_->parallel() && n_ * R_ >= kForceShardMinLanes) {
-    ThreadPool& pool = ctx_->pool();
-    if (pool.thread_count() > 1) {
-      // A nested call from inside DALTA's parallel_for runs inline via the
-      // pool's nesting guard — same code path, no oversubscription.
-      pool.parallel_for_chunks(
-          n_, 0, [this](std::size_t begin, std::size_t end) {
-            force_fn_(planes_, begin, end);
-          });
-      return;
-    }
-  }
-  force_fn_(planes_, 0, n_);
+  init_tracker();
 }
 
 void BsbBatchEngine::step() {
@@ -172,210 +73,19 @@ void BsbBatchEngine::step() {
   ++step_;
 }
 
-void BsbBatchEngine::flip(std::size_t i, std::size_t r, std::int8_t new_sign) {
-  // Exact flip telescope: the energy delta of flipping spin i is
-  // 2 * s_i * (h_i + sum_j J_ij s_j) with the *current* tracked signs, so
-  // applying flips one at a time keeps the tracked energy equal to a full
-  // recomputation (up to accumulation rounding).
-  const std::int8_t old_sign = spins_[i * R_ + r];
-  double field = h_[i];
-  for (std::size_t e = row_start_[i]; e < row_start_[i + 1]; ++e) {
-    field += weights_[e] *
-             static_cast<double>(
-                 spins_[static_cast<std::size_t>(cols_[e]) * R_ + r]);
-  }
-  energies_[r] += 2.0 * static_cast<double>(old_sign) * field;
-  spins_[i * R_ + r] = new_sign;
-  dirty_[r] = 1;
+std::string BsbBatchEngine::curve_name() const {
+  return "ising/bsb/n" + std::to_string(n_) + "_R" + std::to_string(R_);
 }
 
-void BsbBatchEngine::sample() {
-  const std::size_t R = R_;
-  for (std::size_t i = 0; i < n_; ++i) {
-    const double* xi = &x_[i * R];
-    const std::int8_t* si = &spins_[i * R];
-    for (std::size_t r = 0; r < R; ++r) {
-      const std::int8_t ns = xi[r] >= 0.0 ? std::int8_t{1} : std::int8_t{-1};
-      if (ns != si[r]) {
-        flip(i, r, ns);
-      }
-    }
-  }
+std::size_t BsbBatchEngine::sample_interval() const {
+  return params_.stop.sample_interval > 0 ? params_.stop.sample_interval : 10;
 }
 
-double BsbBatchEngine::exact_energy(std::size_t r) {
-  copy_replica_spins(r, scratch_spins_);
-  return model_.energy(scratch_spins_);
-}
-
-void BsbBatchEngine::copy_replica_spins(std::size_t r,
-                                        std::vector<std::int8_t>& out) const {
-  out.resize(n_);
-  for (std::size_t i = 0; i < n_; ++i) {
-    out[i] = spins_[i * R_ + r];
-  }
-}
-
-IsingSolveResult BsbBatchEngine::run(const SbBatchHook& hook,
-                                     const SbBatchPlaneHook& plane_hook) {
-  Timer run_timer;
-  IsingSolveResult result;
-  copy_replica_spins(0, result.spins);
-  result.energy = energies_[0];
-
-  // Deadline-at-entry: a run started after the context deadline already
-  // expired (a restart boundary of an anytime solver looping tiny solves)
-  // must not burn a whole pump ramp before the first sampling point
-  // notices. Returns the initial state, flagged as an early stop.
-  if (ctx_ != nullptr && ctx_->expired()) {
-    result.stopped_early = true;
-    ctx_->telemetry().add("ising/sb/deadline_hits");
-    trace_instant(ctx_->tracer(), "ising/bsb/deadline_hit");
-    return result;
-  }
-
-  const std::size_t sample_every =
-      params_.stop.sample_interval > 0 ? params_.stop.sample_interval : 10;
-  DynamicStopMonitor monitor(params_.stop);
-
-  // Convergence trace: the ensemble-best energy trajectory and the dynamic
-  // stop's variance reading at every sampling point, plus an instant for
-  // why the run ended. Recording only reads solver state, so traced runs
-  // stay bit-identical to untraced ones.
-  TraceRecorder* tracer = ctx_ != nullptr ? ctx_->tracer() : nullptr;
-  const TraceSpan run_span(tracer, "ising/bsb/run");
-  std::size_t energy_samples = 0;
-
-  // Best-energy-vs-iteration curve for the QoR export. The name is built
-  // only when recording is armed; the off path is the pointer test alone.
-  QorRecorder* qor = ctx_ != nullptr ? ctx_->qor() : nullptr;
-  std::uint64_t curve_id = 0;
-  if (qor != nullptr) {
-    curve_id = qor->begin_curve("ising/bsb/n" + std::to_string(n_) + "_R" +
-                                std::to_string(R_));
-  }
-  // Report which force kernel dispatch resolved to, so run reports and QoR
-  // records show whether the SIMD / dense fast path was actually taken.
-  if (ctx_ != nullptr) {
-    const std::string kernel_counter =
-        std::string("ising/sb/kernel/") + kernel_.name;
-    ctx_->telemetry().add(kernel_counter);
-    if (qor != nullptr) {
-      qor->add(kernel_counter);
-    }
-  }
-  bool budget_checked = false;
-
-  // A replica's tracked energy can drift from the from-scratch value only by
-  // flip-accumulation rounding (~1e-15 relative), so a tracked energy within
-  // this slack of the incumbent triggers one exact recomputation; everything
-  // else is filtered in O(1). The recomputed value is snapped back into the
-  // tracker, which also re-synchronizes the drift.
-  auto consider_all = [&] {
-    double best_now = energies_[0];
-    for (std::size_t r = 0; r < R_; ++r) {
-      const double slack = 1e-9 + 1e-12 * std::fabs(result.energy);
-      if (dirty_[r] != 0 && energies_[r] < result.energy + slack) {
-        const double es = exact_energy(r);
-        energies_[r] = es;
-        dirty_[r] = 0;
-        if (es < result.energy) {
-          result.energy = es;
-          copy_replica_spins(r, result.spins);
-        }
-      }
-      best_now = std::min(best_now, energies_[r]);
-    }
-    return best_now;
-  };
-
-  std::size_t iter = 0;
-  for (; iter < params_.max_iterations; ++iter) {
-    step();
-    if ((iter + 1) % sample_every == 0) {
-      if (plane_hook) {
-        plane_hook(positions(), momenta(), R_);
-      }
-      if (hook) {
-        for (std::size_t r = 0; r < R_; ++r) {
-          hook(r, view(r));
-        }
-      }
-      sample();
-      const double best_now = consider_all();
-      ++energy_samples;
-      trace_counter(tracer, "ising/bsb/best_energy", best_now);
-      trace_counter(tracer, "ising/bsb/stop_variance",
-                    monitor.current_variance());
-      if (qor != nullptr) {
-        qor->curve_point(curve_id, iter + 1, best_now);
-      }
-
-      // Budget-aware iteration rescale: when a context deadline implies
-      // fewer sampling points than configured, shrink max_iterations at the
-      // first sampling point (the one timing estimate available) so the
-      // pump ramp completes by the deadline and a tight budget still
-      // returns a polished setting instead of being truncated mid-ramp.
-      // Guarded on the deadline alone — budget-less runs never take this
-      // path, so fixed-seed results stay bit-identical with QoR on or off.
-      if (!budget_checked) {
-        budget_checked = true;
-        if (ctx_ != nullptr && ctx_->deadline().budget() > 0.0) {
-          const double per_step =
-              run_timer.seconds() / static_cast<double>(iter + 1);
-          const double remaining = ctx_->deadline().remaining();
-          if (per_step > 0.0) {
-            const double affordable_d =
-                static_cast<double>(iter + 1) + 0.9 * remaining / per_step;
-            if (affordable_d <
-                static_cast<double>(params_.max_iterations)) {
-              const std::size_t affordable = std::max<std::size_t>(
-                  static_cast<std::size_t>(affordable_d), iter + 2);
-              if (affordable < params_.max_iterations) {
-                const std::size_t dropped =
-                    params_.max_iterations - affordable;
-                params_.max_iterations = affordable;
-                ctx_->telemetry().add("ising/sb/budget_rescales");
-                ctx_->telemetry().add("ising/sb/budget_rescaled_steps",
-                                      dropped);
-                if (qor != nullptr) {
-                  qor->add("ising/sb/budget_rescales");
-                  qor->sample("ising/sb/rescaled_max_iterations",
-                              static_cast<double>(affordable));
-                }
-                trace_instant(tracer, "ising/bsb/budget_rescale");
-              }
-            }
-          }
-        }
-      }
-
-      const bool variance_stop = monitor.observe(best_now);
-      const bool deadline_stop =
-          !variance_stop && ctx_ != nullptr && ctx_->expired();
-      if (variance_stop || deadline_stop) {
-        result.stopped_early = true;
-        ++iter;
-        if (ctx_ != nullptr) {
-          ctx_->telemetry().add(variance_stop ? "ising/sb/dynamic_stops"
-                                              : "ising/sb/deadline_hits");
-        }
-        trace_instant(tracer, variance_stop ? "ising/bsb/dynamic_stop"
-                                            : "ising/bsb/deadline_hit");
-        break;
-      }
-    }
-  }
-
-  sample();
-  consider_all();
-  result.iterations = iter;
-  if (ctx_ != nullptr) {
-    ctx_->telemetry().add("ising/sb/steps", iter);
-    ctx_->telemetry().add("ising/sb/replica_steps", iter * R_);
-    ctx_->telemetry().add("ising/sb/energy_samples", energy_samples);
-  }
-  return result;
+void BsbBatchEngine::record_totals(TelemetrySink& sink, std::size_t iterations,
+                                   std::size_t energy_samples) const {
+  sink.add("ising/sb/steps", iterations);
+  sink.add("ising/sb/replica_steps", iterations * R_);
+  sink.add("ising/sb/energy_samples", energy_samples);
 }
 
 IsingSolveResult solve_sb_batch(const IsingModel& model, const SbParams& params,

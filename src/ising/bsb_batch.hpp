@@ -1,58 +1,23 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "ising/bsb.hpp"
-#include "ising/kernels/force_kernels.hpp"
+#include "ising/engine.hpp"
 #include "ising/model.hpp"
-#include "support/aligned.hpp"
 
 namespace adsd {
 
 class RunContext;
 
-/// Mutable view of one replica inside the batched engine's
-/// replica-contiguous (structure-of-arrays) state: element i of the replica
-/// lives at offset i * stride. Intervention hooks (the Theorem-3 reset of
-/// Sec. 3.3.2) read and write oscillators through this view directly, so no
-/// O(n * R) gather/scatter copy is needed per sampling point.
-class ReplicaView {
- public:
-  ReplicaView(double* x, double* y, std::size_t n, std::size_t stride)
-      : x_(x), y_(y), n_(n), stride_(stride) {}
-
-  std::size_t size() const { return n_; }
-  std::size_t stride() const { return stride_; }
-
-  double& x(std::size_t i) { return x_[i * stride_]; }
-  double x(std::size_t i) const { return x_[i * stride_]; }
-  double& y(std::size_t i) { return y_[i * stride_]; }
-  double y(std::size_t i) const { return y_[i * stride_]; }
-
- private:
-  double* x_;
-  double* y_;
-  std::size_t n_;
-  std::size_t stride_;
-};
-
-/// Per-replica intervention hook of the batched engine; called at every
-/// sampling point with the replica index and a strided view of its state.
-using SbBatchHook = std::function<void(std::size_t replica, ReplicaView view)>;
-
-/// Whole-ensemble intervention hook: called once per sampling point with
-/// the raw SoA position/momentum planes (element i of replica r at index
-/// i * replicas + r). Batched interventions (the plane-based Theorem-3
-/// reset) use this to sweep all replicas with replica-contiguous inner
-/// loops instead of R strided passes.
-using SbBatchPlaneHook = std::function<void(
-    std::span<double> x, std::span<double> y, std::size_t replicas)>;
-
 /// Batched ballistic/discrete simulated bifurcation: R replicas advanced in
-/// lockstep over a single flattened CSR traversal.
+/// lockstep over a single flattened CSR traversal, hosted on the shared
+/// EnsembleEngineBase chassis (SoA planes, dispatched force kernel,
+/// incremental energy tracking) and driven by the engine-agnostic
+/// run_engine() sweep driver.
 ///
 /// Layout: all state is structure-of-arrays with replicas contiguous —
 /// x[i * R + r] is oscillator i of replica r — so the coupling loop loads
@@ -72,112 +37,37 @@ using SbBatchPlaneHook = std::function<void(
 /// params.seed + r * 0x9e3779b9 bit-for-bit: the per-replica arithmetic uses
 /// the same expression trees and the same operation order per element, and
 /// the wall clamp is a branchless select with identical semantics.
-///
-/// Energy sampling is incremental: the engine tracks the sign vector and
-/// energy of every replica and, at each sampling point, updates the energy
-/// by the exact flip telescope in O(flipped spins * degree) instead of
-/// recomputing O(edges) per replica (invariant: tracked energy equals
-/// IsingModel::energy() of the tracked signs up to accumulation rounding).
-/// When a replica's tracked energy threatens the incumbent, the energy is
-/// recomputed from scratch once and the tracked value snapped to it, so the
-/// reported best is always a from-scratch IsingModel::energy() value.
-class BsbBatchEngine {
+class BsbBatchEngine final : public EnsembleEngineBase {
  public:
   /// The model reference must outlive the engine.
   BsbBatchEngine(const IsingModel& model, const SbParams& params,
                  std::size_t replicas);
 
-  /// Attaches an execution context (must outlive the engine; nullptr
-  /// detaches). With a context, force evaluation shards rows across
-  /// ctx->pool() once n * R is large enough to amortize chunk dispatch —
-  /// bit-identical at every thread count because each row's accumulation
-  /// is independent and element order within a row is unchanged — and
-  /// run() honors the context deadline at sampling points.
-  void set_context(const RunContext* ctx) { ctx_ = ctx; }
-
-  std::size_t num_spins() const { return n_; }
-  std::size_t replicas() const { return R_; }
   std::size_t steps_done() const { return step_; }
-
-  /// Resolved force-kernel name ("scalar", "avx2", "avx512",
-  /// "dense-avx512", ...) after dispatch walked the fallback chain.
-  const char* kernel_name() const { return kernel_.name; }
-
-  /// Resolved force-kernel kind (never kAuto).
-  kernels::ForceKernel kernel_kind() const { return kernel_.kind; }
 
   /// One Euler step for all replicas (pump ramp from the step counter).
   void step();
 
-  /// Force evaluation alone (fills the internal force plane from the
-  /// current positions); exposed for the micro-benchmarks.
-  void compute_forces();
-
-  /// Refreshes the tracked signs and per-replica energies from the current
-  /// positions via incremental flip updates. Call after external position
-  /// edits (hooks) and before reading energies()/spins().
-  void sample();
-
-  /// Tracked per-replica energies (valid after sample()).
-  std::span<const double> energies() const { return energies_; }
-
-  /// Tracked signs, SoA layout: spins()[i * R + r] (valid after sample()).
-  std::span<const std::int8_t> spins() const { return spins_; }
-
-  /// Strided state view of replica r.
-  ReplicaView view(std::size_t r) {
-    return ReplicaView(x_.data() + r, y_.data() + r, n_, R_);
+  // IsingEngine contract: the "ising/sb" counter and "ising/bsb" trace
+  // namespaces are the engine's historical names, kept verbatim.
+  const char* telemetry_prefix() const override { return "ising/sb"; }
+  const char* trace_prefix() const override { return "ising/bsb"; }
+  std::string curve_name() const override;
+  std::size_t max_iterations() const override { return params_.max_iterations; }
+  std::size_t sample_interval() const override;
+  const DynamicStopParams& stop_params() const override { return params_.stop; }
+  bool supports_budget_rescale() const override { return true; }
+  void apply_budget_rescale(std::size_t max_iterations) override {
+    params_.max_iterations = max_iterations;
   }
-
-  /// Raw SoA position/momentum planes (size n * R), for benchmarks/tests.
-  std::span<double> positions() { return x_; }
-  std::span<double> momenta() { return y_; }
-  std::span<const double> forces() const { return force_; }
-
-  /// Full solve loop (integration, sampling, dynamic stop, best tracking);
-  /// `iterations` of the result counts Euler steps of one replica — callers
-  /// scale by replicas() if they want the ensemble total. At each sampling
-  /// point `plane_hook` (if any) runs first over the whole ensemble, then
-  /// `hook` per replica.
-  IsingSolveResult run(const SbBatchHook& hook = nullptr,
-                       const SbBatchPlaneHook& plane_hook = nullptr);
+  void advance(std::size_t /*iter*/) override { step(); }
+  void record_totals(TelemetrySink& sink, std::size_t iterations,
+                     std::size_t energy_samples) const override;
 
  private:
-  void flip(std::size_t i, std::size_t r, std::int8_t new_sign);
-  double exact_energy(std::size_t r);
-  void copy_replica_spins(std::size_t r, std::vector<std::int8_t>& out) const;
-
-  const IsingModel& model_;
   SbParams params_;
-  const RunContext* ctx_ = nullptr;
-  std::size_t n_;
-  std::size_t R_;
   double c0_;
   std::size_t step_ = 0;
-
-  // Flattened CSR planes: separate index and weight arrays.
-  std::vector<std::size_t> row_start_;       // n_ + 1
-  AlignedVector<std::uint32_t> cols_;
-  AlignedVector<double> weights_;
-  AlignedVector<double> h_;
-
-  // Dispatched force kernel: resolved entry points + the pointer bundle
-  // handed to them (set up once in the constructor, after the planes
-  // above stop reallocating).
-  kernels::SelectedForceKernel kernel_;
-  kernels::ForceRowsFn force_fn_ = nullptr;  // continuous or discrete entry
-  kernels::ForcePlanes planes_;
-
-  // SoA replica-contiguous state, n_ * R_ each.
-  AlignedVector<double> x_;
-  AlignedVector<double> y_;
-  AlignedVector<double> force_;
-
-  // Incremental-energy tracking.
-  AlignedVector<std::int8_t> spins_;   // n_ * R_
-  std::vector<double> energies_;       // R_
-  std::vector<std::uint8_t> dirty_;    // R_: flips since last scratch sync
-  std::vector<std::int8_t> scratch_spins_;  // n_, gather buffer
 };
 
 /// Batched counterpart of solve_sb_ensemble() built on BsbBatchEngine: R

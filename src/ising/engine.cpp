@@ -1,0 +1,389 @@
+#include "ising/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "support/cpu_features.hpp"
+#include "support/qor.hpp"
+#include "support/run_context.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+#include "support/trace.hpp"
+
+namespace adsd {
+
+namespace {
+
+// Minimum n * R before force evaluation is sharded across the pool: below
+// this the whole kernel runs in a few microseconds and chunk dispatch would
+// dominate (the batched kernel streams ~2.6 G lanes/s single-threaded).
+constexpr std::size_t kForceShardMinLanes = 8192;
+
+}  // namespace
+
+CsrPlanes flatten_csr(const IsingModel& model) {
+  // Flatten the CSR adjacency into separate index/weight planes so the hot
+  // loop streams two homogeneous arrays instead of interleaved pairs.
+  const std::size_t n = model.num_spins();
+  CsrPlanes csr;
+  csr.row_start.assign(n + 1, 0);
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    nnz += model.neighbors(i).size();
+    csr.row_start[i + 1] = nnz;
+  }
+  csr.cols.resize(nnz);
+  csr.weights.resize(nnz);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t e = csr.row_start[i];
+    for (const auto& [j, w] : model.neighbors(i)) {
+      csr.cols[e] = j;
+      csr.weights[e] = w;
+      ++e;
+    }
+  }
+  csr.h.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    csr.h[i] = model.bias(i);
+  }
+  return csr;
+}
+
+double default_coupling_strength(const IsingModel& model, double detuning) {
+  const double rms = model.coupling_rms();
+  return rms > 0.0
+             ? 0.5 * detuning /
+                   (rms * std::sqrt(static_cast<double>(model.num_spins())))
+             : 1.0;
+}
+
+void EnsembleEnergyTracker::init(const IsingModel& model, const CsrPlanes& csr,
+                                 std::span<const double> x,
+                                 std::size_t replicas) {
+  model_ = &model;
+  csr_ = &csr;
+  n_ = model.num_spins();
+  R_ = replicas;
+  spins_.resize(n_ * R_);
+  for (std::size_t k = 0; k < n_ * R_; ++k) {
+    spins_[k] = x[k] >= 0.0 ? std::int8_t{1} : std::int8_t{-1};
+  }
+  scratch_spins_.resize(n_);
+  energies_.resize(R_);
+  for (std::size_t r = 0; r < R_; ++r) {
+    energies_[r] = exact_energy(r);
+  }
+  // Tracked energies start as from-scratch values, so every replica is in
+  // sync with IsingModel::energy() until the first flip.
+  dirty_.assign(R_, 0);
+}
+
+void EnsembleEnergyTracker::flip(std::size_t i, std::size_t r,
+                                 std::int8_t new_sign) {
+  // Exact flip telescope: the energy delta of flipping spin i is
+  // 2 * s_i * (h_i + sum_j J_ij s_j) with the *current* tracked signs, so
+  // applying flips one at a time keeps the tracked energy equal to a full
+  // recomputation (up to accumulation rounding).
+  const std::int8_t old_sign = spins_[i * R_ + r];
+  double field = csr_->h[i];
+  for (std::size_t e = csr_->row_start[i]; e < csr_->row_start[i + 1]; ++e) {
+    field += csr_->weights[e] *
+             static_cast<double>(
+                 spins_[static_cast<std::size_t>(csr_->cols[e]) * R_ + r]);
+  }
+  energies_[r] += 2.0 * static_cast<double>(old_sign) * field;
+  spins_[i * R_ + r] = new_sign;
+  dirty_[r] = 1;
+}
+
+void EnsembleEnergyTracker::sample(std::span<const double> x) {
+  const std::size_t R = R_;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double* xi = &x[i * R];
+    const std::int8_t* si = &spins_[i * R];
+    for (std::size_t r = 0; r < R; ++r) {
+      const std::int8_t ns = xi[r] >= 0.0 ? std::int8_t{1} : std::int8_t{-1};
+      if (ns != si[r]) {
+        flip(i, r, ns);
+      }
+    }
+  }
+}
+
+double EnsembleEnergyTracker::consider_all(IsingSolveResult& result) {
+  // A replica's tracked energy can drift from the from-scratch value only by
+  // flip-accumulation rounding (~1e-15 relative), so a tracked energy within
+  // this slack of the incumbent triggers one exact recomputation; everything
+  // else is filtered in O(1). The recomputed value is snapped back into the
+  // tracker, which also re-synchronizes the drift.
+  double best_now = energies_[0];
+  for (std::size_t r = 0; r < R_; ++r) {
+    const double slack = 1e-9 + 1e-12 * std::fabs(result.energy);
+    if (dirty_[r] != 0 && energies_[r] < result.energy + slack) {
+      const double es = exact_energy(r);
+      energies_[r] = es;
+      dirty_[r] = 0;
+      if (es < result.energy) {
+        result.energy = es;
+        copy_replica_spins(r, result.spins);
+      }
+    }
+    best_now = std::min(best_now, energies_[r]);
+  }
+  return best_now;
+}
+
+double EnsembleEnergyTracker::exact_energy(std::size_t r) {
+  copy_replica_spins(r, scratch_spins_);
+  return model_->energy(scratch_spins_);
+}
+
+void EnsembleEnergyTracker::copy_replica_spins(
+    std::size_t r, std::vector<std::int8_t>& out) const {
+  out.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    out[i] = spins_[i * R_ + r];
+  }
+}
+
+IsingSolveResult run_engine(IsingEngine& engine) {
+  Timer run_timer;
+  const RunContext* ctx = engine.context();
+  const char* tprefix = engine.telemetry_prefix();
+  const char* trprefix = engine.trace_prefix();
+
+  IsingSolveResult result;
+  engine.begin(result);
+
+  // Deadline-at-entry: a run started after the context deadline already
+  // expired (a restart boundary of an anytime solver looping tiny solves)
+  // must not burn a whole schedule before the first sampling point notices.
+  // Returns the initial state, flagged as an early stop.
+  if (ctx != nullptr && ctx->expired()) {
+    result.stopped_early = true;
+    ctx->telemetry().add(std::string(tprefix) + "/deadline_hits");
+    trace_instant(ctx->tracer(), std::string(trprefix) + "/deadline_hit");
+    return result;
+  }
+
+  const std::size_t sample_every = engine.sample_interval();
+  DynamicStopMonitor monitor(engine.stop_params());
+
+  // Convergence trace: the best-energy trajectory and the dynamic stop's
+  // variance reading at every sampling point, plus an instant for why the
+  // run ended. Recording only reads solver state, so traced runs stay
+  // bit-identical to untraced ones.
+  TraceRecorder* tracer = ctx != nullptr ? ctx->tracer() : nullptr;
+  const TraceSpan run_span(tracer, std::string(trprefix) + "/run");
+  std::size_t energy_samples = 0;
+
+  // Best-energy-vs-iteration curve for the QoR export. The name is built
+  // only when recording is armed; the off path is the pointer test alone.
+  QorRecorder* qor = ctx != nullptr ? ctx->qor() : nullptr;
+  std::uint64_t curve_id = 0;
+  if (qor != nullptr) {
+    curve_id = qor->begin_curve(engine.curve_name());
+  }
+  if (ctx != nullptr) {
+    engine.on_run_start();
+  }
+  bool budget_checked = false;
+
+  // Composed once: the sampling loop must not allocate per point.
+  const std::string best_counter = std::string(trprefix) + "/best_energy";
+  const std::string variance_counter =
+      std::string(trprefix) + "/stop_variance";
+
+  std::size_t iter = 0;
+  for (; iter < engine.max_iterations(); ++iter) {
+    engine.advance(iter);
+    if ((iter + 1) % sample_every == 0) {
+      const double best_now = engine.observe(result);
+      ++energy_samples;
+      trace_counter(tracer, best_counter, best_now);
+      trace_counter(tracer, variance_counter, monitor.current_variance());
+      if (qor != nullptr) {
+        qor->curve_point(curve_id, iter + 1, best_now);
+      }
+
+      // Budget-aware iteration rescale: when a context deadline implies
+      // fewer sampling points than configured, shrink max_iterations at the
+      // first sampling point (the one timing estimate available) so a
+      // pump-ramp engine completes its shortened schedule by the deadline
+      // instead of being truncated mid-ramp. Guarded on the deadline alone —
+      // budget-less runs never take this path, so fixed-seed results stay
+      // bit-identical with QoR on or off.
+      if (!budget_checked) {
+        budget_checked = true;
+        if (engine.supports_budget_rescale() && ctx != nullptr &&
+            ctx->deadline().budget() > 0.0) {
+          const double per_step =
+              run_timer.seconds() / static_cast<double>(iter + 1);
+          const double remaining = ctx->deadline().remaining();
+          if (per_step > 0.0) {
+            const double affordable_d =
+                static_cast<double>(iter + 1) + 0.9 * remaining / per_step;
+            if (affordable_d < static_cast<double>(engine.max_iterations())) {
+              const std::size_t affordable = std::max<std::size_t>(
+                  static_cast<std::size_t>(affordable_d), iter + 2);
+              if (affordable < engine.max_iterations()) {
+                const std::size_t dropped =
+                    engine.max_iterations() - affordable;
+                engine.apply_budget_rescale(affordable);
+                ctx->telemetry().add(std::string(tprefix) +
+                                     "/budget_rescales");
+                ctx->telemetry().add(
+                    std::string(tprefix) + "/budget_rescaled_steps", dropped);
+                if (qor != nullptr) {
+                  qor->add(std::string(tprefix) + "/budget_rescales");
+                  qor->sample(
+                      std::string(tprefix) + "/rescaled_max_iterations",
+                      static_cast<double>(affordable));
+                }
+                trace_instant(tracer,
+                              std::string(trprefix) + "/budget_rescale");
+              }
+            }
+          }
+        }
+      }
+
+      const bool variance_stop = monitor.observe(best_now);
+      const bool deadline_stop =
+          !variance_stop && ctx != nullptr && ctx->expired();
+      if (variance_stop || deadline_stop) {
+        result.stopped_early = true;
+        ++iter;
+        if (ctx != nullptr) {
+          ctx->telemetry().add(std::string(tprefix) +
+                               (variance_stop ? "/dynamic_stops"
+                                              : "/deadline_hits"));
+        }
+        trace_instant(tracer, std::string(trprefix) +
+                                  (variance_stop ? "/dynamic_stop"
+                                                 : "/deadline_hit"));
+        break;
+      }
+    }
+  }
+
+  engine.finish(result);
+  result.iterations = iter;
+  if (ctx != nullptr) {
+    engine.record_totals(ctx->telemetry(), iter, energy_samples);
+  }
+  return result;
+}
+
+EnsembleEngineBase::EnsembleEngineBase(const IsingModel& model,
+                                       std::size_t replicas,
+                                       kernels::ForceKernel requested,
+                                       bool discrete, const char* label)
+    : model_(model), n_(model.num_spins()), R_(replicas) {
+  if (!model.finalized()) {
+    throw std::invalid_argument(std::string(label) +
+                                ": model must be finalized");
+  }
+  if (replicas == 0) {
+    throw std::invalid_argument(std::string(label) + ": need >= 1 replica");
+  }
+
+  csr_ = flatten_csr(model);
+
+  // Resolve the force kernel once: cpuid-probed ISA tier, dense fast path
+  // when the model materialized a plane, explicit override via the
+  // engine's kernel parameter. The dispatch never fails — unsupported
+  // requests walk the fallback chain (avx512 -> avx2 -> scalar,
+  // dense -> CSR).
+  kernel_ =
+      kernels::select_force_kernel(requested, cpu_features(),
+                                   model.has_dense_plane());
+  force_fn_ = discrete ? kernel_.discrete : kernel_.continuous;
+  planes_ = kernels::ForcePlanes{};
+  planes_.h = csr_.h.data();
+  planes_.row_start = csr_.row_start.data();
+  planes_.cols = csr_.cols.data();
+  planes_.weights = csr_.weights.data();
+  if (kernel_.kind == kernels::ForceKernel::kDense) {
+    planes_.dense = model.dense_plane().data();
+    planes_.dense_stride = model.dense_stride();
+  }
+  planes_.n = n_;
+  planes_.replicas = R_;
+
+  x_.assign(n_ * R_, 0.0);
+  y_.assign(n_ * R_, 0.0);
+  force_.assign(n_ * R_, 0.0);
+  planes_.x = x_.data();
+  planes_.force = force_.data();
+}
+
+void EnsembleEngineBase::compute_forces() {
+  // The dispatched kernel fills force rows [begin, end); rows are
+  // independent (each writes only force_[i * R + ...]), so sharding across
+  // the pool produces bit-identical planes in any interleaving. Every
+  // kernel preserves the per-lane per-edge accumulation order of the
+  // scalar reference (see ising/kernels/force_kernels.hpp), which is what
+  // keeps replica trajectories bit-identical to the scalar references.
+  if (ctx_ != nullptr && ctx_->parallel() && n_ * R_ >= kForceShardMinLanes) {
+    ThreadPool& pool = ctx_->pool();
+    if (pool.thread_count() > 1) {
+      // A nested call from inside DALTA's parallel_for runs inline via the
+      // pool's nesting guard — same code path, no oversubscription.
+      pool.parallel_for_chunks(
+          n_, 0, [this](std::size_t begin, std::size_t end) {
+            force_fn_(planes_, begin, end);
+          });
+      return;
+    }
+  }
+  force_fn_(planes_, 0, n_);
+}
+
+void EnsembleEngineBase::begin(IsingSolveResult& result) {
+  tracker_.copy_replica_spins(0, result.spins);
+  result.energy = tracker_.energies()[0];
+}
+
+void EnsembleEngineBase::on_run_start() {
+  // Report which force kernel dispatch resolved to, so run reports and QoR
+  // records show whether the SIMD / dense fast path was actually taken.
+  const std::string kernel_counter =
+      std::string(telemetry_prefix()) + "/kernel/" + kernel_.name;
+  ctx_->telemetry().add(kernel_counter);
+  if (QorRecorder* qor = ctx_->qor()) {
+    qor->add(kernel_counter);
+  }
+}
+
+double EnsembleEngineBase::observe(IsingSolveResult& result) {
+  if (plane_hook_) {
+    plane_hook_(positions(), momenta(), R_);
+  }
+  if (hook_) {
+    for (std::size_t r = 0; r < R_; ++r) {
+      hook_(r, view(r));
+    }
+  }
+  sample();
+  return tracker_.consider_all(result);
+}
+
+void EnsembleEngineBase::finish(IsingSolveResult& result) {
+  sample();
+  tracker_.consider_all(result);
+}
+
+IsingSolveResult EnsembleEngineBase::run(const SbBatchHook& hook,
+                                         const SbBatchPlaneHook& plane_hook) {
+  hook_ = hook;
+  plane_hook_ = plane_hook;
+  IsingSolveResult result = run_engine(*this);
+  hook_ = nullptr;
+  plane_hook_ = nullptr;
+  return result;
+}
+
+}  // namespace adsd

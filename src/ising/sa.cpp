@@ -2,69 +2,85 @@
 
 #include <cmath>
 #include <stdexcept>
-#include <vector>
+#include <string>
 
-#include "support/rng.hpp"
 #include "support/run_context.hpp"
+#include "support/telemetry.hpp"
 
 namespace adsd {
 
-IsingSolveResult solve_sa(const IsingModel& model, const SaParams& params,
-                          const RunContext* ctx) {
+SaEngine::SaEngine(const IsingModel& model, const SaParams& params)
+    : model_(model),
+      params_(params),
+      n_(model.num_spins()),
+      rng_(params.seed) {
   if (!model.finalized()) {
-    throw std::invalid_argument("solve_sa: model must be finalized");
+    throw std::invalid_argument("SaEngine: model must be finalized");
   }
   if (params.sweeps == 0 || params.beta_start <= 0.0 ||
       params.beta_end < params.beta_start) {
-    throw std::invalid_argument("solve_sa: bad parameters");
+    throw std::invalid_argument("SaEngine: bad parameters");
   }
 
-  const std::size_t n = model.num_spins();
-  Rng rng(params.seed);
-
-  std::vector<std::int8_t> spins(n);
-  for (auto& s : spins) {
-    s = static_cast<std::int8_t>(rng.next_spin());
+  spins_.resize(n_);
+  for (auto& s : spins_) {
+    s = static_cast<std::int8_t>(rng_.next_spin());
   }
-  double energy = model.energy(spins);
+  energy_ = model.energy(spins_);
 
-  IsingSolveResult result;
-  result.spins = spins;
-  result.energy = energy;
+  ratio_ = params_.sweeps > 1
+               ? std::pow(params_.beta_end / params_.beta_start,
+                          1.0 / static_cast<double>(params_.sweeps - 1))
+               : 1.0;
+  beta_ = params_.beta_start;
+}
 
-  DynamicStopMonitor monitor(params.stop);
-  const double ratio =
-      params.sweeps > 1 ? std::pow(params.beta_end / params.beta_start,
-                                   1.0 / static_cast<double>(params.sweeps - 1))
-                        : 1.0;
-  double beta = params.beta_start;
+std::string SaEngine::curve_name() const {
+  return "ising/sa/n" + std::to_string(n_);
+}
 
-  std::size_t sweep = 0;
-  for (; sweep < params.sweeps; ++sweep) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const double delta = model.flip_delta(spins, i);
-      if (delta <= 0.0 || rng.next_double() < std::exp(-beta * delta)) {
-        spins[i] = static_cast<std::int8_t>(-spins[i]);
-        energy += delta;
-      }
+void SaEngine::begin(IsingSolveResult& result) {
+  result.spins = spins_;
+  result.energy = energy_;
+}
+
+void SaEngine::advance(std::size_t iter) {
+  // The historical loop multiplied beta at the *end* of every non-stopping
+  // sweep; advancing it at the start of every sweep but the first walks
+  // the identical schedule (sweep j runs at beta_start * ratio^j).
+  if (iter > 0) {
+    beta_ *= ratio_;
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double delta = model_.flip_delta(spins_, i);
+    if (delta <= 0.0 || rng_.next_double() < std::exp(-beta_ * delta)) {
+      spins_[i] = static_cast<std::int8_t>(-spins_[i]);
+      energy_ += delta;
     }
-    if (energy < result.energy) {
-      result.energy = energy;
-      result.spins = spins;
-    }
-    if (monitor.observe(energy) || (ctx != nullptr && ctx->expired())) {
-      result.stopped_early = true;
-      ++sweep;
-      break;
-    }
-    beta *= ratio;
   }
+}
 
-  result.iterations = sweep;
-  if (ctx != nullptr) {
-    ctx->telemetry().add("ising/sa/sweeps", sweep);
+double SaEngine::observe(IsingSolveResult& result) {
+  if (energy_ < result.energy) {
+    result.energy = energy_;
+    result.spins = spins_;
   }
-  return result;
+  // The dynamic-stop window watches the *current* (not best) energy, as the
+  // historical solver did: a plateaued random walk stops even when the best
+  // was found long ago.
+  return energy_;
+}
+
+void SaEngine::record_totals(TelemetrySink& sink, std::size_t iterations,
+                             std::size_t /*energy_samples*/) const {
+  sink.add("ising/sa/sweeps", iterations);
+}
+
+IsingSolveResult solve_sa(const IsingModel& model, const SaParams& params,
+                          const RunContext* ctx) {
+  SaEngine engine(model, params);
+  engine.set_context(ctx);
+  return run_engine(engine);
 }
 
 }  // namespace adsd

@@ -1,9 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
+#include "ising/engine.hpp"
 #include "ising/model.hpp"
 #include "ising/stop.hpp"
+#include "support/rng.hpp"
 
 namespace adsd {
 
@@ -27,6 +31,43 @@ struct SaParams {
 };
 
 class RunContext;
+
+/// Metropolis simulated annealing rehosted on the IsingEngine contract:
+/// advance() is one sequential Metropolis sweep (beta multiplied into the
+/// geometric schedule before every sweep but the first, which reproduces
+/// the historical end-of-sweep update bit-for-bit), observe() folds the
+/// current assignment into the incumbent and hands the *current* energy to
+/// the dynamic-stop window, and the shared driver supplies deadline
+/// checks, sampling bookkeeping, and "ising/sa/*" emissions.
+class SaEngine final : public IsingEngine {
+ public:
+  /// The model reference must outlive the engine.
+  SaEngine(const IsingModel& model, const SaParams& params);
+
+  std::size_t num_spins() const { return n_; }
+
+  const char* telemetry_prefix() const override { return "ising/sa"; }
+  const char* trace_prefix() const override { return "ising/sa"; }
+  std::string curve_name() const override;
+  std::size_t max_iterations() const override { return params_.sweeps; }
+  std::size_t sample_interval() const override { return 1; }
+  const DynamicStopParams& stop_params() const override { return params_.stop; }
+  void begin(IsingSolveResult& result) override;
+  void advance(std::size_t iter) override;
+  double observe(IsingSolveResult& result) override;
+  void record_totals(TelemetrySink& sink, std::size_t iterations,
+                     std::size_t energy_samples) const override;
+
+ private:
+  const IsingModel& model_;
+  SaParams params_;
+  std::size_t n_;
+  Rng rng_;
+  std::vector<std::int8_t> spins_;
+  double energy_;
+  double beta_;
+  double ratio_;
+};
 
 /// Metropolis simulated annealing on a finalized model. Returns the best
 /// assignment visited. `iterations` counts executed sweeps. A non-null

@@ -26,7 +26,8 @@ ColumnCop random_cop(std::uint64_t seed, std::size_t r = 5,
 TEST(SolverRegistry, AllCanonicalNamesBuild) {
   const SolverRegistry& r = SolverRegistry::global();
   for (const char* name :
-       {"prop", "dalta", "dalta-lit", "ilp", "ba", "alt", "exhaustive"}) {
+       {"prop", "sa", "simcim", "doch", "portfolio", "dalta", "dalta-lit",
+        "ilp", "ba", "alt", "exhaustive"}) {
     const auto solver = r.make(name);
     ASSERT_NE(solver, nullptr) << name;
   }
@@ -39,7 +40,8 @@ TEST(SolverRegistry, AliasesResolveToTheSameEntryAsTheClassName) {
   const std::pair<const char*, const char*> pairs[] = {
       {"prop", "ising-bsb"},     {"dalta", "dalta-greedy"},
       {"ilp", "ilp-bnb"},        {"ba", "ba-anneal"},
-      {"alt", "alternating"},
+      {"alt", "alternating"},    {"sa", "ising-sa"},
+      {"simcim", "ising-simcim"}, {"doch", "ising-doch"},
   };
   for (const auto& [canonical, alias] : pairs) {
     EXPECT_EQ(r.find(canonical), r.find(alias)) << canonical;
@@ -76,6 +78,68 @@ TEST(SolverRegistry, UnknownKeyThrowsStrictly) {
   budget.set("budget", "1.0");
   EXPECT_THROW((void)SolverRegistry::global().make("dalta", budget),
                std::invalid_argument);
+}
+
+// Fixture for the enriched unknown-name diagnostic: every canonical name
+// appears in sorted order, followed by an "aliases:" section listing the
+// class-name spellings, so a typo'd spec is self-correcting.
+TEST(SolverRegistry, UnknownNameErrorEnumeratesTheFullRoster) {
+  try {
+    (void)SolverRegistry::global().make("nope");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown solver 'nope'"), std::string::npos) << msg;
+    std::size_t last = 0;
+    for (const char* name :
+         {"alt", "ba", "dalta", "dalta-lit", "doch", "exhaustive", "ilp",
+          "portfolio", "prop", "sa", "simcim"}) {
+      const std::size_t pos = msg.find(name, last);
+      EXPECT_NE(pos, std::string::npos) << name << " missing in: " << msg;
+      last = pos;
+    }
+    const std::size_t aliases = msg.find("aliases:");
+    ASSERT_NE(aliases, std::string::npos) << msg;
+    for (const char* alias :
+         {"ising-bsb", "ising-doch", "ising-sa", "ising-simcim"}) {
+      EXPECT_NE(msg.find(alias, aliases), std::string::npos)
+          << alias << " missing in: " << msg;
+    }
+  }
+}
+
+// Fixture for the enriched unknown-key diagnostic: the offending key is
+// named and the solver's declared keys are listed sorted.
+TEST(SolverRegistry, UnknownKeyErrorEnumeratesDeclaredKeys) {
+  SolverConfig config;
+  config.set("bogus", "1");
+  try {
+    (void)SolverRegistry::global().make("sa", config);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("solver 'sa' does not take key 'bogus'"),
+              std::string::npos)
+        << msg;
+    // Sorted declared keys: beta-end before beta-start before n ...
+    std::size_t last = 0;
+    for (const char* key :
+         {"beta-end", "beta-start", "n", "polish", "replicas", "sweeps"}) {
+      const std::size_t pos = msg.find(key, last);
+      EXPECT_NE(pos, std::string::npos) << key << " missing in: " << msg;
+      last = pos;
+    }
+  }
+  // A keyless solver reports that it takes none.
+  SolverConfig any;
+  any.set("x", "1");
+  try {
+    (void)SolverRegistry::global().make("exhaustive", any);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("no keys"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(SolverRegistry, MalformedValuesThrow) {

@@ -4,6 +4,11 @@
 //   adsd_cli info
 //       List built-in benchmark functions and solvers.
 //
+//   adsd_cli list-solvers   (also: adsd_cli --list-solvers)
+//       List every registry-constructible solver with its aliases, config
+//       keys, and — for engines that take a kernel= key — the SIMD force
+//       kernel an auto request resolves to on this host.
+//
 //   adsd_cli decompose --function exp --n 9 --free 4 [options]
 //   adsd_cli decompose --hex table.tt --free 4 [options]
 //       Run the approximate decomposition and print the accuracy/storage
@@ -57,6 +62,7 @@
 #include "core/quality_report.hpp"
 #include "core/solver_registry.hpp"
 #include "funcs/registry.hpp"
+#include "ising/kernels/force_kernels.hpp"
 #include "lut/verilog_export.hpp"
 #include "support/cli.hpp"
 #include "support/run_context.hpp"
@@ -158,6 +164,47 @@ int cmd_info() {
                      keys.empty() ? "-" : keys, entry.summary});
   }
   solvers.print(std::cout);
+  return 0;
+}
+
+int cmd_list_solvers() {
+  // The auto-resolution is host-global: one decision for CSR models and one
+  // for models that materialized a dense plane. Per-entry, the kernel
+  // column shows what `kernel=auto` (the default) means here and now.
+  const CpuFeatures& features = cpu_features();
+  const kernels::SelectedForceKernel csr =
+      kernels::select_force_kernel(kernels::ForceKernel::kAuto, features,
+                                   /*dense_available=*/false);
+  const kernels::SelectedForceKernel dense =
+      kernels::select_force_kernel(kernels::ForceKernel::kAuto, features,
+                                   /*dense_available=*/true);
+
+  Table solvers({"name", "aliases", "kernel (auto)", "config keys"});
+  for (const auto& entry : SolverRegistry::global().entries()) {
+    std::string aliases;
+    for (const auto& a : entry.aliases) {
+      aliases += aliases.empty() ? a : ", " + a;
+    }
+    std::string keys;
+    for (const auto& k : entry.keys) {
+      keys += keys.empty() ? k : ", " + k;
+    }
+    const bool takes_kernel =
+        std::find(entry.keys.begin(), entry.keys.end(), "kernel") !=
+        entry.keys.end();
+    solvers.add_row({entry.name, aliases.empty() ? "-" : aliases,
+                     takes_kernel ? csr.name : "-",
+                     keys.empty() ? "-" : keys});
+  }
+  solvers.print(std::cout);
+
+  std::cout << "\nforce kernels on this host: auto -> " << csr.name
+            << " (csr), " << dense.name << " (dense); selectable:";
+  for (const kernels::ForceKernel k :
+       kernels::selectable_force_kernels(/*dense_available=*/true)) {
+    std::cout << " " << kernels::force_kernel_name(k);
+  }
+  std::cout << "\n";
   return 0;
 }
 
@@ -346,6 +393,9 @@ int main(int argc, char** argv) {
         args.positional().empty() ? "help" : args.positional()[0];
     if (cmd == "info") {
       return cmd_info();
+    }
+    if (cmd == "list-solvers" || args.has("list-solvers")) {
+      return cmd_list_solvers();
     }
     if (cmd == "decompose") {
       return cmd_decompose(args);
