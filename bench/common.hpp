@@ -22,6 +22,7 @@
 #include "funcs/registry.hpp"
 #include "support/cli.hpp"
 #include "support/json.hpp"
+#include "support/metrics.hpp"
 #include "support/run_context.hpp"
 #include "support/table.hpp"
 
@@ -82,6 +83,7 @@ inline RunContext::Options context_options(const CliArgs& args) {
   }
   opts.trace = args.has("trace") || args.has("report");
   opts.qor = args.has("qor");
+  opts.metrics = args.has("metrics");
   return opts;
 }
 
@@ -100,7 +102,7 @@ inline bool is_harness_flag(std::string_view token) {
                           : token.find('=') - 2);
   return name == "telemetry" || name == "trace" || name == "report" ||
          name == "threads" || name == "seed" || name == "qor" ||
-         name == "json";
+         name == "json" || name == "metrics" || name == "metrics-format";
 }
 
 /// Removes the harness flags (both "--flag=value" and detached
@@ -223,10 +225,12 @@ class BenchReport {
 };
 
 /// Writes the artifacts requested via --telemetry / --trace / --report /
-/// --qor to the given files, in exactly the formats adsd_cli emits
-/// (telemetry report, Chrome trace_event timeline, run report, qor.json) —
-/// tools/trace_summary reads and validates the first three,
-/// tools/bench_diff compares qor.json files.
+/// --qor / --metrics to the given files, in exactly the formats adsd_cli
+/// emits (telemetry report, Chrome trace_event timeline, run report,
+/// qor.json, Prometheus text or adsd-metrics-v1 JSON per --metrics-format)
+/// — tools/trace_summary reads and validates the first three,
+/// tools/bench_diff compares qor.json files, tools/metrics_summary
+/// validates the metrics exposition.
 inline void write_run_artifacts(const CliArgs& args, const RunContext& ctx) {
   auto open = [&](const char* flag) {
     const std::string path = args.get_string(flag, "");
@@ -253,6 +257,19 @@ inline void write_run_artifacts(const CliArgs& args, const RunContext& ctx) {
   if (args.has("qor")) {
     auto f = open("qor");
     ctx.qor()->write_json(f);
+  }
+  if (args.has("metrics")) {
+    const std::string fmt = args.get_string("metrics-format", "prom");
+    if (fmt != "prom" && fmt != "json") {
+      throw std::invalid_argument("--metrics-format must be prom or json");
+    }
+    ctx.flush_drop_metrics();
+    auto f = open("metrics");
+    if (fmt == "json") {
+      MetricsRegistry::global().write_json(f);
+    } else {
+      MetricsRegistry::global().write_prometheus(f);
+    }
   }
 }
 

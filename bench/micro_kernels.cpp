@@ -32,6 +32,7 @@
 #include "ising/bsb_pack.hpp"
 #include "ising/kernels/force_kernels.hpp"
 #include "support/cpu_features.hpp"
+#include "support/metrics.hpp"
 #include "support/rng.hpp"
 #include "support/run_context.hpp"
 
@@ -434,6 +435,46 @@ void BM_SampleEnergyIncremental(benchmark::State& state) {
 BENCHMARK(BM_SampleEnergyScratch)->Arg(8);
 BENCHMARK(BM_SampleEnergyIncremental)->Arg(8);
 
+void BM_MetricsOffPath(benchmark::State& state) {
+  // Cost of one disarmed instrumentation site: a relaxed load of the armed
+  // pointer plus the never-taken branch — the price every run_engine()
+  // iteration pays when no context has metrics enabled. 16 sites per
+  // benchmark iteration amortize the loop/reporting overhead out, so the
+  // per-site budget (<= 2 ns, gated via BENCH_kernels.json on the 16-site
+  // time) is read off items_per_second.
+  for (auto _ : state) {
+    std::uint64_t armed_hits = 0;
+    for (int i = 0; i < 16; ++i) {
+      if (MetricsRegistry::armed() != nullptr) {
+        ++armed_hits;
+      }
+    }
+    benchmark::DoNotOptimize(armed_hits);
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_MetricsOffPath);
+
+void BM_MetricsHotPath(benchmark::State& state) {
+  // Cost of one armed site with the metric references cached (the pattern
+  // run_engine() uses): a relaxed counter add plus one histogram record
+  // (bucket fetch_add + CAS folds of sum/min/max).
+  MetricsRegistry::arm();
+  MetricsRegistry& reg = MetricsRegistry::global();
+  MetricsRegistry::Counter& hits = reg.counter("bench_hot_path_total");
+  MetricsRegistry::Histogram& lat =
+      reg.histogram("bench_hot_path_latency_us");
+  double v = 1.0;
+  for (auto _ : state) {
+    hits.add();
+    lat.record(v);
+    v = v < 4096.0 ? v * 1.25 : 1.0;
+  }
+  MetricsRegistry::disarm();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsHotPath);
+
 void BM_IsingEnergy(benchmark::State& state) {
   const auto n = static_cast<unsigned>(state.range(0));
   const auto cop = make_cop(n, n == 16 ? 7 : 4, 7);
@@ -642,7 +683,7 @@ int main(int argc, char** argv) {
   }
 
   if (args.has("telemetry") || args.has("trace") || args.has("report") ||
-      args.has("qor")) {
+      args.has("qor") || args.has("metrics")) {
     const RunContext ctx(bench::context_options(args));
     const auto solver = bench::make_solver("prop", 9, 0.0, 8);
     const auto cop = make_cop(9, 4, 3);

@@ -121,6 +121,9 @@ SbBatchPlaneHook make_theorem3_hook(const ColumnCop& cop, const RunContext& ctx,
     ctx.telemetry().add("ising/theorem3/resets", replicas);
     qor_add(ctx.qor(), "ising/theorem3/resets",
             static_cast<double>(replicas));
+    if (MetricsRegistry* m = ctx.metrics()) {
+      m->counter("theorem3_resets_total").add(replicas);
+    }
     if (!anti_collapse) {
       return;
     }
@@ -137,6 +140,9 @@ SbBatchPlaneHook make_theorem3_hook(const ColumnCop& cop, const RunContext& ctx,
       ctx.telemetry().add("ising/theorem3/anti_collapse", intervened);
       qor_add(ctx.qor(), "ising/theorem3/anti_collapse",
               static_cast<double>(intervened));
+      if (MetricsRegistry* m = ctx.metrics()) {
+        m->counter("theorem3_anti_collapse_total").add(intervened);
+      }
     }
     trace_counter(ctx.tracer(), "ising/theorem3/degenerate_replicas",
                   static_cast<double>(intervened));
@@ -220,15 +226,19 @@ ColumnSetting ising_core_solve(const ColumnCop& cop, const RunContext& ctx,
   const std::size_t restarts = std::max<std::size_t>(1, options.restarts);
   const std::size_t replicas = std::max<std::size_t>(1, options.replicas);
   const char* restart_span_name = "ising/bsb/restart";
+  const char* engine_metric_label = "sb";  // matches run_engine's label
   switch (options.engine) {
     case IsingEngineKind::kSa:
       restart_span_name = "ising/sa/restart";
+      engine_metric_label = "sa";
       break;
     case IsingEngineKind::kSimcim:
       restart_span_name = "ising/simcim/restart";
+      engine_metric_label = "simcim";
       break;
     case IsingEngineKind::kDoch:
       restart_span_name = "ising/doch/restart";
+      engine_metric_label = "doch";
       break;
     case IsingEngineKind::kBsb:
       break;
@@ -237,6 +247,10 @@ ColumnSetting ising_core_solve(const ColumnCop& cop, const RunContext& ctx,
     // One trace span per restart, so each restart's energy trajectory is a
     // separate segment of the flame graph.
     const TraceSpan restart_span(ctx.tracer(), restart_span_name);
+    if (MetricsRegistry* m = ctx.metrics()) {
+      m->counter("engine_restarts_total", {{"engine", engine_metric_label}})
+          .add();
+    }
     const std::uint64_t attempt_seed = seed + 0x9e3779b9u * attempt;
     // First attempt runs from the informed seed; further restarts explore
     // from the plain start with fresh momenta / noise / kicks.
@@ -440,11 +454,24 @@ ColumnSetting CoreCopSolver::solve(const ColumnCop& cop, const RunContext& ctx,
   const std::string span_path = "core/solve/" + name();
   const auto span = sink.span(span_path);
   const TraceSpan trace_span(ctx.tracer(), span_path);
+  const Timer solve_timer;
   ColumnSetting s = do_solve(cop, ctx, seed, out);
   sink.add("core/solves");
   sink.add("core/iterations", out->iterations);
   if (out->stopped_early) {
     sink.add("core/early_stops");
+  }
+  if (MetricsRegistry* m = ctx.metrics()) {
+    // Solver-level latency (restarts + polish included, unlike the
+    // per-engine-run solve_latency_us) and the cross-solve cadence.
+    m->counter("core_solves_total", {{"solver", name()}}).add();
+    m->counter("core_iterations_total", {{"solver", name()}})
+        .add(out->iterations);
+    if (out->stopped_early) {
+      m->counter("core_early_stops_total", {{"solver", name()}}).add();
+    }
+    m->histogram("core_solve_latency_us", {{"solver", name()}})
+        .record(solve_timer.seconds() * 1e6);
   }
   // Per-solver objective distribution; guarded on the pointer because the
   // sample name is built by concatenation.

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/partition_screen.hpp"
+#include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
@@ -123,6 +124,10 @@ DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
         sink.add("dalta/screened", oversample - params.num_partitions);
         qor_add(ctx.qor(), "dalta/partitions_screened",
                 static_cast<double>(oversample - params.num_partitions));
+        if (MetricsRegistry* met = ctx.metrics()) {
+          met->counter("dalta_partitions_screened_total")
+              .add(oversample - params.num_partitions);
+        }
       }
 
       std::vector<std::optional<Candidate>> candidates(params.num_partitions);
@@ -288,6 +293,32 @@ DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
   sink.add("dalta/cop_solves", result.cop_solves);
   sink.add("dalta/outputs", m);
   sink.add("dalta/rounds", params.rounds);
+  if (MetricsRegistry* met = ctx.metrics()) {
+    met->counter("dalta_runs_total", {{"stage", "dalta"}}).add();
+    met->counter("dalta_rounds_total").add(params.rounds);
+    met->counter("dalta_outputs_total").add(m);
+    met->counter("dalta_cop_solves_total").add(result.cop_solves);
+    met->histogram("dalta_run_duration_us", {{"stage", "dalta"}})
+        .record(result.seconds * 1e6);
+  }
+  if (MetricsRegistry::armed() != nullptr ||
+      FlightRecorder::global().postmortem_armed()) {
+    // One flight-recorder summary per framework run: enough to postmortem
+    // "what was the process doing" after a crash or deadline overrun
+    // without any per-run artifact files.
+    FlightRecorder::SolveRecord rec;
+    rec.spec = "dalta";
+    rec.engine = solver.name();
+    rec.stop_reason = ctx.expired() ? "deadline" : "ok";
+    rec.n = n;
+    rec.rounds = params.rounds;
+    for (unsigned k = 0; k < m; ++k) {
+      rec.final_energy += result.outputs[k].objective;
+    }
+    rec.med = result.med;
+    rec.duration_s = result.seconds;
+    FlightRecorder::global().record(std::move(rec));
+  }
   if (QorRecorder* q = ctx.qor()) {
     QorRecorder::Final fin;
     fin.stage = "dalta";

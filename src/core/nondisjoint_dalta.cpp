@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/column_cop.hpp"
+#include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
@@ -287,6 +288,29 @@ NdDaltaResult run_dalta_nd(const TruthTable& exact,
   result.seconds = timer.seconds();
   sink.add("dalta_nd/cop_solves", result.cop_solves);
   sink.add("dalta_nd/outputs", m);
+  if (MetricsRegistry* met = ctx.metrics()) {
+    met->counter("dalta_runs_total", {{"stage", "dalta_nd"}}).add();
+    met->counter("dalta_rounds_total").add(params.rounds);
+    met->counter("dalta_outputs_total").add(m);
+    met->counter("dalta_cop_solves_total").add(result.cop_solves);
+    met->histogram("dalta_run_duration_us", {{"stage", "dalta_nd"}})
+        .record(result.seconds * 1e6);
+  }
+  if (MetricsRegistry::armed() != nullptr ||
+      FlightRecorder::global().postmortem_armed()) {
+    FlightRecorder::SolveRecord rec;
+    rec.spec = "dalta_nd";
+    rec.engine = solver.name();
+    rec.stop_reason = ctx.expired() ? "deadline" : "ok";
+    rec.n = n;
+    rec.rounds = params.rounds;
+    for (unsigned k = 0; k < m; ++k) {
+      rec.final_energy += result.outputs[k].objective;
+    }
+    rec.med = result.med;
+    rec.duration_s = result.seconds;
+    FlightRecorder::global().record(std::move(rec));
+  }
   if (QorRecorder* q = ctx.qor()) {
     QorRecorder::Final fin;
     fin.stage = "dalta_nd";

@@ -80,6 +80,10 @@ ColumnSetting PortfolioCoreSolver::do_solve(const ColumnCop& cop,
     if (pruned != order.end()) {
       telemetry.add("core/portfolio/pruned",
                     static_cast<std::uint64_t>(order.end() - pruned));
+      if (MetricsRegistry* m = ctx.metrics()) {
+        m->counter("portfolio_member_prunes_total")
+            .add(static_cast<std::uint64_t>(order.end() - pruned));
+      }
       order.erase(pruned, order.end());
     }
   }
@@ -109,6 +113,10 @@ ColumnSetting PortfolioCoreSolver::do_solve(const ColumnCop& cop,
         ctx.expired()) {
       telemetry.add("core/portfolio/budget_skips",
                     static_cast<std::uint64_t>(order.size() - pos));
+      if (MetricsRegistry* m = ctx.metrics()) {
+        m->counter("portfolio_member_skips_total")
+            .add(static_cast<std::uint64_t>(order.size() - pos));
+      }
       any_early = true;
       break;
     }
@@ -130,6 +138,12 @@ ColumnSetting PortfolioCoreSolver::do_solve(const ColumnCop& cop,
   telemetry.add("core/portfolio/races");
   telemetry.add("core/portfolio/wins/" +
                 spec_head(options_.member_specs[winner]));
+  if (MetricsRegistry* m = ctx.metrics()) {
+    m->counter("portfolio_races_total").add();
+    m->counter("portfolio_member_wins_total",
+               {{"member", spec_head(options_.member_specs[winner])}})
+        .add();
+  }
   if (options_.mode == Mode::kAdapt) {
     for (const std::size_t idx : raced) {
       wins_.record(family, options_.member_specs[idx], idx == winner);

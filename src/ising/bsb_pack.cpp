@@ -461,6 +461,12 @@ std::vector<IsingSolveResult> BsbPackEngine::run(
     if (qor != nullptr) {
       qor->add(kernel_counter);
     }
+    if (MetricsRegistry* metrics = ctx_->metrics()) {
+      metrics->counter("pack_runs_total").add();
+      metrics->counter("pack_members_total").add(M);
+      metrics->counter("kernel_invocations_total", {{"kernel", kernel_name_}})
+          .add();
+    }
   }
 
   std::vector<std::uint8_t> live(M, 1);
@@ -552,6 +558,10 @@ std::vector<IsingSolveResult> BsbPackEngine::run(
     }
     ctx_->telemetry().add("ising/pack/steps", member_steps);
     ctx_->telemetry().add("ising/pack/retired", retired_early);
+    if (MetricsRegistry* metrics = ctx_->metrics()) {
+      metrics->counter("pack_member_steps_total").add(member_steps);
+      metrics->counter("pack_retired_total").add(retired_early);
+    }
   }
   return results;
 }

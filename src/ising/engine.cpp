@@ -6,6 +6,7 @@
 #include <string>
 
 #include "support/cpu_features.hpp"
+#include "support/metrics.hpp"
 #include "support/qor.hpp"
 #include "support/run_context.hpp"
 #include "support/thread_pool.hpp"
@@ -20,6 +21,18 @@ namespace {
 // this the whole kernel runs in a few microseconds and chunk dispatch would
 // dominate (the batched kernel streams ~2.6 G lanes/s single-threaded).
 constexpr std::size_t kForceShardMinLanes = 8192;
+
+// Metrics `engine=` label: the tail of the telemetry prefix ("ising/sb" ->
+// "sb"), so the metric dimension matches the counter namespace.
+const char* engine_label(const char* telemetry_prefix) {
+  const char* label = telemetry_prefix;
+  for (const char* p = telemetry_prefix; *p != '\0'; ++p) {
+    if (*p == '/') {
+      label = p + 1;
+    }
+  }
+  return label;
+}
 
 }  // namespace
 
@@ -165,8 +178,14 @@ IsingSolveResult run_engine(IsingEngine& engine) {
     result.stopped_early = true;
     ctx->telemetry().add(std::string(tprefix) + "/deadline_hits");
     trace_instant(ctx->tracer(), std::string(trprefix) + "/deadline_hit");
+    if (MetricsRegistry* m = ctx->metrics()) {
+      m->counter("engine_deadline_hits_total",
+                 {{"engine", engine_label(tprefix)}})
+          .add();
+    }
     return result;
   }
+  const double initial_energy = result.energy;
 
   const std::size_t sample_every = engine.sample_interval();
   DynamicStopMonitor monitor(engine.stop_params());
@@ -232,6 +251,11 @@ IsingSolveResult run_engine(IsingEngine& engine) {
                 const std::size_t dropped =
                     engine.max_iterations() - affordable;
                 engine.apply_budget_rescale(affordable);
+                if (MetricsRegistry* m = ctx->metrics()) {
+                  m->counter("engine_budget_rescales_total",
+                             {{"engine", engine_label(tprefix)}})
+                      .add();
+                }
                 ctx->telemetry().add(std::string(tprefix) +
                                      "/budget_rescales");
                 ctx->telemetry().add(
@@ -260,6 +284,12 @@ IsingSolveResult run_engine(IsingEngine& engine) {
           ctx->telemetry().add(std::string(tprefix) +
                                (variance_stop ? "/dynamic_stops"
                                               : "/deadline_hits"));
+          if (MetricsRegistry* m = ctx->metrics()) {
+            m->counter(variance_stop ? "engine_dynamic_stops_total"
+                                     : "engine_deadline_hits_total",
+                       {{"engine", engine_label(tprefix)}})
+                .add();
+          }
         }
         trace_instant(tracer, std::string(trprefix) +
                                   (variance_stop ? "/dynamic_stop"
@@ -273,6 +303,24 @@ IsingSolveResult run_engine(IsingEngine& engine) {
   result.iterations = iter;
   if (ctx != nullptr) {
     engine.record_totals(ctx->telemetry(), iter, energy_samples);
+    if (MetricsRegistry* m = ctx->metrics()) {
+      // Per-engine run cadence plus the scrape-facing latency/quality
+      // distributions: how long one engine run takes (split by the
+      // resolved kernel tier) and how much energy the run recovered from
+      // its initial state. Reads of finished state only — armed runs stay
+      // bit-identical to disarmed ones.
+      const char* engine_name = engine_label(tprefix);
+      m->counter("engine_runs_total", {{"engine", engine_name}}).add();
+      m->counter("engine_iterations_total", {{"engine", engine_name}})
+          .add(iter);
+      m->counter("engine_energy_samples_total", {{"engine", engine_name}})
+          .add(energy_samples);
+      m->histogram("solve_latency_us", {{"engine", engine_name},
+                                        {"kernel", engine.kernel_label()}})
+          .record(run_timer.seconds() * 1e6);
+      m->histogram("engine_energy_improvement", {{"engine", engine_name}})
+          .record(initial_energy - result.energy);
+    }
   }
   return result;
 }
@@ -355,6 +403,9 @@ void EnsembleEngineBase::on_run_start() {
   ctx_->telemetry().add(kernel_counter);
   if (QorRecorder* qor = ctx_->qor()) {
     qor->add(kernel_counter);
+  }
+  if (MetricsRegistry* m = ctx_->metrics()) {
+    m->counter("kernel_invocations_total", {{"kernel", kernel_.name}}).add();
   }
 }
 

@@ -150,6 +150,11 @@ class IsingEngine {
   /// QoR convergence-curve name; only called with recording armed.
   virtual std::string curve_name() const = 0;
 
+  /// Resolved force-kernel label for the metrics `kernel=` dimension
+  /// ("scalar", "avx2", "dense-avx512", ...); "none" for engines without a
+  /// dispatched kernel (the scalar-sweep SA engine).
+  virtual const char* kernel_label() const { return "none"; }
+
   /// Iteration cap; re-read by the driver every iteration because the
   /// budget rescale may shrink it mid-run.
   virtual std::size_t max_iterations() const = 0;
@@ -214,6 +219,7 @@ class EnsembleEngineBase : public IsingEngine {
   /// Resolved force-kernel name ("scalar", "avx2", "avx512",
   /// "dense-avx512", ...) after dispatch walked the fallback chain.
   const char* kernel_name() const { return kernel_.name; }
+  const char* kernel_label() const override { return kernel_.name; }
 
   /// Resolved force-kernel kind (never kAuto).
   kernels::ForceKernel kernel_kind() const { return kernel_.kind; }

@@ -33,9 +33,43 @@ RunContext::RunContext(Options options)
                  : nullptr),
       qor_(options.qor
                ? std::make_unique<QorRecorder>(options.qor_curve_capacity)
-               : nullptr) {}
+               : nullptr) {
+  if (options_.metrics) {
+    MetricsRegistry::arm();
+    metrics_ = &MetricsRegistry::global();
+  }
+}
 
-RunContext::~RunContext() = default;
+RunContext::~RunContext() {
+  if (metrics_ != nullptr) {
+    flush_drop_metrics();
+    MetricsRegistry::disarm();
+  }
+}
+
+void RunContext::flush_drop_metrics() const {
+  if (metrics_ == nullptr) {
+    return;
+  }
+  const auto export_delta = [&](std::atomic<std::uint64_t>& exported,
+                                std::uint64_t now, const char* name) {
+    const std::uint64_t previous =
+        exported.exchange(now, std::memory_order_relaxed);
+    if (now > previous) {
+      metrics_->counter(name).add(now - previous);
+    }
+  };
+  export_delta(exported_telemetry_drops_, telemetry_->dropped(),
+               "telemetry_dropped_total");
+  if (trace_ != nullptr) {
+    export_delta(exported_trace_drops_, trace_->dropped(),
+                 "trace_dropped_total");
+  }
+  if (qor_ != nullptr) {
+    export_delta(exported_qor_drops_, qor_->dropped(),
+                 "qor_dropped_total");
+  }
+}
 
 std::uint64_t RunContext::stream_seed(std::string_view tag, std::uint64_t a,
                                       std::uint64_t b, std::uint64_t c) const {

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string_view>
 
+#include "support/metrics.hpp"
 #include "support/qor.hpp"
 #include "support/rng.hpp"
 #include "support/telemetry.hpp"
@@ -73,6 +75,16 @@ class RunContext {
     /// Bound on stored convergence-curve points when QoR recording is on;
     /// beyond it points are dropped (and counted).
     std::size_t qor_curve_capacity = QorRecorder::kDefaultCurveCapacity;
+
+    /// Always-on aggregate metrics (counters / gauges / latency histograms
+    /// with Prometheus exposition; see support/metrics.hpp). Arms the
+    /// process-wide MetricsRegistry for this context's lifetime: metrics()
+    /// returns &MetricsRegistry::global() and context-free sites see
+    /// MetricsRegistry::armed() != nullptr. Same discipline as trace/qor:
+    /// off by default, one pointer test per disarmed site, and recording
+    /// never perturbs results — fixed-seed runs are bit-identical either
+    /// way.
+    bool metrics = false;
   };
 
   RunContext() : RunContext(Options{}) {}
@@ -127,6 +139,19 @@ class RunContext {
   /// extra evaluations) should test the pointer themselves first.
   QorRecorder* qor() const { return qor_.get(); }
 
+  /// The process-wide metrics registry, or nullptr when Options::metrics
+  /// was off. Sites test the pointer and record through it directly.
+  MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Re-exports this context's recorder drop counts (telemetry slot
+  /// saturation, trace whole-span drops, QoR curve-point drops) into the
+  /// metrics registry as *_dropped_total counters, so saturation is
+  /// visible in a scrape, not just in per-run JSON. Delta-tracked and
+  /// idempotent; called automatically at context destruction, and
+  /// explicitly by exposition writers that scrape mid-run. No-op without
+  /// metrics armed.
+  void flush_drop_metrics() const;
+
   /// Process-wide fallback context used by convenience overloads that take
   /// no explicit context (seed 42, shared pool, no deadline). Its telemetry
   /// sink aggregates across all such calls.
@@ -144,6 +169,11 @@ class RunContext {
   std::unique_ptr<TelemetrySink> telemetry_;
   std::unique_ptr<TraceRecorder> trace_;
   std::unique_ptr<QorRecorder> qor_;
+  MetricsRegistry* metrics_ = nullptr;
+  // Last drop counts already exported, so repeated flushes add deltas.
+  mutable std::atomic<std::uint64_t> exported_telemetry_drops_{0};
+  mutable std::atomic<std::uint64_t> exported_trace_drops_{0};
+  mutable std::atomic<std::uint64_t> exported_qor_drops_{0};
   mutable std::unique_ptr<ThreadPool> owned_pool_;
   mutable std::mutex pool_mutex_;
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "support/metrics.hpp"
+
 namespace adsd {
 
 namespace {
@@ -10,6 +12,12 @@ namespace {
 // Set for the whole duration of run_job() on the executing thread; global
 // across pool instances so stacked pools cannot oversubscribe either.
 thread_local bool tls_in_parallel_region = false;
+
+// Participants (workers plus calling threads) currently inside run_job(),
+// process-wide like the region flag. Only published as a gauge when metrics
+// are armed; the two relaxed atomics per job participation are noise next to
+// the job itself.
+std::atomic<std::size_t> g_active_participants{0};
 
 struct RegionGuard {
   bool saved = tls_in_parallel_region;
@@ -63,6 +71,12 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::run_job(Job& job) {
   RegionGuard region;
+  const std::size_t active =
+      g_active_participants.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (MetricsRegistry* metrics = MetricsRegistry::armed()) {
+    metrics->gauge("thread_pool_active_participants")
+        .set(static_cast<double>(active));
+  }
   for (;;) {
     const std::size_t begin = job.next.fetch_add(job.grain);
     if (begin >= job.n) {
@@ -78,6 +92,7 @@ void ThreadPool::run_job(Job& job) {
       }
     }
   }
+  g_active_participants.fetch_sub(1, std::memory_order_relaxed);
   if (job.done.fetch_add(1) + 1 == job.tasks) {
     std::lock_guard<std::mutex> lock(job.done_mutex);
     job.done_cv.notify_all();
@@ -99,6 +114,9 @@ void ThreadPool::parallel_for_chunks(
   // drain the queue) and oversubscription; the outer call already owns the
   // pool's parallelism.
   if (chunks == 1 || workers_.size() == 1 || tls_in_parallel_region) {
+    if (MetricsRegistry* metrics = MetricsRegistry::armed()) {
+      metrics->counter("thread_pool_inline_runs_total").add();
+    }
     for (std::size_t begin = 0; begin < n; begin += grain) {
       body(begin, std::min(begin + grain, n));
     }
@@ -114,11 +132,20 @@ void ThreadPool::parallel_for_chunks(
   // until every participant has checked in.
   job.tasks = std::min(workers_.size(), chunks);
 
+  std::size_t queue_depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t t = 0; t + 1 < job.tasks; ++t) {
       jobs_.push(&job);
     }
+    queue_depth = jobs_.size();
+  }
+  if (MetricsRegistry* metrics = MetricsRegistry::armed()) {
+    metrics->counter("thread_pool_jobs_total").add();
+    metrics->gauge("thread_pool_workers")
+        .set(static_cast<double>(workers_.size()));
+    metrics->gauge("thread_pool_queue_depth")
+        .set(static_cast<double>(queue_depth));
   }
   if (job.tasks > 2) {
     cv_.notify_all();

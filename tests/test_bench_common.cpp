@@ -35,7 +35,7 @@ std::vector<std::string> strip(std::vector<std::string> tokens) {
 TEST(HarnessFlags, RecognizesAllHarnessFlags) {
   for (const char* flag :
        {"--telemetry", "--trace", "--report", "--threads", "--seed", "--qor",
-        "--json"}) {
+        "--json", "--metrics", "--metrics-format"}) {
     EXPECT_TRUE(bench::is_harness_flag(flag)) << flag;
     EXPECT_TRUE(bench::is_harness_flag(std::string(flag) + "=x")) << flag;
   }

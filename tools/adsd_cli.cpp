@@ -43,6 +43,23 @@
 //                           partition accept/try counts, bSB convergence
 //                           curves, LUT-bit ledger; see tools/bench_diff)
 //                           and print the per-output QoR summary table
+//         --metrics <file>  arm the process-wide MetricsRegistry and write
+//                           its snapshot after the run: solve-latency
+//                           histograms, per-engine/kernel counters,
+//                           recorder drop counters (validate or
+//                           pretty-print with tools/metrics_summary)
+//         --metrics-format prom|json  exposition format for --metrics:
+//                           Prometheus text v0.0.4 (default) or the
+//                           adsd-metrics-v1 JSON snapshot
+//         --postmortem <file>  arm the solve flight recorder: on deadline
+//                           overrun, solver exception, or a fatal signal,
+//                           dump the recent-solve ring to <file> as
+//                           adsd-flight-v1 JSON (works with or without
+//                           --metrics)
+//         --budget <s>      wall-clock budget in seconds for the whole
+//                           decompose; anytime solvers stop at the
+//                           deadline, and with --postmortem the overrun
+//                           triggers the dump
 //         --dist <file>     profile-driven input distribution (.dist format)
 //         --verilog <file>  write a synthesizable module
 //         --testbench <file> write a self-checking testbench (n <= 12)
@@ -65,6 +82,7 @@
 #include "ising/kernels/force_kernels.hpp"
 #include "lut/verilog_export.hpp"
 #include "support/cli.hpp"
+#include "support/metrics.hpp"
 #include "support/run_context.hpp"
 #include "support/table.hpp"
 
@@ -241,6 +259,14 @@ int cmd_decompose(const CliArgs& args) {
   }
   ctx_opts.trace = args.has("trace") || args.has("report");
   ctx_opts.qor = args.has("qor");
+  ctx_opts.metrics = args.has("metrics");
+  if (args.has("budget")) {
+    ctx_opts.time_budget_s = args.get_double("budget", 0.0);
+  }
+  if (args.has("postmortem")) {
+    FlightRecorder::global().arm_postmortem(
+        args.get_string("postmortem", ""), /*install_handlers=*/true);
+  }
   const RunContext ctx(ctx_opts);
   const auto solver = make_solver(args, n);
 
@@ -326,6 +352,22 @@ int cmd_decompose(const CliArgs& args) {
     ctx.qor()->write_json(f);
     std::cout << "wrote " << args.get_string("qor", "") << "\n";
   }
+  if (args.has("metrics")) {
+    const std::string fmt = args.get_string("metrics-format", "prom");
+    if (fmt != "prom" && fmt != "json") {
+      throw std::invalid_argument("--metrics-format must be prom or json");
+    }
+    // Fold this run's recorder drop counts in before the snapshot, so
+    // saturation shows up in the exposition and not only at destruction.
+    ctx.flush_drop_metrics();
+    std::ofstream f(args.get_string("metrics", ""));
+    if (fmt == "json") {
+      MetricsRegistry::global().write_json(f);
+    } else {
+      MetricsRegistry::global().write_prometheus(f);
+    }
+    std::cout << "wrote " << args.get_string("metrics", "") << "\n";
+  }
 
   report.add_row({"inputs / outputs",
                   std::to_string(n) + " / " + std::to_string(m)});
@@ -407,6 +449,9 @@ int main(int argc, char** argv) {
                  "see the header of tools/adsd_cli.cpp for the full list\n";
     return cmd == "help" ? 0 : 2;
   } catch (const std::exception& e) {
+    // Best-effort: when --postmortem armed the recorder, capture the ring
+    // before reporting (no-op otherwise).
+    adsd::FlightRecorder::global().dump_postmortem("exception");
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }

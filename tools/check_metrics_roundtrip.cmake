@@ -1,0 +1,31 @@
+# CTest script: run adsd_cli decompose with the metrics/flight-recorder
+# flags and gate the emitted artifact through metrics_summary --check.
+# FORMAT selects the scenario: prom / json exposition round-trips, or
+# "flight" for a --postmortem dump forced by an over-tight --budget.
+
+if(FORMAT STREQUAL "flight")
+  set(OUT postmortem_roundtrip.json)
+  # A zero-ish budget expires immediately; anytime solvers stop at the
+  # deadline and the flight recorder dumps the ring on the overrun.
+  execute_process(
+    COMMAND ${CLI} decompose --function erf --n 8 --free 4 --p 4
+            --budget 0.000001 --postmortem ${OUT}
+    RESULT_VARIABLE cli_rc)
+  if(NOT cli_rc EQUAL 0)
+    message(FATAL_ERROR "adsd_cli --postmortem run failed (rc ${cli_rc})")
+  endif()
+else()
+  set(OUT metrics_roundtrip.${FORMAT})
+  execute_process(
+    COMMAND ${CLI} decompose --function erf --n 8 --free 4 --p 4
+            --metrics ${OUT} --metrics-format ${FORMAT}
+    RESULT_VARIABLE cli_rc)
+  if(NOT cli_rc EQUAL 0)
+    message(FATAL_ERROR "adsd_cli --metrics run failed (rc ${cli_rc})")
+  endif()
+endif()
+
+execute_process(COMMAND ${SUMMARY} ${OUT} --check RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "metrics_summary --check rejected ${OUT}")
+endif()

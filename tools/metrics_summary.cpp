@@ -1,0 +1,525 @@
+// metrics_summary: reader and schema validator for the metrics artifacts
+// the solve stack emits (see DESIGN.md "Observability"):
+//
+//   metrics_summary <file> [--check]
+//
+// The file kind is autodetected:
+//   - Prometheus text exposition (adsd_cli --metrics, the default
+//     --metrics-format prom): every sample line must parse, belong to a
+//     # TYPE-declared family, and histogram families must be internally
+//     consistent (cumulative buckets non-decreasing, le bounds strictly
+//     increasing, the mandatory +Inf bucket equal to _count). Prints the
+//     counter/gauge and histogram tables.
+//   - adsd-metrics-v1 JSON (--metrics-format json): per-kind payload
+//     validation, histogram bucket/aggregate consistency, monotone
+//     p50 <= p95 <= p99 within [min, max].
+//   - adsd-flight-v1 JSON (--postmortem dumps): record field validation
+//     and strictly increasing sequence numbers. Prints the solve ring.
+//
+// --check suppresses the tables (validation only). Exit status: 0 valid,
+// 1 invalid or unreadable, 2 usage — CI uses --check as the metrics smoke
+// gate, so no external promtool is needed.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/table.hpp"
+#include "summary_common.hpp"
+
+namespace {
+
+using adsd::Table;
+using adsd::json::Value;
+using adsd::tools::invalid;
+using adsd::tools::require;
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition (v0.0.4).
+
+struct PromSample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+bool valid_prom_name(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) {
+    return false;
+  }
+  for (const char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double parse_prom_value(const std::string& text, const std::string& where) {
+  if (text == "+Inf" || text == "Inf") {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (text == "-Inf") {
+    return -std::numeric_limits<double>::infinity();
+  }
+  if (text == "NaN") {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  require(end != nullptr && *end == '\0' && end != text.c_str(),
+          where + ": bad sample value '" + text + "'");
+  return v;
+}
+
+/// Parses one `name{k="v",...} value` sample line (labels optional).
+PromSample parse_prom_sample(const std::string& line, std::size_t lineno) {
+  const std::string where = "line " + std::to_string(lineno);
+  PromSample sample;
+  std::size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') {
+    ++i;
+  }
+  sample.name = line.substr(0, i);
+  require(valid_prom_name(sample.name),
+          where + ": bad metric name '" + sample.name + "'");
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      std::size_t eq = line.find('=', i);
+      require(eq != std::string::npos, where + ": label missing '='");
+      const std::string key = line.substr(i, eq - i);
+      require(valid_prom_name(key), where + ": bad label key '" + key + "'");
+      require(eq + 1 < line.size() && line[eq + 1] == '"',
+              where + ": label value must be quoted");
+      std::string value;
+      std::size_t j = eq + 2;
+      for (; j < line.size() && line[j] != '"'; ++j) {
+        if (line[j] == '\\') {
+          require(j + 1 < line.size(), where + ": dangling escape");
+          ++j;
+          if (line[j] == 'n') {
+            value += '\n';
+          } else if (line[j] == '\\' || line[j] == '"') {
+            value += line[j];
+          } else {
+            invalid(where + ": unknown escape '\\" + line[j] + "'");
+          }
+        } else {
+          value += line[j];
+        }
+      }
+      require(j < line.size(), where + ": unterminated label value");
+      require(sample.labels.emplace(key, value).second,
+              where + ": duplicate label '" + key + "'");
+      i = j + 1;
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+      }
+    }
+    require(i < line.size(), where + ": unterminated label set");
+    ++i;  // consume '}'
+  }
+  require(i < line.size() && line[i] == ' ',
+          where + ": missing value after metric name");
+  sample.value = parse_prom_value(line.substr(i + 1), where);
+  return sample;
+}
+
+/// Serializes the labels minus `drop` — the series identity used to group
+/// one histogram's _bucket/_sum/_count samples.
+std::string label_key(const std::map<std::string, std::string>& labels,
+                      const std::string& drop = "") {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    if (k == drop) {
+      continue;
+    }
+    key += k + "=" + v + ";";
+  }
+  return key;
+}
+
+struct PromHistogram {
+  std::vector<std::pair<double, double>> cumulative;  // (le, count)
+  bool has_sum = false;
+  bool has_count = false;
+  double sum = 0.0;
+  double count = 0.0;
+  std::map<std::string, std::string> labels;  // minus le
+};
+
+int summarize_prometheus(const std::string& text, bool check_only) {
+  std::map<std::string, std::string> family_type;  // name -> counter|gauge|…
+  std::vector<PromSample> scalars;  // counter and gauge samples
+  std::map<std::string, std::map<std::string, PromHistogram>> histograms;
+  std::set<std::string> series_seen;
+  std::size_t samples = 0;
+
+  // Maps a sample name to its declared family: exact match, or the
+  // histogram suffixes on a histogram-typed family.
+  auto family_of = [&](const std::string& name,
+                       std::string* suffix) -> std::string {
+    if (family_type.count(name) != 0) {
+      *suffix = "";
+      return name;
+    }
+    for (const char* s : {"_bucket", "_sum", "_count"}) {
+      const std::string tail(s);
+      if (name.size() > tail.size() &&
+          name.compare(name.size() - tail.size(), tail.size(), tail) == 0) {
+        const std::string base = name.substr(0, name.size() - tail.size());
+        auto it = family_type.find(base);
+        if (it != family_type.end() && it->second == "histogram") {
+          *suffix = tail;
+          return base;
+        }
+      }
+    }
+    return "";
+  };
+
+  std::size_t lineno = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    std::string line = text.substr(
+        start, nl == std::string::npos ? std::string::npos : nl - start);
+    start = nl == std::string::npos ? text.size() + 1 : nl + 1;
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      continue;
+    }
+    const std::string where = "line " + std::to_string(lineno);
+    if (line[0] == '#') {
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::size_t sp = line.find(' ', 7);
+        require(sp != std::string::npos, where + ": malformed # TYPE");
+        const std::string name = line.substr(7, sp - 7);
+        const std::string kind = line.substr(sp + 1);
+        require(valid_prom_name(name),
+                where + ": bad family name '" + name + "'");
+        require(kind == "counter" || kind == "gauge" || kind == "histogram" ||
+                    kind == "summary" || kind == "untyped",
+                where + ": unknown family type '" + kind + "'");
+        require(family_type.emplace(name, kind).second,
+                where + ": duplicate # TYPE for '" + name + "'");
+      }
+      continue;  // HELP and other comments pass through
+    }
+    const PromSample sample = parse_prom_sample(line, lineno);
+    ++samples;
+    require(series_seen.insert(sample.name + "|" + label_key(sample.labels))
+                .second,
+            where + ": duplicate series '" + sample.name + "'");
+    std::string suffix;
+    const std::string family = family_of(sample.name, &suffix);
+    require(!family.empty(),
+            where + ": sample '" + sample.name + "' has no # TYPE family");
+    const std::string& kind = family_type.at(family);
+    if (kind == "histogram") {
+      PromHistogram& h = histograms[family][label_key(sample.labels, "le")];
+      if (suffix == "_bucket") {
+        auto le = sample.labels.find("le");
+        require(le != sample.labels.end(),
+                where + ": _bucket sample missing le label");
+        h.cumulative.emplace_back(parse_prom_value(le->second, where),
+                                  sample.value);
+        if (h.labels.empty()) {
+          h.labels = sample.labels;
+          h.labels.erase("le");
+        }
+      } else if (suffix == "_sum") {
+        h.has_sum = true;
+        h.sum = sample.value;
+      } else if (suffix == "_count") {
+        h.has_count = true;
+        h.count = sample.value;
+      } else {
+        invalid(where + ": bare sample for histogram family '" + family +
+                "'");
+      }
+    } else {
+      require(suffix.empty(), where + ": suffixed sample '" + sample.name +
+                                  "' on non-histogram family");
+      if (kind == "counter") {
+        require(sample.value >= 0.0 && std::isfinite(sample.value),
+                where + ": counter '" + sample.name + "' must be a finite "
+                        "non-negative value");
+      }
+      scalars.push_back(sample);
+    }
+  }
+  require(samples > 0, "no samples in exposition");
+
+  for (const auto& [family, series] : histograms) {
+    for (const auto& [key, h] : series) {
+      require(!h.cumulative.empty(),
+              "histogram '" + family + "' series has no buckets");
+      require(h.has_sum && h.has_count,
+              "histogram '" + family + "' series missing _sum or _count");
+      for (std::size_t i = 0; i < h.cumulative.size(); ++i) {
+        if (i > 0) {
+          require(h.cumulative[i].first > h.cumulative[i - 1].first,
+                  "histogram '" + family + "' le bounds not increasing");
+          require(h.cumulative[i].second >= h.cumulative[i - 1].second,
+                  "histogram '" + family + "' cumulative counts decrease");
+        }
+      }
+      require(std::isinf(h.cumulative.back().first),
+              "histogram '" + family + "' missing the +Inf bucket");
+      require(h.cumulative.back().second == h.count,
+              "histogram '" + family + "' +Inf bucket != _count");
+    }
+  }
+
+  if (check_only) {
+    std::cout << "metrics OK: " << samples << " samples, "
+              << family_type.size() << " families (" << histograms.size()
+              << " histogram)\n";
+    return 0;
+  }
+
+  std::cout << "Prometheus exposition: " << samples << " samples, "
+            << family_type.size() << " families\n\n";
+  Table scalar_table({"metric", "type", "value"});
+  for (const PromSample& s : scalars) {
+    std::string name = s.name;
+    const std::string labels = label_key(s.labels);
+    if (!labels.empty()) {
+      name += "{" + labels.substr(0, labels.size() - 1) + "}";
+    }
+    scalar_table.add_row({name, family_type.at(s.name),
+                          Table::num(s.value, 6)});
+  }
+  scalar_table.print(std::cout);
+  if (!histograms.empty()) {
+    std::cout << "\n";
+    Table hist_table({"histogram", "count", "sum", "mean", "buckets"});
+    for (const auto& [family, series] : histograms) {
+      for (const auto& [key, h] : series) {
+        std::string name = family;
+        if (!key.empty()) {
+          name += "{" + key.substr(0, key.size() - 1) + "}";
+        }
+        hist_table.add_row(
+            {name, std::to_string(static_cast<std::uint64_t>(h.count)),
+             Table::num(h.sum, 3),
+             Table::num(h.count > 0 ? h.sum / h.count : 0.0, 3),
+             std::to_string(h.cumulative.size())});
+      }
+    }
+    hist_table.print(std::cout);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// adsd-metrics-v1 JSON snapshot.
+
+int summarize_metrics_json(const Value& doc, bool check_only) {
+  require(doc.at("dropped").is_number(), "missing dropped");
+  const Value& metrics = doc.at("metrics");
+  require(metrics.is_array(), "metrics must be an array");
+  std::size_t counters = 0;
+  std::size_t gauges = 0;
+  std::size_t hists = 0;
+  Table scalar_table({"metric", "kind", "value"});
+  Table hist_table({"histogram", "count", "mean", "p50", "p95", "p99",
+                    "max"});
+  for (const Value& m : metrics.as_array()) {
+    require(m.is_object(), "metric entry must be an object");
+    require(m.find("name") != nullptr && m.at("name").is_string(),
+            "metric missing name");
+    const std::string& name = m.at("name").as_string();
+    require(m.find("labels") != nullptr && m.at("labels").is_object(),
+            "metric '" + name + "' missing labels");
+    require(m.find("kind") != nullptr && m.at("kind").is_string(),
+            "metric '" + name + "' missing kind");
+    const std::string& kind = m.at("kind").as_string();
+    std::string display = name;
+    {
+      std::string labels;
+      for (const auto& [k, v] : m.at("labels").as_object()) {
+        labels += (labels.empty() ? "" : ",") + k + "=" + v.as_string();
+      }
+      if (!labels.empty()) {
+        display += "{" + labels + "}";
+      }
+    }
+    if (kind == "counter" || kind == "gauge") {
+      require(m.find("value") != nullptr && m.at("value").is_number(),
+              "metric '" + name + "' missing value");
+      if (kind == "counter") {
+        require(m.at("value").as_number() >= 0.0,
+                "counter '" + name + "' negative");
+        ++counters;
+      } else {
+        ++gauges;
+      }
+      scalar_table.add_row({display, kind,
+                            Table::num(m.at("value").as_number(), 6)});
+    } else if (kind == "histogram") {
+      ++hists;
+      for (const char* key : {"count", "sum", "min", "max", "underflow",
+                              "overflow", "p50", "p95", "p99"}) {
+        require(m.find(key) != nullptr && m.at(key).is_number(),
+                "histogram '" + name + "' missing " + key);
+      }
+      require(m.find("buckets") != nullptr && m.at("buckets").is_array(),
+              "histogram '" + name + "' missing buckets");
+      const double count = m.at("count").as_number();
+      double bucketed = m.at("underflow").as_number() +
+                        m.at("overflow").as_number();
+      double last_upper = -std::numeric_limits<double>::infinity();
+      for (const Value& b : m.at("buckets").as_array()) {
+        require(b.is_array() && b.as_array().size() == 3,
+                "histogram '" + name + "' bucket must be [lower, upper, "
+                "count]");
+        const double lower = b.as_array()[0].as_number();
+        const double upper = b.as_array()[1].as_number();
+        require(lower < upper && lower >= last_upper,
+                "histogram '" + name + "' bucket bounds out of order");
+        last_upper = upper;
+        bucketed += b.as_array()[2].as_number();
+      }
+      require(bucketed == count,
+              "histogram '" + name + "' bucket counts do not sum to count");
+      if (count > 0) {
+        const double p50 = m.at("p50").as_number();
+        const double p95 = m.at("p95").as_number();
+        const double p99 = m.at("p99").as_number();
+        require(p50 <= p95 && p95 <= p99,
+                "histogram '" + name + "' quantiles not monotone");
+        require(m.at("min").as_number() <= m.at("max").as_number(),
+                "histogram '" + name + "' min > max");
+      }
+      hist_table.add_row(
+          {display, std::to_string(static_cast<std::uint64_t>(count)),
+           Table::num(count > 0 ? m.at("sum").as_number() / count : 0.0, 3),
+           Table::num(m.at("p50").as_number(), 3),
+           Table::num(m.at("p95").as_number(), 3),
+           Table::num(m.at("p99").as_number(), 3),
+           Table::num(m.at("max").as_number(), 3)});
+    } else {
+      invalid("metric '" + name + "' has unknown kind '" + kind + "'");
+    }
+  }
+
+  if (check_only) {
+    std::cout << "metrics OK: " << counters << " counters, " << gauges
+              << " gauges, " << hists << " histograms, dropped "
+              << static_cast<std::uint64_t>(doc.at("dropped").as_number())
+              << "\n";
+    return 0;
+  }
+  std::cout << "adsd-metrics-v1 snapshot: "
+            << metrics.as_array().size() << " series, dropped "
+            << static_cast<std::uint64_t>(doc.at("dropped").as_number())
+            << "\n\n";
+  scalar_table.print(std::cout);
+  if (hists > 0) {
+    std::cout << "\n";
+    hist_table.print(std::cout);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// adsd-flight-v1 JSON postmortem.
+
+int summarize_flight_json(const Value& doc, bool check_only) {
+  require(doc.at("reason").is_string(), "missing reason");
+  require(doc.at("total_recorded").is_number(), "missing total_recorded");
+  const Value& solves = doc.at("solves");
+  require(solves.is_array(), "solves must be an array");
+  double last_seq = -1.0;
+  for (const Value& rec : solves.as_array()) {
+    require(rec.is_object(), "solve record must be an object");
+    for (const char* key : {"spec", "engine", "stop_reason"}) {
+      require(rec.find(key) != nullptr && rec.at(key).is_string(),
+              std::string("solve record missing ") + key);
+    }
+    for (const char* key :
+         {"seq", "n", "rounds", "final_energy", "med", "duration_s"}) {
+      require(rec.find(key) != nullptr && rec.at(key).is_number(),
+              std::string("solve record missing ") + key);
+    }
+    require(rec.at("seq").as_number() > last_seq,
+            "solve record sequence numbers not increasing");
+    last_seq = rec.at("seq").as_number();
+  }
+
+  if (check_only) {
+    std::cout << "flight OK: " << solves.as_array().size()
+              << " solve records, reason " << doc.at("reason").as_string()
+              << "\n";
+    return 0;
+  }
+  std::cout << "adsd-flight-v1 postmortem: reason "
+            << doc.at("reason").as_string() << ", "
+            << solves.as_array().size() << " of "
+            << static_cast<std::uint64_t>(
+                   doc.at("total_recorded").as_number())
+            << " records retained\n\n";
+  Table solve_table({"seq", "spec", "engine", "stop", "n", "rounds",
+                     "energy", "MED", "duration s"});
+  for (const Value& rec : solves.as_array()) {
+    solve_table.add_row(
+        {std::to_string(
+             static_cast<std::uint64_t>(rec.at("seq").as_number())),
+         rec.at("spec").as_string(), rec.at("engine").as_string(),
+         rec.at("stop_reason").as_string(),
+         std::to_string(static_cast<std::uint64_t>(rec.at("n").as_number())),
+         std::to_string(
+             static_cast<std::uint64_t>(rec.at("rounds").as_number())),
+         Table::num(rec.at("final_energy").as_number(), 4),
+         Table::num(rec.at("med").as_number(), 6),
+         Table::num(rec.at("duration_s").as_number(), 3)});
+  }
+  solve_table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return adsd::tools::run_summary_tool(
+      argc, argv, "metrics_summary",
+      [](const std::string& text, bool check_only) {
+        const std::size_t first = text.find_first_not_of(" \t\r\n");
+        if (text[first] != '{') {
+          return summarize_prometheus(text, check_only);
+        }
+        const Value doc = adsd::json::parse(text);
+        require(doc.contains("schema") && doc.at("schema").is_string(),
+                "JSON document missing schema");
+        const std::string& schema = doc.at("schema").as_string();
+        if (schema == "adsd-metrics-v1") {
+          return summarize_metrics_json(doc, check_only);
+        }
+        if (schema == "adsd-flight-v1") {
+          return summarize_flight_json(doc, check_only);
+        }
+        throw std::runtime_error("unknown schema '" + schema +
+                                 "' (expected adsd-metrics-v1 or "
+                                 "adsd-flight-v1)");
+      });
+}

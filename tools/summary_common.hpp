@@ -1,0 +1,81 @@
+#pragma once
+
+// Shared scaffolding for the artifact summary/validator tools
+// (tools/trace_summary, tools/metrics_summary): the require/invalid
+// validation helpers and the common CLI shape
+//
+//   <tool> <file> [--check]
+//
+// run_summary_tool parses that command line, reads the file, rejects
+// empty/whitespace-only artifacts with a plain message (instead of a
+// parser throw at offset 0), and maps validation exceptions from the
+// tool body onto the shared exit protocol: 0 valid, 1 invalid or
+// unreadable, 2 usage error.
+
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace adsd::tools {
+
+[[noreturn]] inline void invalid(const std::string& what) {
+  throw std::runtime_error(what);
+}
+
+inline void require(bool ok, const std::string& what) {
+  if (!ok) {
+    invalid(what);
+  }
+}
+
+/// Runs `body(text, check_only)` on the file named on the command line.
+/// The body validates (throwing std::runtime_error with a message on any
+/// schema violation) and returns the tool's exit code; file errors and
+/// validation throws are reported as "<tool>: <path>: <message>".
+inline int run_summary_tool(
+    int argc, char** argv, const char* tool,
+    const std::function<int(const std::string& text, bool check_only)>&
+        body) {
+  std::string path;
+  bool check_only = false;
+  bool usage_error = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check_only = true;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      usage_error = true;
+    }
+  }
+  if (path.empty() || usage_error) {
+    std::cerr << "usage: " << tool << " <file> [--check]\n";
+    return 2;
+  }
+  try {
+    std::ifstream f(path);
+    if (!f) {
+      throw std::runtime_error("cannot open '" + path + "'");
+    }
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    const std::string text = buf.str();
+    if (text.find_first_not_of(" \t\r\n") == std::string::npos) {
+      // A truncated or never-written artifact; say so plainly instead of
+      // surfacing the parser's "unexpected end of input at offset 0".
+      std::cerr << tool << ": " << path
+                << ": file is empty (no document)\n";
+      return 1;
+    }
+    return body(text, check_only);
+  } catch (const std::exception& e) {
+    std::cerr << tool << ": " << path << ": " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace adsd::tools

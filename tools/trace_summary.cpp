@@ -19,34 +19,25 @@
 // structurally valid artifacts with zero events/spans are reported and
 // fail only under --check.
 
-#include <fstream>
 #include <iostream>
 #include <map>
-#include <sstream>
 #include <vector>
 
 #include "support/json.hpp"
 #include "support/table.hpp"
+#include "summary_common.hpp"
 
 namespace {
 
 using adsd::Table;
 using adsd::json::Value;
+using adsd::tools::invalid;
+using adsd::tools::require;
 
 struct SpanAgg {
   std::size_t count = 0;
   double total_us = 0.0;
 };
-
-[[noreturn]] void invalid(const std::string& what) {
-  throw std::runtime_error(what);
-}
-
-void require(bool ok, const std::string& what) {
-  if (!ok) {
-    invalid(what);
-  }
-}
 
 int summarize_chrome_trace(const Value& doc, bool check_only) {
   const Value& events = doc.at("traceEvents");
@@ -274,53 +265,21 @@ int summarize_telemetry(const Value& doc, bool check_only) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string path;
-  bool check_only = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--check") {
-      check_only = true;
-    } else if (path.empty()) {
-      path = arg;
-    } else {
-      std::cerr << "usage: trace_summary <file.json> [--check]\n";
-      return 2;
-    }
-  }
-  if (path.empty()) {
-    std::cerr << "usage: trace_summary <file.json> [--check]\n";
-    return 2;
-  }
-  try {
-    std::ifstream f(path);
-    if (!f) {
-      throw std::runtime_error("cannot open '" + path + "'");
-    }
-    std::ostringstream buf;
-    buf << f.rdbuf();
-    const std::string text = buf.str();
-    if (text.find_first_not_of(" \t\r\n") == std::string::npos) {
-      // A truncated or never-written artifact; say so plainly instead of
-      // surfacing the parser's "unexpected end of input at offset 0".
-      std::cerr << "trace_summary: " << path
-                << ": file is empty (no JSON document)\n";
-      return 1;
-    }
-    const Value doc = adsd::json::parse(text);
-    if (doc.contains("traceEvents")) {
-      return summarize_chrome_trace(doc, check_only);
-    }
-    if (doc.contains("meta") && doc.contains("spans")) {
-      return summarize_report(doc, check_only);
-    }
-    if (doc.contains("counters") && doc.contains("spans")) {
-      return summarize_telemetry(doc, check_only);
-    }
-    throw std::runtime_error(
-        "unrecognized JSON document (expected a Chrome trace, run report, "
-        "or telemetry report)");
-  } catch (const std::exception& e) {
-    std::cerr << "trace_summary: " << path << ": " << e.what() << "\n";
-    return 1;
-  }
+  return adsd::tools::run_summary_tool(
+      argc, argv, "trace_summary",
+      [](const std::string& text, bool check_only) {
+        const Value doc = adsd::json::parse(text);
+        if (doc.contains("traceEvents")) {
+          return summarize_chrome_trace(doc, check_only);
+        }
+        if (doc.contains("meta") && doc.contains("spans")) {
+          return summarize_report(doc, check_only);
+        }
+        if (doc.contains("counters") && doc.contains("spans")) {
+          return summarize_telemetry(doc, check_only);
+        }
+        throw std::runtime_error(
+            "unrecognized JSON document (expected a Chrome trace, run "
+            "report, or telemetry report)");
+      });
 }
