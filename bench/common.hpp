@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -22,6 +23,7 @@
 #include "funcs/registry.hpp"
 #include "support/cli.hpp"
 #include "support/json.hpp"
+#include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/run_context.hpp"
 #include "support/table.hpp"
@@ -71,10 +73,25 @@ inline void print_header(const std::string& experiment,
                "much longer)\n\n";
 }
 
+/// The obs-bundle directory for this invocation: <obs-dir>/<run_id>, or ""
+/// when --obs-dir was not given. The run_id segment comes from the context
+/// so every artifact written there shares the directory's key.
+inline std::string obs_bundle_dir(const CliArgs& args,
+                                  const RunContext& ctx) {
+  if (!args.has("obs-dir")) {
+    return "";
+  }
+  return (std::filesystem::path(args.get_string("obs-dir", "")) /
+          ctx.run_id())
+      .string();
+}
+
 /// RunContext options from the observability flags every harness shares:
-/// --seed, --threads, and the recording switches. Each recorder is armed
-/// iff its artifact was requested, so a plain run keeps the null-recorder
-/// zero-overhead path.
+/// --seed, --threads, the recording switches, the structured-log knobs
+/// (--log-level, --log-file), and --obs-dir. Each recorder is armed iff
+/// its artifact was requested, so a plain run keeps the null-recorder
+/// zero-overhead path; --obs-dir arms everything and mints the run_id that
+/// keys the bundle directory.
 inline RunContext::Options context_options(const CliArgs& args) {
   RunContext::Options opts;
   opts.seed = args.get_size("seed", 42);
@@ -84,6 +101,28 @@ inline RunContext::Options context_options(const CliArgs& args) {
   opts.trace = args.has("trace") || args.has("report");
   opts.qor = args.has("qor");
   opts.metrics = args.has("metrics");
+  if (args.has("log-level") || args.has("log-file")) {
+    opts.log = true;
+    opts.log_level =
+        parse_log_level_or_throw(args.get_string("log-level", "info"));
+    opts.log_path = args.get_string("log-file", "");
+  }
+  if (args.has("obs-dir")) {
+    // Unified bundle: one directory keyed by a freshly minted run_id with
+    // every recorder armed; write_run_artifacts drops all artifacts there.
+    // Explicit --log-level / --log-file still win over the defaults.
+    opts.run_id = Logger::mint_run_id();
+    opts.trace = true;
+    opts.qor = true;
+    opts.metrics = true;
+    opts.log = true;
+    const std::filesystem::path dir =
+        std::filesystem::path(args.get_string("obs-dir", "")) / opts.run_id;
+    std::filesystem::create_directories(dir);
+    if (opts.log_path.empty()) {
+      opts.log_path = (dir / "log.jsonl").string();
+    }
+  }
   return opts;
 }
 
@@ -102,7 +141,8 @@ inline bool is_harness_flag(std::string_view token) {
                           : token.find('=') - 2);
   return name == "telemetry" || name == "trace" || name == "report" ||
          name == "threads" || name == "seed" || name == "qor" ||
-         name == "json" || name == "metrics" || name == "metrics-format";
+         name == "json" || name == "metrics" || name == "metrics-format" ||
+         name == "log-level" || name == "log-file" || name == "obs-dir";
 }
 
 /// Removes the harness flags (both "--flag=value" and detached
@@ -143,6 +183,10 @@ class BenchReport {
  public:
   explicit BenchReport(std::string generator)
       : generator_(std::move(generator)) {}
+
+  /// Stamps the run's correlation ID into the host block, joining this
+  /// report to the run's log/trace/QoR/metrics artifacts. Empty = omitted.
+  void set_run_id(std::string run_id) { run_id_ = std::move(run_id); }
 
   /// Wall-clock metric, direction "min".
   void add_time(const std::string& name, double seconds, bool valid = true,
@@ -195,6 +239,9 @@ class BenchReport {
                  json::Value::make_number(static_cast<double>(
                      std::thread::hardware_concurrency())));
     host.emplace("multi_core", json::Value::make_bool(multi_core_host()));
+    if (!run_id_.empty()) {
+      host.emplace("run_id", json::Value::make_string(run_id_));
+    }
 
     std::map<std::string, json::Value> root;
     root.emplace("schema", json::Value::make_string("adsd-bench-v2"));
@@ -221,6 +268,7 @@ class BenchReport {
   }
 
   std::string generator_;
+  std::string run_id_;
   std::vector<json::Value> records_;
 };
 
@@ -230,7 +278,11 @@ class BenchReport {
 /// qor.json, Prometheus text or adsd-metrics-v1 JSON per --metrics-format)
 /// — tools/trace_summary reads and validates the first three,
 /// tools/bench_diff compares qor.json files, tools/metrics_summary
-/// validates the metrics exposition.
+/// validates the metrics exposition. With --obs-dir, the full bundle
+/// (telemetry.json, trace.json, report.json, qor.json, metrics.prom,
+/// metrics.json, flight.json — next to the logger's log.jsonl) lands under
+/// <obs-dir>/<run_id>/ regardless of the per-artifact flags, each artifact
+/// stamped with the same run_id.
 inline void write_run_artifacts(const CliArgs& args, const RunContext& ctx) {
   auto open = [&](const char* flag) {
     const std::string path = args.get_string(flag, "");
@@ -270,6 +322,55 @@ inline void write_run_artifacts(const CliArgs& args, const RunContext& ctx) {
     } else {
       MetricsRegistry::global().write_prometheus(f);
     }
+  }
+
+  const std::string bundle = obs_bundle_dir(args, ctx);
+  if (bundle.empty()) {
+    return;
+  }
+  // Drain pending log records first so the log_* self-metrics in the
+  // snapshot below cover everything emitted up to this point.
+  if (Logger* log = Logger::armed()) {
+    log->flush();
+  }
+  ctx.flush_drop_metrics();
+  const std::filesystem::path dir(bundle);
+  auto open_in = [&](const char* file) {
+    const std::string path = (dir / file).string();
+    std::ofstream f(path);
+    if (!f) {
+      throw std::runtime_error("cannot open obs-bundle file '" + path + "'");
+    }
+    std::cout << "wrote " << path << "\n";
+    return f;
+  };
+  {
+    auto f = open_in("telemetry.json");
+    ctx.telemetry().write_json(f);
+  }
+  {
+    auto f = open_in("trace.json");
+    ctx.tracer()->write_chrome_json(f);
+  }
+  {
+    auto f = open_in("report.json");
+    ctx.tracer()->write_report_json(f, &ctx.telemetry());
+  }
+  {
+    auto f = open_in("qor.json");
+    ctx.qor()->write_json(f);
+  }
+  {
+    auto f = open_in("metrics.prom");
+    MetricsRegistry::global().write_prometheus(f);
+  }
+  {
+    auto f = open_in("metrics.json");
+    MetricsRegistry::global().write_json(f);
+  }
+  {
+    auto f = open_in("flight.json");
+    FlightRecorder::global().write_json(f, "bundle");
   }
 }
 

@@ -80,6 +80,7 @@ int main(int argc, char** argv) {
   std::vector<double> pack_time_ratios;
   std::vector<double> portfolio_med_ratios;
   bench::BenchReport report("fig4_large");
+  report.set_run_id(ctx.run_id());
 
   for (const auto& bench_case : benchmark_suite()) {
     const unsigned m = paper_output_bits(bench_case.name, n);

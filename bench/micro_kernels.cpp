@@ -32,6 +32,7 @@
 #include "ising/bsb_pack.hpp"
 #include "ising/kernels/force_kernels.hpp"
 #include "support/cpu_features.hpp"
+#include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/rng.hpp"
 #include "support/run_context.hpp"
@@ -475,6 +476,49 @@ void BM_MetricsHotPath(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricsHotPath);
 
+void BM_LogOffPath(benchmark::State& state) {
+  // Cost of one disarmed structured-log site: the relaxed Logger::armed()
+  // load plus the never-taken branch — what every ADSD_LOG_* site costs
+  // when no context armed the logger. Same 16-sites-per-iteration
+  // amortization (and the same <= 2 ns per-site budget, gated via
+  // BENCH_kernels.json) as BM_MetricsOffPath.
+  for (auto _ : state) {
+    std::uint64_t armed_hits = 0;
+    for (int i = 0; i < 16; ++i) {
+      if (Logger::armed() != nullptr) {
+        ++armed_hits;
+      }
+    }
+    benchmark::DoNotOptimize(armed_hits);
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_LogOffPath);
+
+void BM_LogHotPath(benchmark::State& state) {
+  // Cost of one armed, level-enabled site: serialize an adsd-log-v1 line
+  // with three typed fields into the per-thread ring (the async sink
+  // drains off the timed path). The rate limiter is opened wide so every
+  // iteration takes the full serialize-and-publish path.
+  Logger::Options opts;
+  opts.level = LogLevel::kDebug;
+  opts.path = "/dev/null";
+  opts.site_rate_per_s = 1e12;
+  opts.site_burst = 1e12;
+  Logger::arm(opts);
+  Logger& log = Logger::global();
+  static LogSite site{"bench/log", __FILE__, __LINE__};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    log.log(site, LogLevel::kInfo, "hot path probe",
+            {{"iter", i}, {"value", 1.25}, {"flag", true}});
+    ++i;
+  }
+  Logger::disarm();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogHotPath);
+
 void BM_IsingEnergy(benchmark::State& state) {
   const auto n = static_cast<unsigned>(state.range(0));
   const auto cop = make_cop(n, n == 16 ? 7 : 4, 7);
@@ -568,8 +612,28 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
 
+  // Instrumented reference pass first (it arms the recorders only after
+  // every benchmark — including the off-path probes — has finished), so the
+  // --json report below can carry its run_id in the host block.
+  std::string run_id;
+  if (args.has("telemetry") || args.has("trace") || args.has("report") ||
+      args.has("qor") || args.has("metrics") || args.has("log-level") ||
+      args.has("log-file") || args.has("obs-dir")) {
+    const RunContext ctx(bench::context_options(args));
+    run_id = ctx.run_id();
+    const auto solver = bench::make_solver("prop", 9, 0.0, 8);
+    const auto cop = make_cop(9, 4, 3);
+    const std::uint64_t seed = args.get_size("seed", 42);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      CoreSolveStats stats;
+      (void)solver->solve(cop, ctx, seed + i, &stats);
+    }
+    bench::write_run_artifacts(args, ctx);
+  }
+
   if (args.has("json")) {
     bench::BenchReport report("micro_kernels");
+    report.set_run_id(run_id);
     for (const auto& [name, seconds] : reporter.seconds()) {
       report.add_time("kernels/" + name, seconds);
     }
@@ -680,19 +744,6 @@ int main(int argc, char** argv) {
     }
     report.write(f);
     std::cout << "wrote " << path << "\n";
-  }
-
-  if (args.has("telemetry") || args.has("trace") || args.has("report") ||
-      args.has("qor") || args.has("metrics")) {
-    const RunContext ctx(bench::context_options(args));
-    const auto solver = bench::make_solver("prop", 9, 0.0, 8);
-    const auto cop = make_cop(9, 4, 3);
-    const std::uint64_t seed = args.get_size("seed", 42);
-    for (std::uint64_t i = 0; i < 8; ++i) {
-      CoreSolveStats stats;
-      (void)solver->solve(cop, ctx, seed + i, &stats);
-    }
-    bench::write_run_artifacts(args, ctx);
   }
   return 0;
 }

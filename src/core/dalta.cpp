@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/partition_screen.hpp"
+#include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
@@ -299,7 +300,17 @@ DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
     met->counter("dalta_outputs_total").add(m);
     met->counter("dalta_cop_solves_total").add(result.cop_solves);
     met->histogram("dalta_run_duration_us", {{"stage", "dalta"}})
-        .record(result.seconds * 1e6);
+        .record(result.seconds * 1e6, ctx.run_id());
+  }
+  if (ctx.expired()) {
+    ADSD_LOG_WARN("core/dalta", "run finished past the deadline",
+                  {"stage", "dalta"}, {"rounds", params.rounds},
+                  {"med", result.med}, {"seconds", result.seconds});
+  } else {
+    ADSD_LOG_INFO("core/dalta", "run complete", {"stage", "dalta"},
+                  {"outputs", m}, {"rounds", params.rounds},
+                  {"cop_solves", result.cop_solves}, {"med", result.med},
+                  {"seconds", result.seconds});
   }
   if (MetricsRegistry::armed() != nullptr ||
       FlightRecorder::global().postmortem_armed()) {
@@ -310,6 +321,7 @@ DaltaResult run_dalta(const TruthTable& exact, const InputDistribution& dist,
     rec.spec = "dalta";
     rec.engine = solver.name();
     rec.stop_reason = ctx.expired() ? "deadline" : "ok";
+    rec.run_id = ctx.run_id();
     rec.n = n;
     rec.rounds = params.rounds;
     for (unsigned k = 0; k < m; ++k) {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/column_cop.hpp"
+#include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
@@ -294,7 +295,17 @@ NdDaltaResult run_dalta_nd(const TruthTable& exact,
     met->counter("dalta_outputs_total").add(m);
     met->counter("dalta_cop_solves_total").add(result.cop_solves);
     met->histogram("dalta_run_duration_us", {{"stage", "dalta_nd"}})
-        .record(result.seconds * 1e6);
+        .record(result.seconds * 1e6, ctx.run_id());
+  }
+  if (ctx.expired()) {
+    ADSD_LOG_WARN("core/dalta", "run finished past the deadline",
+                  {"stage", "dalta_nd"}, {"rounds", params.rounds},
+                  {"med", result.med}, {"seconds", result.seconds});
+  } else {
+    ADSD_LOG_INFO("core/dalta", "run complete", {"stage", "dalta_nd"},
+                  {"outputs", m}, {"rounds", params.rounds},
+                  {"cop_solves", result.cop_solves}, {"med", result.med},
+                  {"seconds", result.seconds});
   }
   if (MetricsRegistry::armed() != nullptr ||
       FlightRecorder::global().postmortem_armed()) {
@@ -302,6 +313,7 @@ NdDaltaResult run_dalta_nd(const TruthTable& exact,
     rec.spec = "dalta_nd";
     rec.engine = solver.name();
     rec.stop_reason = ctx.expired() ? "deadline" : "ok";
+    rec.run_id = ctx.run_id();
     rec.n = n;
     rec.rounds = params.rounds;
     for (unsigned k = 0; k < m; ++k) {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/solver_registry.hpp"
+#include "support/log.hpp"
 #include "support/run_context.hpp"
 #include "support/telemetry.hpp"
 #include "support/timer.hpp"
@@ -84,6 +85,11 @@ ColumnSetting PortfolioCoreSolver::do_solve(const ColumnCop& cop,
         m->counter("portfolio_member_prunes_total")
             .add(static_cast<std::uint64_t>(order.end() - pruned));
       }
+      ADSD_LOG_INFO("core/portfolio", "adapt mode pruned losing members",
+                    {"pruned", static_cast<std::uint64_t>(
+                                   order.end() - pruned)},
+                    {"remaining", static_cast<std::uint64_t>(
+                                      pruned - order.begin()) + 1});
       order.erase(pruned, order.end());
     }
   }
@@ -117,6 +123,11 @@ ColumnSetting PortfolioCoreSolver::do_solve(const ColumnCop& cop,
         m->counter("portfolio_member_skips_total")
             .add(static_cast<std::uint64_t>(order.size() - pos));
       }
+      ADSD_LOG_DEBUG("core/portfolio", "race budget exhausted, skipping",
+                     {"skipped", static_cast<std::uint64_t>(
+                                     order.size() - pos)},
+                     {"elapsed_ms", race_timer.seconds() * 1000.0},
+                     {"deadline_expired", ctx.expired()});
       any_early = true;
       break;
     }
@@ -144,6 +155,10 @@ ColumnSetting PortfolioCoreSolver::do_solve(const ColumnCop& cop,
                {{"member", spec_head(options_.member_specs[winner])}})
         .add();
   }
+  ADSD_LOG_DEBUG("core/portfolio", "race decided",
+                 {"winner", spec_head(options_.member_specs[winner])},
+                 {"margin", anchor_obj - best_obj},
+                 {"raced", static_cast<std::uint64_t>(raced.size())});
   if (options_.mode == Mode::kAdapt) {
     for (const std::size_t idx : raced) {
       wins_.record(family, options_.member_specs[idx], idx == winner);

@@ -7,6 +7,7 @@
 
 #include "ising/stop.hpp"
 #include "support/cpu_features.hpp"
+#include "support/log.hpp"
 #include "support/rng.hpp"
 #include "support/run_context.hpp"
 
@@ -483,6 +484,10 @@ std::vector<IsingSolveResult> BsbPackEngine::run(
     }
     trace_instant(tracer, variance ? "ising/pack/dynamic_stop"
                                    : "ising/pack/deadline_hit");
+    ADSD_LOG_DEBUG("ising/pack",
+                   variance ? "member retired on dynamic stop"
+                            : "member retired on deadline",
+                   {"member", m}, {"step", step_}, {"active", active_ - 1});
     if (tracer != nullptr) {
       tracer->end(member_spans[m]);
     }
@@ -497,6 +502,8 @@ std::vector<IsingSolveResult> BsbPackEngine::run(
   // Deadline-at-entry: a pack started after the deadline expired (e.g. a
   // later restart) must not burn a whole pump ramp before noticing.
   if (ctx_ != nullptr && ctx_->expired()) {
+    ADSD_LOG_WARN("ising/pack", "deadline expired at pack entry",
+                  {"members", M}, {"spins", n_});
     for (std::size_t m = 0; m < M; ++m) {
       finish_member(m, /*variance=*/false);
     }

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "support/cpu_features.hpp"
+#include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/qor.hpp"
 #include "support/run_context.hpp"
@@ -183,6 +184,9 @@ IsingSolveResult run_engine(IsingEngine& engine) {
                  {{"engine", engine_label(tprefix)}})
           .add();
     }
+    ADSD_LOG_WARN("ising/engine", "deadline expired at engine entry",
+                  {"engine", engine_label(tprefix)},
+                  {"max_iterations", engine.max_iterations()});
     return result;
   }
   const double initial_energy = result.energy;
@@ -268,6 +272,12 @@ IsingSolveResult run_engine(IsingEngine& engine) {
                 }
                 trace_instant(tracer,
                               std::string(trprefix) + "/budget_rescale");
+                ADSD_LOG_INFO("ising/engine",
+                              "budget rescale shrank the schedule",
+                              {"engine", engine_label(tprefix)},
+                              {"max_iterations", affordable},
+                              {"dropped_iterations", dropped},
+                              {"remaining_s", remaining});
               }
             }
           }
@@ -294,6 +304,17 @@ IsingSolveResult run_engine(IsingEngine& engine) {
         trace_instant(tracer, std::string(trprefix) +
                                   (variance_stop ? "/dynamic_stop"
                                                  : "/deadline_hit"));
+        if (variance_stop) {
+          ADSD_LOG_DEBUG("ising/engine", "dynamic stop",
+                         {"engine", engine_label(tprefix)},
+                         {"iterations", iter},
+                         {"best_energy", best_now});
+        } else {
+          ADSD_LOG_WARN("ising/engine", "deadline hit mid-run",
+                        {"engine", engine_label(tprefix)},
+                        {"iterations", iter},
+                        {"best_energy", best_now});
+        }
         break;
       }
     }
@@ -315,9 +336,11 @@ IsingSolveResult run_engine(IsingEngine& engine) {
           .add(iter);
       m->counter("engine_energy_samples_total", {{"engine", engine_name}})
           .add(energy_samples);
+      // The exemplar joins this scrape-facing series to the run that
+      // produced its latest observation (see DESIGN.md §4.10 provenance).
       m->histogram("solve_latency_us", {{"engine", engine_name},
                                         {"kernel", engine.kernel_label()}})
-          .record(run_timer.seconds() * 1e6);
+          .record(run_timer.seconds() * 1e6, ctx->run_id());
       m->histogram("engine_energy_improvement", {{"engine", engine_name}})
           .record(initial_energy - result.energy);
     }

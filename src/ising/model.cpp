@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "support/log.hpp"
+
 namespace adsd {
 
 namespace {
@@ -112,6 +114,9 @@ void IsingModel::finalize() {
         dense_[i * dense_stride_ + entries_[e].first] = entries_[e].second;
       }
     }
+    ADSD_LOG_DEBUG("ising/model", "dense force plane materialized",
+                   {"spins", n_}, {"density", edge_density()},
+                   {"stride", dense_stride_});
   }
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "support/log.hpp"
+
 namespace adsd {
 
 namespace {
@@ -80,6 +82,16 @@ void PolyIsingModel::finalize() {
     }
   }
   finalized_ = true;
+
+  if (terms_.empty()) {
+    // Every non-constant term cancelled: the energy landscape is flat and
+    // any solver output is as good as any other.
+    ADSD_LOG_WARN("ising/poly_model", "all terms cancelled in finalize",
+                  {"spins", n_}, {"constant", constant_});
+  } else {
+    ADSD_LOG_DEBUG("ising/poly_model", "model finalized", {"spins", n_},
+                   {"terms", terms_.size()}, {"max_order", max_order()});
+  }
 }
 
 std::size_t PolyIsingModel::max_order() const {

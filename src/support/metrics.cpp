@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "support/json.hpp"
+#include "support/log.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define ADSD_METRICS_POSIX 1
@@ -194,6 +195,33 @@ void MetricsRegistry::Histogram::record(double v) {
       return x > current ? x : current;
     });
   }
+}
+
+void MetricsRegistry::Histogram::record(double v,
+                                        std::string_view exemplar_run_id) {
+  record(v);
+  if (exemplar_run_id.empty()) {
+    return;
+  }
+  while (exemplar_lock_.test_and_set(std::memory_order_acquire)) {
+  }
+  has_exemplar_ = true;
+  exemplar_value_ = v;
+  exemplar_run_id_ = exemplar_run_id;
+  exemplar_lock_.clear(std::memory_order_release);
+}
+
+bool MetricsRegistry::Histogram::exemplar(double* value,
+                                         std::string* run_id) const {
+  while (exemplar_lock_.test_and_set(std::memory_order_acquire)) {
+  }
+  const bool has = has_exemplar_;
+  if (has) {
+    *value = exemplar_value_;
+    *run_id = exemplar_run_id_;
+  }
+  exemplar_lock_.clear(std::memory_order_release);
+  return has;
 }
 
 HistogramData MetricsRegistry::Histogram::snapshot() const {
@@ -469,6 +497,16 @@ void MetricsRegistry::write_prometheus(std::ostream& out) const {
             << format_double(data.sum) << '\n';
         out << "adsd_" << m->name << "_count" << labels_text(*m) << ' '
             << data.count << '\n';
+        // Exemplar as a comment line so the text stays valid v0.0.4 (the
+        // OpenMetrics " # {...}" suffix would break v0.0.4 parsers); joins
+        // the series to the run_id of its latest observation.
+        double exemplar_value = 0.0;
+        std::string exemplar_run_id;
+        if (m->histogram->exemplar(&exemplar_value, &exemplar_run_id)) {
+          out << "# EXEMPLAR adsd_" << m->name << labels_text(*m)
+              << " run_id=\"" << escape_label_value(exemplar_run_id)
+              << "\" value=" << format_double(exemplar_value) << '\n';
+        }
         break;
       }
     }
@@ -528,6 +566,14 @@ void MetricsRegistry::write_json(std::ostream& out) const {
           buckets.push_back(Value::make_array(std::move(triple)));
         }
         rec.emplace("buckets", Value::make_array(std::move(buckets)));
+        double exemplar_value = 0.0;
+        std::string exemplar_run_id;
+        if (m->histogram->exemplar(&exemplar_value, &exemplar_run_id)) {
+          std::map<std::string, Value> exemplar;
+          exemplar.emplace("run_id", Value::make_string(exemplar_run_id));
+          exemplar.emplace("value", Value::make_number(exemplar_value));
+          rec.emplace("exemplar", Value::make_object(std::move(exemplar)));
+        }
         break;
       }
     }
@@ -603,6 +649,9 @@ json::Value record_to_value(const FlightRecorder::SolveRecord& rec) {
   obj.emplace("spec", Value::make_string(rec.spec));
   obj.emplace("engine", Value::make_string(rec.engine));
   obj.emplace("stop_reason", Value::make_string(rec.stop_reason));
+  if (!rec.run_id.empty()) {
+    obj.emplace("run_id", Value::make_string(rec.run_id));
+  }
   obj.emplace("n", Value::make_number(static_cast<double>(rec.n)));
   obj.emplace("rounds",
               Value::make_number(static_cast<double>(rec.rounds)));
@@ -691,6 +740,24 @@ std::string FlightRecorder::to_json_locked(std::string_view reason) const {
   root.emplace("total_recorded",
                Value::make_number(static_cast<double>(total_)));
   root.emplace("solves", Value::make_array(std::move(solves)));
+  // Last-N structured log records at dump time: each tail line is a
+  // complete adsd-log-v1 object the logger serialized, re-parsed here so
+  // the postmortem embeds them as objects, not strings. Lock order is
+  // flight mutex_ -> logger tail mutex; no logger path takes mutex_.
+  if (Logger* logger = Logger::armed()) {
+    std::vector<Value> tail;
+    for (const std::string& line : logger->tail()) {
+      try {
+        tail.push_back(json::parse(line));
+      } catch (const std::exception&) {
+        // A malformed line would mean a logger bug; drop it rather than
+        // losing the whole postmortem.
+      }
+    }
+    if (!tail.empty()) {
+      root.emplace("log_tail", Value::make_array(std::move(tail)));
+    }
+  }
   std::ostringstream out;
   json::write(out, Value::make_object(std::move(root)));
   out << '\n';

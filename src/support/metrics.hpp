@@ -127,9 +127,23 @@ class MetricsRegistry {
     static double bucket_upper(std::size_t index);
 
     void record(double v);
+
+    /// record() plus an exemplar: the latest (value, run_id) pair is kept
+    /// and exposed in both expositions, joining this series to the run
+    /// that produced its most recent observation. An empty id records
+    /// without touching the exemplar.
+    void record(double v, std::string_view exemplar_run_id);
+
+    /// Copies the latest exemplar; false when none was ever recorded.
+    bool exemplar(double* value, std::string* run_id) const;
+
     HistogramData snapshot() const;
 
    private:
+    mutable std::atomic_flag exemplar_lock_ = ATOMIC_FLAG_INIT;
+    bool has_exemplar_ = false;        // guarded by exemplar_lock_
+    double exemplar_value_ = 0.0;      // guarded by exemplar_lock_
+    std::string exemplar_run_id_;      // guarded by exemplar_lock_
     std::atomic<std::uint64_t> count_{0};
     std::atomic<std::uint64_t> sum_bits_{std::bit_cast<std::uint64_t>(0.0)};
     std::atomic<std::uint64_t> min_bits_{std::bit_cast<std::uint64_t>(
@@ -234,6 +248,7 @@ class FlightRecorder {
     std::string spec;         // stage, e.g. "dalta" / "dalta_nd"
     std::string engine;       // core-COP solver name
     std::string stop_reason;  // "ok" | "deadline" | "exception"
+    std::string run_id;       // provenance (RunContext::run_id), may be ""
     std::uint64_t n = 0;      // table inputs
     std::uint64_t rounds = 0;
     double final_energy = 0.0;  // total committed objective

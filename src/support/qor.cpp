@@ -118,6 +118,12 @@ void QorRecorder::write_json(std::ostream& out) const {
 
   std::map<std::string, json::Value> root;
   root.emplace("schema", str("adsd-qor-v1"));
+  if (!run_id_.empty()) {
+    root.emplace("run_id", str(run_id_));
+  }
+  if (!parent_id_.empty()) {
+    root.emplace("parent_id", str(parent_id_));
+  }
 
   std::map<std::string, json::Value> counters;
   for (const auto& [name, value] : counters_) {

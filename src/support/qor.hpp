@@ -100,6 +100,15 @@ class QorRecorder {
   /// Curve points rejected because the capacity was exhausted.
   std::uint64_t dropped() const;
 
+  /// Provenance stamped into the adsd-qor-v1 header ("run_id" /
+  /// "parent_id"). Set once by RunContext at construction, before any
+  /// concurrent recording; empty values are omitted.
+  void set_run(std::string run_id, std::string parent_id) {
+    run_id_ = std::move(run_id);
+    parent_id_ = std::move(parent_id);
+  }
+  const std::string& run_id() const { return run_id_; }
+
   bool has_final() const;
   Final final_summary() const;  // last recorded Final; throws if none
   double counter(std::string_view name) const;  // 0 when never recorded
@@ -125,6 +134,8 @@ class QorRecorder {
   std::size_t curve_capacity_;
 
   mutable std::mutex mutex_;
+  std::string run_id_;
+  std::string parent_id_;
   std::map<std::string, double, std::less<>> counters_;
   std::map<std::string, Dist, std::less<>> samples_;
   std::vector<OutputRecord> decisions_;

@@ -1,5 +1,7 @@
 #include "support/run_context.hpp"
 
+#include <utility>
+
 #include "support/thread_pool.hpp"
 
 namespace adsd {
@@ -25,25 +27,55 @@ std::uint64_t fnv1a(std::string_view s) {
 }  // namespace
 
 RunContext::RunContext(Options options)
-    : options_(options),
-      deadline_(options.time_budget_s),
+    : options_(std::move(options)),
+      deadline_(options_.time_budget_s),
       telemetry_(std::make_unique<TelemetrySink>()),
-      trace_(options.trace
-                 ? std::make_unique<TraceRecorder>(options.trace_capacity)
+      trace_(options_.trace
+                 ? std::make_unique<TraceRecorder>(options_.trace_capacity)
                  : nullptr),
-      qor_(options.qor
-               ? std::make_unique<QorRecorder>(options.qor_curve_capacity)
+      qor_(options_.qor
+               ? std::make_unique<QorRecorder>(options_.qor_curve_capacity)
                : nullptr) {
+  // Provenance: every context has a run_id, minted here when the caller
+  // didn't supply one, and stamped into each recorder so all artifacts of
+  // this run join on it.
+  if (options_.run_id.empty()) {
+    options_.run_id = Logger::mint_run_id();
+  }
+  telemetry_->set_run(options_.run_id, options_.parent_id);
+  if (trace_ != nullptr) {
+    trace_->set_run(options_.run_id, options_.parent_id);
+  }
+  if (qor_ != nullptr) {
+    qor_->set_run(options_.run_id, options_.parent_id);
+  }
   if (options_.metrics) {
     MetricsRegistry::arm();
     metrics_ = &MetricsRegistry::global();
   }
+  if (options_.log) {
+    Logger::Options log_options;
+    log_options.level = options_.log_level;
+    log_options.path = options_.log_path;
+    log_options.run_id = options_.run_id;
+    log_options.parent_id = options_.parent_id;
+    Logger::arm(log_options);
+    log_armed_ = true;
+  }
 }
 
 RunContext::~RunContext() {
+  if (log_armed_) {
+    // Drain while metrics are still armed so the logger's final
+    // log_dropped_total / log_rate_limited_total deltas land in the scrape.
+    Logger::global().flush();
+  }
   if (metrics_ != nullptr) {
     flush_drop_metrics();
     MetricsRegistry::disarm();
+  }
+  if (log_armed_) {
+    Logger::disarm();
   }
 }
 

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string_view>
 
+#include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/qor.hpp"
 #include "support/rng.hpp"
@@ -85,6 +86,31 @@ class RunContext {
     /// never perturbs results — fixed-seed runs are bit-identical either
     /// way.
     bool metrics = false;
+
+    /// Run provenance: the correlation ID stamped into every artifact this
+    /// context produces — telemetry report, trace metadata, adsd-qor-v1
+    /// header, metrics exemplars, flight records, and every log line — so
+    /// one request can be joined across all observability pillars. Empty =
+    /// minted at construction (16 hex chars); a caller-supplied value (the
+    /// future daemon's request ID) is taken verbatim.
+    std::string run_id;
+
+    /// Optional caller-side parent correlation ID, carried alongside
+    /// run_id in every artifact that has one. Never minted.
+    std::string parent_id;
+
+    /// Structured leveled logging (support/log.hpp). Arms the process-wide
+    /// Logger for this context's lifetime with the run provenance above.
+    /// Same discipline as metrics: off by default, one relaxed load per
+    /// disarmed site, and logging never perturbs results — fixed-seed runs
+    /// are bit-identical either way.
+    bool log = false;
+
+    /// Minimum severity emitted while log is armed.
+    LogLevel log_level = LogLevel::kInfo;
+
+    /// JSONL destination for log records; empty = stderr.
+    std::string log_path;
   };
 
   RunContext() : RunContext(Options{}) {}
@@ -97,6 +123,14 @@ class RunContext {
 
   std::uint64_t seed() const { return options_.seed; }
   bool parallel() const { return options_.parallel; }
+
+  /// This run's correlation ID (never empty — minted at construction when
+  /// Options::run_id was). Stamped into every artifact; see
+  /// Options::run_id.
+  const std::string& run_id() const { return options_.run_id; }
+
+  /// Caller-supplied parent correlation ID; empty when none was given.
+  const std::string& parent_id() const { return options_.parent_id; }
 
   /// Deterministic stream seed for (tag, a, b, c): a keyed hash of the root
   /// seed, the tag string, and up to three counters. Streams with different
@@ -170,6 +204,7 @@ class RunContext {
   std::unique_ptr<TraceRecorder> trace_;
   std::unique_ptr<QorRecorder> qor_;
   MetricsRegistry* metrics_ = nullptr;
+  bool log_armed_ = false;  // this context holds one Logger::arm reference
   // Last drop counts already exported, so repeated flushes add deltas.
   mutable std::atomic<std::uint64_t> exported_telemetry_drops_{0};
   mutable std::atomic<std::uint64_t> exported_trace_drops_{0};

@@ -153,7 +153,18 @@ std::uint64_t TelemetrySink::counter(std::string_view path) const {
 
 void TelemetrySink::write_json(std::ostream& out) const {
   const auto metrics = snapshot();
-  out << "{\n \"dropped\": " << dropped_.load(std::memory_order_relaxed)
+  out << "{\n";
+  if (!run_id_.empty()) {
+    out << " \"run_id\": ";
+    write_escaped(out, run_id_);
+    out << ",\n";
+  }
+  if (!parent_id_.empty()) {
+    out << " \"parent_id\": ";
+    write_escaped(out, parent_id_);
+    out << ",\n";
+  }
+  out << " \"dropped\": " << dropped_.load(std::memory_order_relaxed)
       << ",\n \"counters\": {";
   bool first = true;
   for (const auto& m : metrics) {

@@ -7,6 +7,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace adsd {
@@ -72,6 +73,15 @@ class TelemetrySink {
     return dropped_.load(std::memory_order_relaxed);
   }
 
+  /// Provenance stamped into the JSON report ("run_id" / "parent_id"
+  /// keys). Set once by RunContext at construction, before any concurrent
+  /// recording; empty values are omitted from the report.
+  void set_run(std::string run_id, std::string parent_id) {
+    run_id_ = std::move(run_id);
+    parent_id_ = std::move(parent_id);
+  }
+  const std::string& run_id() const { return run_id_; }
+
   /// Counter update: count += 1, sum += delta.
   void add(std::string_view path, std::uint64_t delta = 1);
 
@@ -132,6 +142,8 @@ class TelemetrySink {
 
   std::array<std::atomic<Metric*>, kSlots> slots_{};
   std::atomic<std::uint64_t> dropped_{0};
+  std::string run_id_;
+  std::string parent_id_;
 };
 
 }  // namespace adsd

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "support/log.hpp"
 #include "support/metrics.hpp"
 
 namespace adsd {
@@ -40,6 +41,8 @@ ThreadPool::ThreadPool(std::size_t threads) {
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  ADSD_LOG_DEBUG("support/thread_pool", "pool started",
+                 {"workers", threads});
 }
 
 ThreadPool::~ThreadPool() {

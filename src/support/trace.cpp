@@ -193,8 +193,19 @@ void TraceRecorder::write_chrome_json(std::ostream& out) const {
     }
   }
   out << (first ? "]" : "\n]") << ",\n\"displayTimeUnit\": \"ms\",\n"
-      << "\"otherData\": {\"dropped\": "
-      << dropped_.load(std::memory_order_relaxed) << "}}\n";
+      << "\"otherData\": {";
+  if (!run_id_.empty()) {
+    out << "\"run_id\": ";
+    write_escaped(out, run_id_);
+    out << ", ";
+  }
+  if (!parent_id_.empty()) {
+    out << "\"parent_id\": ";
+    write_escaped(out, parent_id_);
+    out << ", ";
+  }
+  out << "\"dropped\": " << dropped_.load(std::memory_order_relaxed)
+      << "}}\n";
 }
 
 double TraceRecorder::quantile_sorted(
@@ -295,7 +306,18 @@ void TraceRecorder::write_report_json(std::ostream& out,
   const double duration_s = to_seconds(span_ns);
 
   out.precision(9);
-  out << "{\n\"meta\": {\"threads\": " << threads.size()
+  out << "{\n\"meta\": {";
+  if (!run_id_.empty()) {
+    out << "\"run_id\": ";
+    write_escaped(out, run_id_);
+    out << ", ";
+  }
+  if (!parent_id_.empty()) {
+    out << "\"parent_id\": ";
+    write_escaped(out, parent_id_);
+    out << ", ";
+  }
+  out << "\"threads\": " << threads.size()
       << ", \"events\": " << total_events
       << ", \"dropped\": " << dropped_.load(std::memory_order_relaxed)
       << ", \"duration_s\": " << duration_s

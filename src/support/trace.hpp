@@ -9,6 +9,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace adsd {
@@ -113,6 +114,15 @@ class TraceRecorder {
     return dropped_.load(std::memory_order_relaxed);
   }
 
+  /// Provenance stamped into both exports (Chrome "otherData" and the run
+  /// report "meta"). Set once by RunContext at construction, before any
+  /// concurrent recording; empty values are omitted.
+  void set_run(std::string run_id, std::string parent_id) {
+    run_id_ = std::move(run_id);
+    parent_id_ = std::move(parent_id);
+  }
+  const std::string& run_id() const { return run_id_; }
+
   std::size_t thread_count() const;
 
   /// Chrome trace_event JSON: {"traceEvents": [...], ...}.
@@ -140,6 +150,8 @@ class TraceRecorder {
   std::size_t capacity_;
   std::uint64_t id_;  // process-unique, for the thread-local cache
   std::atomic<std::uint64_t> dropped_{0};
+  std::string run_id_;
+  std::string parent_id_;
 
   mutable std::mutex registry_mutex_;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;

@@ -35,7 +35,8 @@ std::vector<std::string> strip(std::vector<std::string> tokens) {
 TEST(HarnessFlags, RecognizesAllHarnessFlags) {
   for (const char* flag :
        {"--telemetry", "--trace", "--report", "--threads", "--seed", "--qor",
-        "--json", "--metrics", "--metrics-format"}) {
+        "--json", "--metrics", "--metrics-format", "--log-level",
+        "--log-file", "--obs-dir"}) {
     EXPECT_TRUE(bench::is_harness_flag(flag)) << flag;
     EXPECT_TRUE(bench::is_harness_flag(std::string(flag) + "=x")) << flag;
   }
@@ -111,6 +112,19 @@ TEST(BenchReport, WritesSchemaV2WithHostAndRecords) {
   EXPECT_EQ(records[2].at("direction").as_string(), "max");
   EXPECT_FALSE(records[2].at("valid").as_bool());
   EXPECT_EQ(records[2].at("note").as_string(), "measured on a 1-CPU host");
+
+  // No run_id set: the host block must not carry an empty provenance key.
+  EXPECT_FALSE(doc.at("host").contains("run_id"));
+}
+
+TEST(BenchReport, StampsRunIdIntoHostBlockWhenSet) {
+  bench::BenchReport report("unit_test");
+  report.set_run_id("feedface00000001");
+  report.add_time("kernels/BM_X", 1.25);
+  std::ostringstream out;
+  report.write(out);
+  const json::Value doc = json::parse(out.str());
+  EXPECT_EQ(doc.at("host").at("run_id").as_string(), "feedface00000001");
 }
 
 }  // namespace

@@ -56,6 +56,19 @@
 //                           dump the recent-solve ring to <file> as
 //                           adsd-flight-v1 JSON (works with or without
 //                           --metrics)
+//         --log-level debug|info|warn|error|off  arm the structured JSONL
+//                           logger (adsd-log-v1 records, one per line) at
+//                           the given minimum severity (default info when
+//                           only --log-file is given)
+//         --log-file <file> structured-log destination (default: stderr)
+//         --obs-dir <dir>   unified observability bundle: mint a run_id,
+//                           arm every recorder, and write log.jsonl,
+//                           telemetry.json, trace.json, report.json,
+//                           qor.json, metrics.prom, metrics.json, and
+//                           flight.json under <dir>/<run_id>/ — every
+//                           artifact stamped with the same run_id
+//                           (validate the join with tools/log_summary
+//                           --expect-run-id et al.)
 //         --budget <s>      wall-clock budget in seconds for the whole
 //                           decompose; anytime solvers stop at the
 //                           deadline, and with --postmortem the overrun
@@ -72,6 +85,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "bench/common.hpp"
 #include "boolean/error_metrics.hpp"
 #include "boolean/table_io.hpp"
 #include "core/dalta.hpp"
@@ -252,14 +266,9 @@ int cmd_decompose(const CliArgs& args) {
   const std::string mode_name = args.get_string("mode", "joint");
   const DecompMode mode =
       mode_name == "separate" ? DecompMode::kSeparate : DecompMode::kJoint;
-  RunContext::Options ctx_opts;
-  ctx_opts.seed = args.get_size("seed", 42);
-  if (args.has("threads")) {
-    ctx_opts.threads = args.get_positive_size("threads", 1);
-  }
-  ctx_opts.trace = args.has("trace") || args.has("report");
-  ctx_opts.qor = args.has("qor");
-  ctx_opts.metrics = args.has("metrics");
+  // Shared with the bench harnesses: --seed/--threads, the recorder
+  // switches, --log-level/--log-file, and the --obs-dir bundle.
+  RunContext::Options ctx_opts = bench::context_options(args);
   if (args.has("budget")) {
     ctx_opts.time_budget_s = args.get_double("budget", 0.0);
   }
@@ -332,42 +341,9 @@ int cmd_decompose(const CliArgs& args) {
     write_hex(f, approx);
     std::cout << "wrote " << args.get_string("hex-out", "") << "\n";
   }
-  if (args.has("telemetry")) {
-    std::ofstream f(args.get_string("telemetry", ""));
-    ctx.telemetry().write_json(f);
-    std::cout << "wrote " << args.get_string("telemetry", "") << "\n";
-  }
-  if (args.has("trace")) {
-    std::ofstream f(args.get_string("trace", ""));
-    ctx.tracer()->write_chrome_json(f);
-    std::cout << "wrote " << args.get_string("trace", "") << "\n";
-  }
-  if (args.has("report")) {
-    std::ofstream f(args.get_string("report", ""));
-    ctx.tracer()->write_report_json(f, &ctx.telemetry());
-    std::cout << "wrote " << args.get_string("report", "") << "\n";
-  }
-  if (args.has("qor")) {
-    std::ofstream f(args.get_string("qor", ""));
-    ctx.qor()->write_json(f);
-    std::cout << "wrote " << args.get_string("qor", "") << "\n";
-  }
-  if (args.has("metrics")) {
-    const std::string fmt = args.get_string("metrics-format", "prom");
-    if (fmt != "prom" && fmt != "json") {
-      throw std::invalid_argument("--metrics-format must be prom or json");
-    }
-    // Fold this run's recorder drop counts in before the snapshot, so
-    // saturation shows up in the exposition and not only at destruction.
-    ctx.flush_drop_metrics();
-    std::ofstream f(args.get_string("metrics", ""));
-    if (fmt == "json") {
-      MetricsRegistry::global().write_json(f);
-    } else {
-      MetricsRegistry::global().write_prometheus(f);
-    }
-    std::cout << "wrote " << args.get_string("metrics", "") << "\n";
-  }
+  // One writer for every artifact flag — and, with --obs-dir, the full
+  // run_id-keyed bundle (see bench/common.hpp).
+  bench::write_run_artifacts(args, ctx);
 
   report.add_row({"inputs / outputs",
                   std::to_string(n) + " / " + std::to_string(m)});

@@ -1,0 +1,148 @@
+// log_summary: reader and schema validator for the structured JSONL logs
+// the solve stack emits (support/log.hpp, one `adsd-log-v1` JSON object
+// per line; see DESIGN.md "Observability"):
+//
+//   log_summary <file> [--check] [--expect-run-id <id>]
+//
+// Every line must parse as a complete JSON object with the adsd-log-v1
+// schema: schema / ts / level / thread / component / run_id / msg, typed
+// optionals (parent_id, suppressed, fields). Levels must come from the
+// level roster, timestamps must be finite and non-decreasing modulo the
+// async drain's bounded reordering is NOT assumed — only per-record
+// validity is checked. Prints per-component level counts and the
+// suppression total.
+//
+// --check suppresses the tables (validation only); --expect-run-id <id>
+// requires every record's run_id to match — the CI obs-bundle join check.
+// Exit status: 0 valid, 1 invalid or unreadable, 2 usage.
+
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "support/json.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
+#include "summary_common.hpp"
+
+namespace {
+
+using adsd::Table;
+using adsd::json::Value;
+using adsd::tools::check_run_id;
+using adsd::tools::require;
+using adsd::tools::SummaryOptions;
+
+struct ComponentAgg {
+  std::map<std::string, std::size_t> per_level;
+  std::size_t count = 0;
+};
+
+int summarize_log(const std::string& text, const SummaryOptions& opts) {
+  std::map<std::string, ComponentAgg> components;
+  std::map<std::string, std::size_t> per_level;
+  std::uint64_t suppressed = 0;
+  std::size_t records = 0;
+
+  std::size_t lineno = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    std::string line = text.substr(
+        start, nl == std::string::npos ? std::string::npos : nl - start);
+    start = nl == std::string::npos ? text.size() : nl + 1;
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.find_first_not_of(" \t") == std::string::npos) {
+      continue;
+    }
+    const std::string where = "line " + std::to_string(lineno);
+    Value rec = [&] {
+      try {
+        return adsd::json::parse(line);
+      } catch (const std::exception& e) {
+        throw std::runtime_error(where + ": not a JSON object (" + e.what() +
+                                 ")");
+      }
+    }();
+    require(rec.is_object(), where + ": record must be a JSON object");
+    require(rec.find("schema") != nullptr && rec.at("schema").is_string() &&
+                rec.at("schema").as_string() == "adsd-log-v1",
+            where + ": schema must be \"adsd-log-v1\"");
+    require(rec.find("ts") != nullptr && rec.at("ts").is_number(),
+            where + ": missing numeric ts");
+    require(rec.find("thread") != nullptr && rec.at("thread").is_number(),
+            where + ": missing numeric thread");
+    for (const char* key : {"level", "component", "run_id", "msg"}) {
+      require(rec.find(key) != nullptr && rec.at(key).is_string(),
+              where + ": missing string " + key);
+    }
+    const std::string& level = rec.at("level").as_string();
+    require(adsd::parse_log_level(level).has_value() && level != "off",
+            where + ": unknown level '" + level + "'");
+    if (const Value* pid = rec.find("parent_id")) {
+      require(pid->is_string(), where + ": parent_id must be a string");
+    }
+    if (const Value* sup = rec.find("suppressed")) {
+      require(sup->is_number() && sup->as_number() > 0.0,
+              where + ": suppressed must be a positive count");
+      suppressed += static_cast<std::uint64_t>(sup->as_number());
+    }
+    if (const Value* fields = rec.find("fields")) {
+      require(fields->is_object(), where + ": fields must be an object");
+    }
+    check_run_id(opts, rec.at("run_id").as_string(), where);
+
+    ++records;
+    ++per_level[level];
+    ComponentAgg& agg = components[rec.at("component").as_string()];
+    ++agg.count;
+    ++agg.per_level[level];
+  }
+  require(records > 0, "no log records (every line blank)");
+
+  if (opts.check_only) {
+    std::cout << "log OK: " << records << " records, " << components.size()
+              << " components, " << suppressed << " suppressed\n";
+    return 0;
+  }
+
+  std::cout << "adsd-log-v1 stream: " << records << " records across "
+            << components.size() << " components";
+  if (suppressed > 0) {
+    std::cout << " (" << suppressed << " suppressed by rate limits)";
+  }
+  std::cout << "\n\n";
+  Table level_table({"level", "records"});
+  for (const char* level : {"debug", "info", "warn", "error"}) {
+    const auto it = per_level.find(level);
+    if (it != per_level.end()) {
+      level_table.add_row({level, std::to_string(it->second)});
+    }
+  }
+  level_table.print(std::cout);
+  std::cout << "\n";
+  Table component_table({"component", "records", "debug", "info", "warn",
+                         "error"});
+  for (const auto& [component, agg] : components) {
+    auto count = [&](const char* level) {
+      const auto it = agg.per_level.find(level);
+      return std::to_string(it == agg.per_level.end() ? 0 : it->second);
+    };
+    component_table.add_row({component, std::to_string(agg.count),
+                             count("debug"), count("info"), count("warn"),
+                             count("error")});
+  }
+  component_table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return adsd::tools::run_summary_tool(argc, argv, "log_summary",
+                                       summarize_log);
+}

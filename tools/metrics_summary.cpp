@@ -1,24 +1,30 @@
 // metrics_summary: reader and schema validator for the metrics artifacts
 // the solve stack emits (see DESIGN.md "Observability"):
 //
-//   metrics_summary <file> [--check]
+//   metrics_summary <file> [--check] [--expect-run-id <id>]
 //
 // The file kind is autodetected:
 //   - Prometheus text exposition (adsd_cli --metrics, the default
 //     --metrics-format prom): every sample line must parse, belong to a
 //     # TYPE-declared family, and histogram families must be internally
 //     consistent (cumulative buckets non-decreasing, le bounds strictly
-//     increasing, the mandatory +Inf bucket equal to _count). Prints the
+//     increasing, the mandatory +Inf bucket equal to _count). `# EXEMPLAR`
+//     comment lines (the run-provenance join on latency histograms) must
+//     parse as `# EXEMPLAR <series> run_id="..." value=<num>`. Prints the
 //     counter/gauge and histogram tables.
 //   - adsd-metrics-v1 JSON (--metrics-format json): per-kind payload
 //     validation, histogram bucket/aggregate consistency, monotone
-//     p50 <= p95 <= p99 within [min, max].
+//     p50 <= p95 <= p99 within [min, max], optional per-histogram
+//     exemplar {run_id, value}.
 //   - adsd-flight-v1 JSON (--postmortem dumps): record field validation
-//     and strictly increasing sequence numbers. Prints the solve ring.
+//     and strictly increasing sequence numbers; records may carry run_id
+//     and the document a log_tail replay. Prints the solve ring.
 //
-// --check suppresses the tables (validation only). Exit status: 0 valid,
-// 1 invalid or unreadable, 2 usage — CI uses --check as the metrics smoke
-// gate, so no external promtool is needed.
+// --check suppresses the tables (validation only); --expect-run-id <id>
+// requires at least one exemplar (prom/JSON) or flight record to carry
+// exactly that correlation ID — the CI obs-bundle join check. Exit
+// status: 0 valid, 1 invalid or unreadable, 2 usage — CI uses --check as
+// the metrics smoke gate, so no external promtool is needed.
 
 #include <cmath>
 #include <cstdint>
@@ -40,6 +46,27 @@ using adsd::Table;
 using adsd::json::Value;
 using adsd::tools::invalid;
 using adsd::tools::require;
+using adsd::tools::SummaryOptions;
+
+/// Asserts the --expect-run-id join against the run_ids an exposition
+/// actually carried (exemplars / flight records): at least one must match.
+void check_expected_run_id(const SummaryOptions& opts,
+                           const std::vector<std::string>& seen,
+                           const char* carrier) {
+  if (opts.expect_run_id.empty()) {
+    return;
+  }
+  require(!seen.empty(), std::string("no ") + carrier +
+                             " carry a run_id (expected '" +
+                             opts.expect_run_id + "')");
+  for (const std::string& id : seen) {
+    if (id == opts.expect_run_id) {
+      return;
+    }
+  }
+  invalid(std::string(carrier) + " run_id '" + seen.front() +
+          "' does not match expected '" + opts.expect_run_id + "'");
+}
 
 // ---------------------------------------------------------------------------
 // Prometheus text exposition (v0.0.4).
@@ -163,11 +190,14 @@ struct PromHistogram {
   std::map<std::string, std::string> labels;  // minus le
 };
 
-int summarize_prometheus(const std::string& text, bool check_only) {
+int summarize_prometheus(const std::string& text,
+                         const SummaryOptions& opts) {
+  const bool check_only = opts.check_only;
   std::map<std::string, std::string> family_type;  // name -> counter|gauge|…
   std::vector<PromSample> scalars;  // counter and gauge samples
   std::map<std::string, std::map<std::string, PromHistogram>> histograms;
   std::set<std::string> series_seen;
+  std::vector<std::string> exemplar_run_ids;
   std::size_t samples = 0;
 
   // Maps a sample name to its declared family: exact match, or the
@@ -221,6 +251,22 @@ int summarize_prometheus(const std::string& text, bool check_only) {
                 where + ": unknown family type '" + kind + "'");
         require(family_type.emplace(name, kind).second,
                 where + ": duplicate # TYPE for '" + name + "'");
+      } else if (line.rfind("# EXEMPLAR ", 0) == 0) {
+        // `# EXEMPLAR <series> run_id="..." value=<num>` — the provenance
+        // join emitted next to a histogram's _count (a comment line, so
+        // plain v0.0.4 consumers skip it).
+        const std::string body = line.substr(11);
+        const std::size_t rid = body.find(" run_id=\"");
+        require(rid != std::string::npos && rid > 0,
+                where + ": EXEMPLAR missing series or run_id");
+        const std::size_t id_begin = rid + 9;
+        const std::size_t id_end = body.find('"', id_begin);
+        require(id_end != std::string::npos,
+                where + ": EXEMPLAR unterminated run_id");
+        const std::size_t val = body.find(" value=", id_end);
+        require(val != std::string::npos, where + ": EXEMPLAR missing value");
+        (void)parse_prom_value(body.substr(val + 7), where);
+        exemplar_run_ids.push_back(body.substr(id_begin, id_end - id_begin));
       }
       continue;  // HELP and other comments pass through
     }
@@ -268,6 +314,7 @@ int summarize_prometheus(const std::string& text, bool check_only) {
     }
   }
   require(samples > 0, "no samples in exposition");
+  check_expected_run_id(opts, exemplar_run_ids, "exemplars");
 
   for (const auto& [family, series] : histograms) {
     for (const auto& [key, h] : series) {
@@ -334,10 +381,12 @@ int summarize_prometheus(const std::string& text, bool check_only) {
 // ---------------------------------------------------------------------------
 // adsd-metrics-v1 JSON snapshot.
 
-int summarize_metrics_json(const Value& doc, bool check_only) {
+int summarize_metrics_json(const Value& doc, const SummaryOptions& opts) {
+  const bool check_only = opts.check_only;
   require(doc.at("dropped").is_number(), "missing dropped");
   const Value& metrics = doc.at("metrics");
   require(metrics.is_array(), "metrics must be an array");
+  std::vector<std::string> exemplar_run_ids;
   std::size_t counters = 0;
   std::size_t gauges = 0;
   std::size_t hists = 0;
@@ -402,6 +451,15 @@ int summarize_metrics_json(const Value& doc, bool check_only) {
       }
       require(bucketed == count,
               "histogram '" + name + "' bucket counts do not sum to count");
+      if (const Value* ex = m.find("exemplar")) {
+        require(ex->is_object() && ex->find("run_id") != nullptr &&
+                    ex->at("run_id").is_string() &&
+                    ex->find("value") != nullptr &&
+                    ex->at("value").is_number(),
+                "histogram '" + name + "' exemplar must carry run_id and "
+                "value");
+        exemplar_run_ids.push_back(ex->at("run_id").as_string());
+      }
       if (count > 0) {
         const double p50 = m.at("p50").as_number();
         const double p95 = m.at("p95").as_number();
@@ -422,6 +480,7 @@ int summarize_metrics_json(const Value& doc, bool check_only) {
       invalid("metric '" + name + "' has unknown kind '" + kind + "'");
     }
   }
+  check_expected_run_id(opts, exemplar_run_ids, "exemplars");
 
   if (check_only) {
     std::cout << "metrics OK: " << counters << " counters, " << gauges
@@ -445,11 +504,13 @@ int summarize_metrics_json(const Value& doc, bool check_only) {
 // ---------------------------------------------------------------------------
 // adsd-flight-v1 JSON postmortem.
 
-int summarize_flight_json(const Value& doc, bool check_only) {
+int summarize_flight_json(const Value& doc, const SummaryOptions& opts) {
+  const bool check_only = opts.check_only;
   require(doc.at("reason").is_string(), "missing reason");
   require(doc.at("total_recorded").is_number(), "missing total_recorded");
   const Value& solves = doc.at("solves");
   require(solves.is_array(), "solves must be an array");
+  std::vector<std::string> record_run_ids;
   double last_seq = -1.0;
   for (const Value& rec : solves.as_array()) {
     require(rec.is_object(), "solve record must be an object");
@@ -462,10 +523,24 @@ int summarize_flight_json(const Value& doc, bool check_only) {
       require(rec.find(key) != nullptr && rec.at(key).is_number(),
               std::string("solve record missing ") + key);
     }
+    if (const Value* rid = rec.find("run_id")) {
+      require(rid->is_string(), "solve record run_id must be a string");
+      record_run_ids.push_back(rid->as_string());
+    }
     require(rec.at("seq").as_number() > last_seq,
             "solve record sequence numbers not increasing");
     last_seq = rec.at("seq").as_number();
   }
+  if (const Value* tail = doc.find("log_tail")) {
+    // Last-N structured-log replay embedded by the recorder when the
+    // logger was armed at dump time; each entry is one parsed adsd-log-v1
+    // record.
+    require(tail->is_array(), "log_tail must be an array");
+    for (const Value& entry : tail->as_array()) {
+      require(entry.is_object(), "log_tail entry must be an object");
+    }
+  }
+  check_expected_run_id(opts, record_run_ids, "flight records");
 
   if (check_only) {
     std::cout << "flight OK: " << solves.as_array().size()
@@ -503,20 +578,20 @@ int summarize_flight_json(const Value& doc, bool check_only) {
 int main(int argc, char** argv) {
   return adsd::tools::run_summary_tool(
       argc, argv, "metrics_summary",
-      [](const std::string& text, bool check_only) {
+      [](const std::string& text, const SummaryOptions& opts) {
         const std::size_t first = text.find_first_not_of(" \t\r\n");
         if (text[first] != '{') {
-          return summarize_prometheus(text, check_only);
+          return summarize_prometheus(text, opts);
         }
         const Value doc = adsd::json::parse(text);
         require(doc.contains("schema") && doc.at("schema").is_string(),
                 "JSON document missing schema");
         const std::string& schema = doc.at("schema").as_string();
         if (schema == "adsd-metrics-v1") {
-          return summarize_metrics_json(doc, check_only);
+          return summarize_metrics_json(doc, opts);
         }
         if (schema == "adsd-flight-v1") {
-          return summarize_flight_json(doc, check_only);
+          return summarize_flight_json(doc, opts);
         }
         throw std::runtime_error("unknown schema '" + schema +
                                  "' (expected adsd-metrics-v1 or "

@@ -1,16 +1,18 @@
 #pragma once
 
 // Shared scaffolding for the artifact summary/validator tools
-// (tools/trace_summary, tools/metrics_summary): the require/invalid
-// validation helpers and the common CLI shape
+// (tools/trace_summary, tools/metrics_summary, tools/log_summary): the
+// require/invalid validation helpers and the common CLI shape
 //
-//   <tool> <file> [--check]
+//   <tool> <file> [--check] [--expect-run-id <id>]
 //
 // run_summary_tool parses that command line, reads the file, rejects
 // empty/whitespace-only artifacts with a plain message (instead of a
 // parser throw at offset 0), and maps validation exceptions from the
 // tool body onto the shared exit protocol: 0 valid, 1 invalid or
-// unreadable, 2 usage error.
+// unreadable, 2 usage error. --expect-run-id is the provenance join
+// check: the tool body must fail validation unless the artifact carries
+// exactly that correlation ID.
 
 #include <fstream>
 #include <functional>
@@ -31,21 +33,51 @@ inline void require(bool ok, const std::string& what) {
   }
 }
 
-/// Runs `body(text, check_only)` on the file named on the command line.
-/// The body validates (throwing std::runtime_error with a message on any
-/// schema violation) and returns the tool's exit code; file errors and
-/// validation throws are reported as "<tool>: <path>: <message>".
+/// Per-invocation options handed to the tool body.
+struct SummaryOptions {
+  bool check_only = false;
+  /// Non-empty = the artifact must carry this run_id (provenance join).
+  std::string expect_run_id;
+};
+
+/// Asserts the artifact's correlation ID against --expect-run-id: a no-op
+/// when no expectation was given, otherwise the artifact must carry a
+/// run_id and it must match. `where` names the artifact location in the
+/// failure message ("meta.run_id", "log record 7", ...).
+inline void check_run_id(const SummaryOptions& opts,
+                         const std::string& actual,
+                         const std::string& where) {
+  if (opts.expect_run_id.empty()) {
+    return;
+  }
+  require(!actual.empty(), where + ": missing run_id (expected '" +
+                               opts.expect_run_id + "')");
+  require(actual == opts.expect_run_id,
+          where + ": run_id '" + actual + "' does not match expected '" +
+              opts.expect_run_id + "'");
+}
+
+/// Runs `body(text, opts)` on the file named on the command line. The body
+/// validates (throwing std::runtime_error with a message on any schema
+/// violation) and returns the tool's exit code; file errors and validation
+/// throws are reported as "<tool>: <path>: <message>".
 inline int run_summary_tool(
     int argc, char** argv, const char* tool,
-    const std::function<int(const std::string& text, bool check_only)>&
-        body) {
+    const std::function<int(const std::string& text,
+                            const SummaryOptions& opts)>& body) {
   std::string path;
-  bool check_only = false;
+  SummaryOptions opts;
   bool usage_error = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--check") {
-      check_only = true;
+      opts.check_only = true;
+    } else if (arg == "--expect-run-id") {
+      if (i + 1 >= argc) {
+        usage_error = true;
+        break;
+      }
+      opts.expect_run_id = argv[++i];
     } else if (path.empty()) {
       path = arg;
     } else {
@@ -53,7 +85,8 @@ inline int run_summary_tool(
     }
   }
   if (path.empty() || usage_error) {
-    std::cerr << "usage: " << tool << " <file> [--check]\n";
+    std::cerr << "usage: " << tool
+              << " <file> [--check] [--expect-run-id <id>]\n";
     return 2;
   }
   try {
@@ -71,7 +104,7 @@ inline int run_summary_tool(
                 << ": file is empty (no document)\n";
       return 1;
     }
-    return body(text, check_only);
+    return body(text, opts);
   } catch (const std::exception& e) {
     std::cerr << tool << ": " << path << ": " << e.what() << "\n";
     return 1;

@@ -1,7 +1,7 @@
 // trace_summary: reader and schema validator for the observability
 // artifacts the solve stack emits (see DESIGN.md "Observability"):
 //
-//   trace_summary <file> [--check]
+//   trace_summary <file> [--check] [--expect-run-id <id>]
 //
 // The file kind is autodetected from its top-level keys:
 //   - Chrome trace (adsd_cli --trace / bench --trace): "traceEvents".
@@ -12,13 +12,18 @@
 //     latency and counter tables.
 //   - Telemetry report (adsd_cli --telemetry): "counters" + "spans".
 //     Validates and prints both sections.
+//   - QoR record (adsd_cli --qor, schema "adsd-qor-v1"): validates the
+//     counters/samples/decisions/curves/finals sections and prints the
+//     final quality summary.
 //
-// --check suppresses the tables (validation only). Exit status: 0 valid,
-// 1 invalid or unreadable — CI uses this as the trace smoke check.
-// Empty/whitespace-only files fail with a clear message (no parser throw);
-// structurally valid artifacts with zero events/spans are reported and
-// fail only under --check.
+// --check suppresses the tables (validation only); --expect-run-id <id>
+// additionally requires the artifact's provenance stamp to match (the CI
+// obs-bundle join check). Exit status: 0 valid, 1 invalid or unreadable —
+// CI uses this as the trace smoke check. Empty/whitespace-only files fail
+// with a clear message (no parser throw); structurally valid artifacts
+// with zero events/spans are reported and fail only under --check.
 
+#include <cstdint>
 #include <iostream>
 #include <map>
 #include <vector>
@@ -31,15 +36,30 @@ namespace {
 
 using adsd::Table;
 using adsd::json::Value;
+using adsd::tools::check_run_id;
 using adsd::tools::invalid;
 using adsd::tools::require;
+using adsd::tools::SummaryOptions;
+
+/// The run_id an artifact carries at `obj[key]`, or "" when absent.
+std::string optional_run_id(const Value& obj, const char* key = "run_id") {
+  const Value* v = obj.find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : std::string();
+}
 
 struct SpanAgg {
   std::size_t count = 0;
   double total_us = 0.0;
 };
 
-int summarize_chrome_trace(const Value& doc, bool check_only) {
+int summarize_chrome_trace(const Value& doc, const SummaryOptions& opts) {
+  const bool check_only = opts.check_only;
+  if (const Value* other = doc.find("otherData");
+      other != nullptr && other->is_object()) {
+    check_run_id(opts, optional_run_id(*other), "otherData.run_id");
+  } else {
+    check_run_id(opts, "", "otherData.run_id");
+  }
   const Value& events = doc.at("traceEvents");
   require(events.is_array(), "traceEvents must be an array");
   if (events.as_array().empty()) {
@@ -124,8 +144,10 @@ int summarize_chrome_trace(const Value& doc, bool check_only) {
   return 0;
 }
 
-int summarize_report(const Value& doc, bool check_only) {
+int summarize_report(const Value& doc, const SummaryOptions& opts) {
+  const bool check_only = opts.check_only;
   const Value& meta = doc.at("meta");
+  check_run_id(opts, optional_run_id(meta), "meta.run_id");
   for (const char* key :
        {"threads", "events", "dropped", "duration_s", "unmatched_begins",
         "unmatched_ends"}) {
@@ -225,7 +247,9 @@ int summarize_report(const Value& doc, bool check_only) {
   return 0;
 }
 
-int summarize_telemetry(const Value& doc, bool check_only) {
+int summarize_telemetry(const Value& doc, const SummaryOptions& opts) {
+  const bool check_only = opts.check_only;
+  check_run_id(opts, optional_run_id(doc), "telemetry run_id");
   const Value& counters = doc.at("counters");
   const Value& spans = doc.at("spans");
   require(counters.is_object() && spans.is_object(),
@@ -262,24 +286,70 @@ int summarize_telemetry(const Value& doc, bool check_only) {
   return 0;
 }
 
+int summarize_qor(const Value& doc, const SummaryOptions& opts) {
+  check_run_id(opts, optional_run_id(doc), "qor run_id");
+  require(doc.at("counters").is_object(), "qor counters must be an object");
+  require(doc.at("samples").is_object(), "qor samples must be an object");
+  require(doc.at("decisions").is_array(), "qor decisions must be an array");
+  require(doc.at("curves").is_array(), "qor curves must be an array");
+  require(doc.at("dropped").is_number(), "qor missing dropped");
+  const Value& finals = doc.at("finals");
+  require(finals.is_array(), "qor finals must be an array");
+  for (const Value& fin : finals.as_array()) {
+    require(fin.is_object() && fin.find("stage") != nullptr &&
+                fin.at("stage").is_string(),
+            "qor final missing stage");
+    for (const char* key : {"med", "error_rate", "lut_bits", "flat_bits"}) {
+      require(fin.find(key) != nullptr && fin.at(key).is_number(),
+              std::string("qor final missing ") + key);
+    }
+  }
+  if (opts.check_only) {
+    std::cout << "qor OK: " << doc.at("counters").as_object().size()
+              << " counters, " << doc.at("decisions").as_array().size()
+              << " decisions, " << finals.as_array().size() << " finals\n";
+    return 0;
+  }
+  std::cout << "adsd-qor-v1 record: "
+            << doc.at("decisions").as_array().size() << " decisions, "
+            << doc.at("curves").as_array().size() << " curves\n\n";
+  Table final_table({"stage", "MED", "error rate", "LUT bits", "flat bits"});
+  for (const Value& fin : finals.as_array()) {
+    final_table.add_row(
+        {fin.at("stage").as_string(), Table::num(fin.at("med").as_number(), 6),
+         Table::num(fin.at("error_rate").as_number(), 6),
+         std::to_string(
+             static_cast<std::uint64_t>(fin.at("lut_bits").as_number())),
+         std::to_string(
+             static_cast<std::uint64_t>(fin.at("flat_bits").as_number()))});
+  }
+  final_table.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   return adsd::tools::run_summary_tool(
       argc, argv, "trace_summary",
-      [](const std::string& text, bool check_only) {
+      [](const std::string& text, const SummaryOptions& opts) {
         const Value doc = adsd::json::parse(text);
         if (doc.contains("traceEvents")) {
-          return summarize_chrome_trace(doc, check_only);
+          return summarize_chrome_trace(doc, opts);
+        }
+        if (const Value* schema = doc.find("schema");
+            schema != nullptr && schema->is_string() &&
+            schema->as_string() == "adsd-qor-v1") {
+          return summarize_qor(doc, opts);
         }
         if (doc.contains("meta") && doc.contains("spans")) {
-          return summarize_report(doc, check_only);
+          return summarize_report(doc, opts);
         }
         if (doc.contains("counters") && doc.contains("spans")) {
-          return summarize_telemetry(doc, check_only);
+          return summarize_telemetry(doc, opts);
         }
         throw std::runtime_error(
             "unrecognized JSON document (expected a Chrome trace, run "
-            "report, or telemetry report)");
+            "report, telemetry report, or adsd-qor-v1 record)");
       });
 }
