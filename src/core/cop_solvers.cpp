@@ -354,7 +354,7 @@ void solve_packed_chunk(std::span<const ColumnCop> cops, const RunContext& ctx,
                         std::span<CoreSolveStats> stats,
                         std::span<const std::size_t> members,
                         const IsingCoreSolver::Options& options,
-                        PackLayout layout) {
+                        const PackEngineOptions& engine_opts) {
   const std::size_t M = members.size();
   if (M == 1) {
     const std::size_t idx = members[0];
@@ -407,7 +407,7 @@ void solve_packed_chunk(std::span<const ColumnCop> cops, const RunContext& ctx,
         pack[m].initial_positions = ms[m].warm.positions;
       }
     }
-    BsbPackEngine engine(pack, options.sb, replicas, layout);
+    BsbPackEngine engine(pack, options.sb, replicas, engine_opts);
     engine.set_context(&ctx);
     const std::vector<IsingSolveResult> results = engine.run(pack_hook);
 
@@ -441,6 +441,82 @@ void solve_packed_chunk(std::span<const ColumnCop> cops, const RunContext& ctx,
     stats[idx].stopped_early = ms[m].any_early;
     stats[idx].proven_optimal = false;
   }
+}
+
+/// Shared-J restart packing (Options::share_j): the `restarts` attempts of
+/// ONE instance run as members of a single shared-model pack on the
+/// broadcast-weight kernels — one n x n coupling plane instead of one per
+/// attempt. Bit-identical to the sequential restart loop of
+/// ising_core_solve: same per-attempt seeds (seed + attempt * 0x9e3779b9),
+/// warm start on attempt 0 only, one shared Theorem-3 closure (its
+/// captures are pure per-call scratch), ascending-attempt strict-less best
+/// selection. One intentional difference: the sequential loop skips the
+/// remaining restarts once the deadline expires mid-sequence, while the
+/// packed attempts run concurrently and all retire at the deadline — more
+/// attempts finish, and the best objective can only improve.
+ColumnSetting ising_core_solve_shared_restarts(
+    const ColumnCop& cop, const RunContext& ctx, std::uint64_t seed,
+    CoreSolveStats* stats, const IsingCoreSolver::Options& options,
+    PackEngineOptions engine_opts) {
+  const std::size_t restarts = std::max<std::size_t>(1, options.restarts);
+  const std::size_t replicas = std::max<std::size_t>(1, options.replicas);
+  const IsingModel model = cop.to_ising();
+
+  SbBatchPlaneHook hook;
+  PackPlaneHook pack_hook;
+  if (options.use_theorem3) {
+    hook = make_theorem3_hook(cop, ctx, options.anti_collapse);
+    pack_hook = [&hook](std::size_t, std::span<double> x, std::span<double> y,
+                        std::size_t reps) { hook(x, y, reps); };
+  }
+
+  ColumnSetting best;
+  double best_obj = 0.0;
+  bool have_best = false;
+  WarmStart warm;
+  if (options.column_seed_init) {
+    warm = column_seed_warm_start(cop);
+    best = std::move(warm.incumbent);
+    best_obj = warm.objective;
+    have_best = true;
+  }
+
+  std::vector<PackMember> pack(restarts);
+  for (std::size_t attempt = 0; attempt < restarts; ++attempt) {
+    pack[attempt].model = &model;
+    pack[attempt].seed = seed + 0x9e3779b9u * attempt;
+    if (attempt == 0 && !warm.positions.empty()) {
+      pack[attempt].initial_positions = warm.positions;
+    }
+  }
+  engine_opts.share_j = true;
+  BsbPackEngine engine(pack, options.sb, replicas, engine_opts);
+  engine.set_context(&ctx);
+  const std::vector<IsingSolveResult> results = engine.run(pack_hook);
+
+  std::size_t total_iters = 0;
+  bool any_early = false;
+  for (std::size_t attempt = 0; attempt < restarts; ++attempt) {
+    const IsingSolveResult& res = results[attempt];
+    // solve_sb_batch scales iterations by the replica count; mirror it.
+    total_iters += res.iterations * replicas;
+    any_early = any_early || res.stopped_early;
+    ColumnSetting s = cop.decode(res.spins);
+    const double obj = polish_and_score(cop, ctx, s, options.final_polish);
+    if (!have_best || obj < best_obj) {
+      best = std::move(s);
+      best_obj = obj;
+      have_best = true;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->objective = best_obj;
+    stats->iterations = total_iters;
+    stats->stopped_early = any_early;
+    stats->proven_optimal = false;
+  }
+  return best;
 }
 
 }  // namespace
@@ -558,6 +634,12 @@ ColumnSetting PackedCoreCopSolver::do_solve(const ColumnCop& cop,
                                             const RunContext& ctx,
                                             std::uint64_t seed,
                                             CoreSolveStats* stats) const {
+  // Shared-J restart packing: even a lone instance has restarts to pack.
+  if (options_.share_j && std::max<std::size_t>(1, options_.core.restarts) > 1) {
+    return ising_core_solve_shared_restarts(
+        cop, ctx, seed, stats, options_.core,
+        PackEngineOptions{options_.layout, options_.tile, true});
+  }
   // A lone instance takes the standalone path — bit-identical to
   // IsingCoreSolver with the same core options, no packing overhead.
   return ising_core_solve(cop, ctx, seed, stats, options_.core);
@@ -568,9 +650,39 @@ void PackedCoreCopSolver::do_solve_batch(std::span<const ColumnCop> cops,
                                          std::span<const std::uint64_t> seeds,
                                          std::span<ColumnSetting> out,
                                          std::span<CoreSolveStats> stats) const {
-  // Bucket instances by num_spins (stable, so same-shape batches — the
+  // Shared-J restart packing: members of one pack must share a model, so
+  // each instance becomes its own pack of restart attempts; the pool then
+  // parallelizes across instances exactly as it would across chunks.
+  if (options_.share_j &&
+      std::max<std::size_t>(1, options_.core.restarts) > 1) {
+    const PackEngineOptions engine_opts{options_.layout, options_.tile, true};
+    auto run_one = [&](std::size_t i) {
+      out[i] = ising_core_solve_shared_restarts(cops[i], ctx, seeds[i],
+                                                &stats[i], options_.core,
+                                                engine_opts);
+    };
+    if (ctx.parallel() && cops.size() > 1) {
+      ThreadPool& pool = ctx.pool();
+      if (pool.thread_count() > 1) {
+        pool.parallel_for(cops.size(), run_one);
+        return;
+      }
+    }
+    for (std::size_t i = 0; i < cops.size(); ++i) {
+      run_one(i);
+    }
+    return;
+  }
+
+  // Sort instances by num_spins (stable, so same-shape batches — the
   // DALTA case, where all P candidates share the r x c shape — keep input
-  // order), then carve buckets into chunks of at most `pack` members.
+  // order), then carve chunks of at most `pack` members. Sizes may mix
+  // inside a chunk: the engine pads smaller members with inert spins, and
+  // admitting the next (sorted, so largest-so-far) instance is allowed as
+  // long as the padded volume n_new^2 * count stays within 25% of the
+  // members' own sum of n^2 — a straggler size rides along instead of
+  // forcing its own under-filled pack, but never at more than 1.25x the
+  // force-pass flops the members would cost unpadded.
   std::vector<std::size_t> order(cops.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::stable_sort(order.begin(), order.end(),
@@ -585,22 +697,29 @@ void PackedCoreCopSolver::do_solve_batch(std::span<const ColumnCop> cops,
   };
   std::vector<Chunk> chunks;
   for (std::size_t i = 0; i < order.size();) {
-    const std::size_t n = cops[order[i]].num_spins();
     std::size_t j = i;
-    while (j < order.size() && cops[order[j]].num_spins() == n &&
-           j - i < pack) {
+    std::size_t own_volume = 0;
+    while (j < order.size() && j - i < pack) {
+      const std::size_t n = cops[order[j]].num_spins();
+      const std::size_t padded = n * n * (j - i + 1);
+      const std::size_t own = own_volume + n * n;
+      if (j > i && padded * 4 > own * 5) {
+        break;
+      }
+      own_volume = own;
       ++j;
     }
     chunks.push_back({i, j});
     i = j;
   }
 
+  const PackEngineOptions engine_opts{options_.layout, options_.tile, false};
   auto run_chunk = [&](std::size_t c) {
     const Chunk& chunk = chunks[c];
     solve_packed_chunk(cops, ctx, seeds, out, stats,
                        std::span<const std::size_t>(order.data() + chunk.begin,
                                                     chunk.end - chunk.begin),
-                       options_.core, options_.layout);
+                       options_.core, engine_opts);
   };
 
   // Parallelism across whole packs: each chunk's engine run is serial

@@ -191,10 +191,15 @@ class IsingCoreSolver final : public CoreCopSolver {
 /// restarts, warm incumbent, and final polish (see BsbPackEngine for the
 /// one budget-rescale caveat under positive time budgets).
 ///
-/// do_solve_batch buckets instances by num_spins (stable order), carves
-/// buckets into chunks of at most `pack`, and — when the context allows
-/// parallelism — distributes whole chunks over ctx.pool(): parallelism
-/// across packs, SIMD across members, replicas inside the engine.
+/// do_solve_batch sorts instances by num_spins (stable order) and carves
+/// them into chunks of at most `pack` members; neighboring sizes share a
+/// chunk (the engine pads smaller members with inert spins) as long as the
+/// padded volume stays within 25% of the members' own sum of n^2, so a
+/// straggler size no longer forces its own under-filled pack. When the
+/// context allows parallelism, whole chunks are distributed over
+/// ctx.pool(): parallelism across packs, SIMD across members, replicas
+/// inside the engine. Under `share_j` with restarts > 1, each instance
+/// instead becomes its own shared-model pack of restart attempts.
 class PackedCoreCopSolver final : public CoreCopSolver {
  public:
   struct Options {
@@ -208,6 +213,20 @@ class PackedCoreCopSolver final : public CoreCopSolver {
 
     /// Engine layout; kAuto picks slots at replicas <= 2, blocks above.
     PackLayout layout = PackLayout::kAuto;
+
+    /// Slot-tile width forwarded to the engine (`pack-tile=K`; 0 = auto,
+    /// the engine's measured working-set model).
+    std::size_t tile = 0;
+
+    /// Shared-J restart packing (`pack-share-j=1`): solve each instance's
+    /// `restarts` attempts as members of ONE shared-model pack on the
+    /// broadcast-weight kernels, instead of sequential engine runs. Same
+    /// per-attempt seeds, warm start on attempt 0 only, ascending-attempt
+    /// strict-less best selection — bit-identical to the sequential loop
+    /// for deadline-less contexts (an expired deadline retires the
+    /// concurrent attempts instead of skipping the later ones). No-op at
+    /// restarts <= 1.
+    bool share_j = false;
   };
 
   explicit PackedCoreCopSolver(Options options) : options_(options) {

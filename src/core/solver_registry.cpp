@@ -206,7 +206,7 @@ const SolverRegistry& SolverRegistry::global() {
            {"n", "replicas", "restarts", "theorem3", "anti-collapse",
             "polish", "seed-init", "max-iter", "dt", "discrete", "kernel",
             "stop", "stop-interval", "stop-window", "stop-epsilon", "pack",
-            "pack-layout"},
+            "pack-layout", "pack-tile", "pack-share-j"},
            [](const SolverConfig& c) -> std::unique_ptr<CoreCopSolver> {
              auto options = IsingCoreSolver::Options::paper_defaults(
                  static_cast<unsigned>(c.get_size("n", 9)));
@@ -241,11 +241,32 @@ const SolverRegistry& SolverRegistry::global() {
                packed.pack = pack;
                packed.layout = parse_pack_layout(
                    c.get_string("pack-layout", "auto"));
+               // pack-tile=auto|<slots>: slot-tile width of the slot
+               // layout (0 = the engine's measured working-set model).
+               const std::string tile = c.get_string("pack-tile", "auto");
+               if (tile != "auto") {
+                 std::size_t width = 0;
+                 const auto [ptr, ec] = std::from_chars(
+                     tile.data(), tile.data() + tile.size(), width);
+                 if (ec != std::errc{} ||
+                     ptr != tile.data() + tile.size() || width == 0) {
+                   throw std::invalid_argument(
+                       "solver 'prop': bad value '" + tile +
+                       "' for 'pack-tile' (expected auto or a positive "
+                       "slot count)");
+                 }
+                 packed.tile = width;
+               }
+               packed.share_j = c.get_bool("pack-share-j", false);
                return std::make_unique<PackedCoreCopSolver>(packed);
              }
-             if (c.has("pack-layout")) {
-               throw std::invalid_argument(
-                   "solver 'prop': 'pack-layout' requires 'pack' > 0");
+             for (const char* key :
+                  {"pack-layout", "pack-tile", "pack-share-j"}) {
+               if (c.has(key)) {
+                 throw std::invalid_argument("solver 'prop': '" +
+                                             std::string(key) +
+                                             "' requires 'pack' > 0");
+               }
              }
              return std::make_unique<IsingCoreSolver>(options);
            }});

@@ -1,6 +1,7 @@
 #include "ising/bsb_pack.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 #include <string>
@@ -39,8 +40,15 @@ PackLayout parse_pack_layout(const std::string& name) {
 BsbPackEngine::BsbPackEngine(std::span<const PackMember> members,
                              const SbParams& params, std::size_t replicas,
                              PackLayout layout)
+    : BsbPackEngine(members, params, replicas,
+                    PackEngineOptions{layout, 0, false}) {}
+
+BsbPackEngine::BsbPackEngine(std::span<const PackMember> members,
+                             const SbParams& params, std::size_t replicas,
+                             const PackEngineOptions& options)
     : members_(members.begin(), members.end()),
       params_(params),
+      share_j_(options.share_j),
       R_(replicas),
       S_(members.size()),
       active_(members.size()) {
@@ -60,59 +68,152 @@ BsbPackEngine::BsbPackEngine(std::span<const PackMember> members,
           "BsbPackEngine: every member model must be finalized");
     }
   }
-  n_ = members_[0].model->num_spins();
-  for (const PackMember& m : members_) {
-    if (m.model->num_spins() != n_) {
-      throw std::invalid_argument(
-          "BsbPackEngine: members must share num_spins (bucket by n)");
-    }
-    if (!m.initial_positions.empty() && m.initial_positions.size() != n_) {
+  // Mixed spin counts are allowed: the pack is padded to the maximum n
+  // with inert spins (zero bias/coupling rows keep the padded lanes at
+  // exactly 0.0 forever), so every member still matches its standalone
+  // trajectory bit for bit.
+  const std::size_t M = S_;
+  nspins_.resize(M);
+  n_ = 0;
+  for (std::size_t m = 0; m < M; ++m) {
+    nspins_[m] = members_[m].model->num_spins();
+    n_ = std::max(n_, nspins_[m]);
+    if (!members_[m].initial_positions.empty() &&
+        members_[m].initial_positions.size() != nspins_[m]) {
       throw std::invalid_argument("BsbPackEngine: initial_positions size");
     }
   }
+  if (share_j_) {
+    for (const PackMember& m : members_) {
+      if (m.model != members_[0].model) {
+        throw std::invalid_argument(
+            "BsbPackEngine: share_j requires every member to reference the "
+            "same IsingModel");
+      }
+    }
+  }
 
-  // Auto policy: the slot layout streams a dense n*n plane per slot every
-  // force pass, so it is gated on that working set staying near cache
-  // size (the K = 64 x 64-spin micro-bench point -- 2 MB -- is already
-  // bandwidth-bound but still ahead of looped solves; measured end-to-end
-  // it beats kBlocks by ~2x on DALTA's small candidate COPs at any
-  // R <= 8). Past the gate the composite-CSR layout wins: no structural
-  // zeros, memory linear in the members' real edge counts.
+  // Auto policy: the slot layout streams per-slot union-pattern coupling
+  // rows (at most n*n doubles per slot; the gate uses that conservative
+  // bound, computed before the union exists) every force pass, so it is
+  // gated on that working set staying near cache size; tiling (below)
+  // keeps each tile's share L2-resident across a sampling block, and
+  // shared-J drops the per-slot planes entirely, so a shared pack always
+  // takes the slot layout. Past the gate the composite-CSR layout wins:
+  // no cross-member pattern union, memory linear in the members' own
+  // edge counts.
   constexpr std::size_t kSlotPlaneDoubles = (4u << 20) / sizeof(double);
-  layout_ = layout == PackLayout::kAuto
-                ? (n_ * n_ * S_ <= kSlotPlaneDoubles && R_ <= 8
+  layout_ = options.layout == PackLayout::kAuto
+                ? ((share_j_ || n_ * n_ * S_ <= kSlotPlaneDoubles) && R_ <= 8
                        ? PackLayout::kSlots
                        : PackLayout::kBlocks)
-                : layout;
+                : options.layout;
+  if (share_j_ && layout_ != PackLayout::kSlots) {
+    throw std::invalid_argument(
+        "BsbPackEngine: share_j requires the slots layout");
+  }
 
-  // Per-member c0 from the member's own coupling RMS — the exact
-  // standalone expression, so a packed member integrates with the same
-  // coupling strength it would alone.
-  const std::size_t M = S_;
+  // Per-member c0 from the member's own coupling RMS and spin count — the
+  // exact standalone expression, so a packed member integrates with the
+  // same coupling strength it would alone.
   c0_.resize(M);
   for (std::size_t m = 0; m < M; ++m) {
     double c0 = params_.c0;
     if (c0 <= 0.0) {
       const double rms = members_[m].model->coupling_rms();
-      c0 = rms > 0.0 ? 0.5 * params_.detuning /
-                           (rms * std::sqrt(static_cast<double>(n_)))
-                     : 1.0;
+      c0 = rms > 0.0
+               ? 0.5 * params_.detuning /
+                     (rms * std::sqrt(static_cast<double>(nspins_[m])))
+               : 1.0;
     }
     c0_[m] = c0;
   }
 
-  x_.assign(n_ * R_ * S_, 0.0);
-  y_.assign(n_ * R_ * S_, 0.0);
-  force_.assign(n_ * R_ * S_, 0.0);
-
   if (layout_ == PackLayout::kSlots) {
-    // Per-slot dense block-diagonal weight/bias planes: wp[(i*n + j)*S + s]
-    // is J_s(i, j), 0.0 where member s has no coupling. Structural zeros
-    // contribute +-0.0 per edge, which leaves the h-seeded accumulators
-    // bit-identical to the member's CSR traversal (same argument as the
-    // per-instance dense kernels; finalize() stores neighbors ascending).
-    hp_.assign(n_ * S_, 0.0);
-    wp_.assign(n_ * n_ * S_, 0.0);
+    // Union sparsity pattern across the members (ascending columns per
+    // row): the weight planes and the pack kernels cover only the columns
+    // SOME member actually couples, so columns that are structural zeros
+    // in every slot cost neither bandwidth nor flops. DALTA packs carve
+    // same-template instances, whose union is ~one member's edge count —
+    // half the dense plane on the K = 64 bench point. Dropping a column
+    // that is zero in every slot removes only +-0.0 addends from the
+    // h-seeded accumulators, and the surviving edges keep their ascending
+    // order, so every partial sum — and therefore every trajectory — is
+    // bit-identical to the dense iteration. One bitset sweep per row
+    // (finalize() stores neighbors ascending; extraction re-sorts anyway).
+    const std::size_t words = (n_ + 63) / 64;
+    std::vector<std::uint64_t> rowbits(words);
+    urow_start_.assign(n_ + 1, 0);
+    ucols_.clear();
+    const std::size_t scan = share_j_ ? 1 : M;
+    for (std::size_t i = 0; i < n_; ++i) {
+      std::fill(rowbits.begin(), rowbits.end(), 0);
+      for (std::size_t m = 0; m < scan; ++m) {
+        if (i >= nspins_[m]) {
+          continue;
+        }
+        for (const auto& [j, w] : members_[m].model->neighbors(i)) {
+          rowbits[static_cast<std::size_t>(j) >> 6] |=
+              std::uint64_t{1} << (static_cast<std::size_t>(j) & 63);
+        }
+      }
+      for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t bits = rowbits[w];
+        while (bits != 0) {
+          ucols_.push_back(static_cast<std::uint32_t>(
+              w * 64 + static_cast<std::size_t>(std::countr_zero(bits))));
+          bits &= bits - 1;
+        }
+      }
+      urow_start_[i + 1] = static_cast<std::uint32_t>(ucols_.size());
+    }
+    uedges_ = ucols_.size();
+
+    // Slot-tile width: explicit request wins; auto sizes each tile so its
+    // per-slot coupling rows (uedges * tile doubles) fit in ~1 MB — half
+    // a typical L2 — leaving room for the tile's state planes. Measured
+    // on this host class (K = 64, n = 64): contiguous 1 MB tiles advanced
+    // a whole sampling block at a time run the force+Euler loop ~2.4x
+    // faster than a monolithic 2 MB plane, which is L1-fill-bound when
+    // streamed every step. Under shared-J there is no per-slot coupling
+    // plane, so the tile defaults to the whole pack.
+    if (options.tile > 0) {
+      tile_ = std::min(options.tile, S_);
+    } else if (share_j_) {
+      tile_ = S_;
+    } else {
+      constexpr std::size_t kTileTargetDoubles = (1u << 20) / sizeof(double);
+      std::size_t t = kTileTargetDoubles / std::max<std::size_t>(uedges_, 1);
+      t = std::max<std::size_t>(t - t % 8, 8);
+      tile_ = std::min(t, S_);
+    }
+    tiles_ = (S_ + tile_ - 1) / tile_;
+    xstride_ = n_ * R_ * tile_;
+    hstride_ = n_ * tile_;
+    wstride_ = uedges_ * tile_;
+    x_.assign(tiles_ * xstride_, 0.0);
+    y_.assign(tiles_ * xstride_, 0.0);
+    force_.assign(tiles_ * xstride_, 0.0);
+
+    // Per-slot union weight/bias planes, tile-major: wp[wpos(e, s)] is
+    // slot s's weight on union edge e, 0.0 where that slot lacks the edge
+    // (or where the edge's row is a padded row of a smaller member).
+    // Under shared-J one weight per union edge replaces them all.
+    hp_.assign(tiles_ * hstride_, 0.0);
+    if (share_j_) {
+      // The union of one model IS its own pattern, so the shared weights
+      // are the model's CSR values in edge order.
+      wj_.assign(uedges_, 0.0);
+      const IsingModel& model = *members_[0].model;
+      std::size_t e = 0;
+      for (std::size_t i = 0; i < n_; ++i) {
+        for (const auto& [j, w] : model.neighbors(i)) {
+          wj_[e++] = w;
+        }
+      }
+    } else {
+      wp_.assign(tiles_ * wstride_, 0.0);
+    }
     slot_of_member_.resize(M);
     member_of_slot_.resize(M);
     c0_slot_.resize(M);
@@ -121,52 +222,80 @@ BsbPackEngine::BsbPackEngine(std::span<const PackMember> members,
       member_of_slot_[m] = m;
       c0_slot_[m] = c0_[m];
       const IsingModel& model = *members_[m].model;
-      for (std::size_t i = 0; i < n_; ++i) {
-        hp_[i * S_ + m] = model.bias(i);
-        for (const auto& [j, w] : model.neighbors(i)) {
-          wp_[(i * n_ + static_cast<std::size_t>(j)) * S_ + m] = w;
+      double* hm = hp_.data() + (m / tile_) * hstride_ + m % tile_;
+      for (std::size_t i = 0; i < nspins_[m]; ++i) {
+        hm[i * tile_] = model.bias(i);
+      }
+    }
+    // Weight-plane fill, row-outer/slot-inner: all slots of a tile write
+    // row i's union block while it is hot, instead of each member
+    // streaming the whole multi-MB plane with partial-line writes. Plane
+    // construction is on the packed path's critical path — the engine is
+    // rebuilt per restart attempt. The member's ascending neighbors merge
+    // into the ascending union slice with one forward cursor per slot.
+    if (!share_j_) {
+      for (std::size_t t = 0; t < tiles_; ++t) {
+        const std::size_t base = t * tile_;
+        const std::size_t at = std::min(tile_, S_ - base);
+        double* wt = wp_.data() + t * wstride_;
+        for (std::size_t i = 0; i < n_; ++i) {
+          double* wrow = wt + static_cast<std::size_t>(urow_start_[i]) * tile_;
+          for (std::size_t u = 0; u < at; ++u) {
+            const std::size_t m = base + u;
+            if (i >= nspins_[m]) {
+              continue;
+            }
+            std::size_t e = urow_start_[i];
+            for (const auto& [j, w] : members_[m].model->neighbors(i)) {
+              while (ucols_[e] != static_cast<std::uint32_t>(j)) {
+                ++e;
+              }
+              wrow[(e - urow_start_[i]) * tile_ + u] = w;
+              ++e;
+            }
+          }
         }
       }
     }
     pack_kernel_ = kernels::select_pack_force_kernel(params_.kernel,
-                                                     cpu_features());
+                                                     cpu_features(), share_j_);
     pack_fn_ = params_.discrete ? pack_kernel_.discrete
                                 : pack_kernel_.continuous;
     kernel_name_ = pack_kernel_.name;
-    pack_planes_ = kernels::PackForcePlanes{};
-    pack_planes_.x = x_.data();
-    pack_planes_.force = force_.data();
-    pack_planes_.hp = hp_.data();
-    pack_planes_.wp = wp_.data();
-    pack_planes_.n = n_;
-    pack_planes_.replicas = R_;
-    pack_planes_.slots = S_;
-    pack_planes_.active = active_;
   } else {
-    // Composite block-diagonal CSR: member m occupies rows
-    // [m*n, (m+1)*n), columns offset by m*n, in the standard
-    // replica-contiguous layout — the existing per-instance force kernels
+    // Composite block-diagonal CSR: member m occupies rows/cols
+    // [row_base_[m], row_base_[m + 1]) — the spin-count prefix, so
+    // mixed-n members stack without padding — in the standard
+    // replica-contiguous layout; the existing per-instance force kernels
     // run one active block's row range at a time, unchanged. The dense
     // axis is unavailable (no composite dense plane), so a kDense request
     // falls to the widest CSR ISA — still bit-identical.
-    row_start_.assign(S_ * n_ + 1, 0);
+    row_base_.assign(M + 1, 0);
+    for (std::size_t m = 0; m < M; ++m) {
+      row_base_[m + 1] = row_base_[m] + nspins_[m];
+    }
+    const std::size_t rows = row_base_[M];
+    x_.assign(rows * R_, 0.0);
+    y_.assign(rows * R_, 0.0);
+    force_.assign(rows * R_, 0.0);
+    row_start_.assign(rows + 1, 0);
     std::size_t nnz = 0;
     for (std::size_t m = 0; m < M; ++m) {
       const IsingModel& model = *members_[m].model;
-      for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t i = 0; i < nspins_[m]; ++i) {
         nnz += model.neighbors(i).size();
-        row_start_[m * n_ + i + 1] = nnz;
+        row_start_[row_base_[m] + i + 1] = nnz;
       }
     }
     cols_.resize(nnz);
     weights_.resize(nnz);
-    h_.resize(S_ * n_);
+    h_.resize(rows);
     for (std::size_t m = 0; m < M; ++m) {
       const IsingModel& model = *members_[m].model;
-      const std::uint32_t col_base = static_cast<std::uint32_t>(m * n_);
-      for (std::size_t i = 0; i < n_; ++i) {
-        h_[m * n_ + i] = model.bias(i);
-        std::size_t e = row_start_[m * n_ + i];
+      const std::uint32_t col_base = static_cast<std::uint32_t>(row_base_[m]);
+      for (std::size_t i = 0; i < nspins_[m]; ++i) {
+        h_[row_base_[m] + i] = model.bias(i);
+        std::size_t e = row_start_[row_base_[m] + i];
         for (const auto& [j, w] : model.neighbors(i)) {
           cols_[e] = col_base + j;
           weights_[e] = w;
@@ -188,33 +317,36 @@ BsbPackEngine::BsbPackEngine(std::span<const PackMember> members,
     planes_.row_start = row_start_.data();
     planes_.cols = cols_.data();
     planes_.weights = weights_.data();
-    planes_.n = S_ * n_;
+    planes_.n = rows;
     planes_.replicas = R_;
   }
 
   // Standalone replica seeding per member: Rng(seed + r * 0x9e3779b9),
-  // x from initial_positions first, then the momenta sweep — the same
-  // draw order as BsbBatchEngine.
+  // x from initial_positions first, then the momenta sweep over the
+  // member's own spin count — the same draw order as BsbBatchEngine.
+  // Padded lanes of smaller members stay at the 0.0 the planes were
+  // filled with.
   for (std::size_t m = 0; m < M; ++m) {
     const PackMember& member = members_[m];
+    const std::size_t nm = nspins_[m];
     for (std::size_t r = 0; r < R_; ++r) {
       Rng rng(member.seed + 0x9e3779b9u * r);
       if (!member.initial_positions.empty()) {
-        for (std::size_t i = 0; i < n_; ++i) {
+        for (std::size_t i = 0; i < nm; ++i) {
           const double xi = member.initial_positions[i];
           if (layout_ == PackLayout::kSlots) {
-            x_[(i * R_ + r) * S_ + m] = xi;
+            x_[xpos(i * R_ + r, m)] = xi;
           } else {
-            x_[m * n_ * R_ + i * R_ + r] = xi;
+            x_[(row_base_[m] + i) * R_ + r] = xi;
           }
         }
       }
-      for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t i = 0; i < nm; ++i) {
         const double yi = rng.next_double(-0.1, 0.1);
         if (layout_ == PackLayout::kSlots) {
-          y_[(i * R_ + r) * S_ + m] = yi;
+          y_[xpos(i * R_ + r, m)] = yi;
         } else {
-          y_[m * n_ * R_ + i * R_ + r] = yi;
+          y_[(row_base_[m] + i) * R_ + r] = yi;
         }
       }
     }
@@ -222,9 +354,11 @@ BsbPackEngine::BsbPackEngine(std::span<const PackMember> members,
 
   spins_.resize(M * n_ * R_);
   for (std::size_t m = 0; m < M; ++m) {
-    for (std::size_t lane = 0; lane < n_ * R_; ++lane) {
-      spins_[m * n_ * R_ + lane] =
-          member_x(m, lane) >= 0.0 ? std::int8_t{1} : std::int8_t{-1};
+    for (std::size_t i = 0; i < nspins_[m]; ++i) {
+      for (std::size_t r = 0; r < R_; ++r) {
+        spins_[m * n_ * R_ + i * R_ + r] =
+            member_x(m, i * R_ + r) >= 0.0 ? std::int8_t{1} : std::int8_t{-1};
+      }
     }
   }
   scratch_spins_.resize(n_);
@@ -241,17 +375,18 @@ BsbPackEngine::BsbPackEngine(std::span<const PackMember> members,
 
 double BsbPackEngine::member_x(std::size_t m, std::size_t lane) const {
   if (layout_ == PackLayout::kSlots) {
-    return x_[lane * S_ + slot_of_member_[m]];
+    return x_[xpos(lane, slot_of_member_[m])];
   }
-  return x_[m * n_ * R_ + lane];
+  return x_[row_base_[m] * R_ + lane];
 }
 
 void BsbPackEngine::gather_member(std::size_t m, std::vector<double>& x_out,
                                   std::vector<double>& y_out) const {
   const std::size_t s = slot_of_member_[m];
-  for (std::size_t lane = 0; lane < n_ * R_; ++lane) {
-    x_out[lane] = x_[lane * S_ + s];
-    y_out[lane] = y_[lane * S_ + s];
+  const std::size_t base = (s / tile_) * xstride_ + s % tile_;
+  for (std::size_t lane = 0; lane < nspins_[m] * R_; ++lane) {
+    x_out[lane] = x_[base + lane * tile_];
+    y_out[lane] = y_[base + lane * tile_];
   }
 }
 
@@ -259,9 +394,10 @@ void BsbPackEngine::scatter_member(std::size_t m,
                                    const std::vector<double>& x_in,
                                    const std::vector<double>& y_in) {
   const std::size_t s = slot_of_member_[m];
-  for (std::size_t lane = 0; lane < n_ * R_; ++lane) {
-    x_[lane * S_ + s] = x_in[lane];
-    y_[lane * S_ + s] = y_in[lane];
+  const std::size_t base = (s / tile_) * xstride_ + s % tile_;
+  for (std::size_t lane = 0; lane < nspins_[m] * R_; ++lane) {
+    x_[base + lane * tile_] = x_in[lane];
+    y_[base + lane * tile_] = y_in[lane];
   }
 }
 
@@ -269,45 +405,87 @@ void BsbPackEngine::compute_forces() {
   // No pool sharding here: members are tiny by design and callers
   // parallelize across whole packs instead (PackedCoreCopSolver).
   if (layout_ == PackLayout::kSlots) {
-    pack_planes_.active = active_;
-    pack_fn_(pack_planes_, 0, n_);
+    for (std::size_t t = 0; t < tiles_; ++t) {
+      const std::size_t base = t * tile_;
+      if (base >= active_) {
+        break;
+      }
+      kernels::PackForcePlanes pp;
+      pp.x = x_.data() + t * xstride_;
+      pp.force = force_.data() + t * xstride_;
+      pp.hp = hp_.data() + t * hstride_;
+      pp.wp = share_j_ ? nullptr : wp_.data() + t * wstride_;
+      pp.wj = share_j_ ? wj_.data() : nullptr;
+      pp.urow_start = urow_start_.data();
+      pp.ucols = ucols_.data();
+      pp.n = n_;
+      pp.replicas = R_;
+      pp.slots = tile_;
+      pp.active = std::min(tile_, active_ - base);
+      pack_fn_(pp, 0, n_);
+    }
     return;
   }
   for (std::size_t m = 0; m < members_.size(); ++m) {
     if (block_active_[m] != 0) {
-      force_fn_(planes_, m * n_, (m + 1) * n_);
+      force_fn_(planes_, row_base_[m], row_base_[m + 1]);
     }
   }
 }
 
-void BsbPackEngine::step() {
+void BsbPackEngine::advance(std::size_t steps) {
+  // Time-blocked tile advance: each tile (kSlots) or member block
+  // (kBlocks) runs the whole inter-sampling block of steps before the
+  // next one starts, so its coupling planes stay cache-resident across
+  // the block instead of being streamed once per step. Members only
+  // interact with shared engine state at sampling points — there is none
+  // inside a block — and the pump ramp depends only on the step index,
+  // so the tile-outer order is bit-identical to the step-outer order.
   const auto total = static_cast<double>(params_.max_iterations);
-  // Shared pump ramp: every member started at step 0 and advances in
-  // lockstep, so the global step counter equals each member's own —
-  // bit-for-bit the standalone ramp expression.
-  const double a =
-      params_.detuning * (static_cast<double>(step_) + 1.0) / total;
-  const double stiffness = params_.detuning - a;
-
-  compute_forces();
-
   const double dt = params_.dt;
   const double detuning = params_.detuning;
   if (layout_ == PackLayout::kSlots) {
-    const std::size_t S = S_;
-    const std::size_t A = active_;
-    for (std::size_t g = 0; g < n_ * R_; ++g) {
-      double* yg = y_.data() + g * S;
-      double* xg = x_.data() + g * S;
-      const double* fg = force_.data() + g * S;
-      for (std::size_t s = 0; s < A; ++s) {
-        // Standalone expression tree per lane, with the slot's own c0.
-        yg[s] += dt * (-stiffness * xg[s] + c0_slot_[s] * fg[s]);
-        const double xk = xg[s] + dt * detuning * yg[s];
-        const double lo = xk < -1.0 ? -1.0 : xk;
-        const double clamped = lo > 1.0 ? 1.0 : lo;
-        yg[s] = clamped == xk ? yg[s] : 0.0;
-        xg[s] = clamped;
+    for (std::size_t t = 0; t < tiles_; ++t) {
+      const std::size_t base = t * tile_;
+      if (base >= active_) {
+        break;
+      }
+      const std::size_t at = std::min(tile_, active_ - base);
+      kernels::PackForcePlanes pp;
+      pp.x = x_.data() + t * xstride_;
+      pp.force = force_.data() + t * xstride_;
+      pp.hp = hp_.data() + t * hstride_;
+      pp.wp = share_j_ ? nullptr : wp_.data() + t * wstride_;
+      pp.wj = share_j_ ? wj_.data() : nullptr;
+      pp.urow_start = urow_start_.data();
+      pp.ucols = ucols_.data();
+      pp.n = n_;
+      pp.replicas = R_;
+      pp.slots = tile_;
+      pp.active = at;
+      double* xt = x_.data() + t * xstride_;
+      double* yt = y_.data() + t * xstride_;
+      const double* ft = force_.data() + t * xstride_;
+      const double* c0t = c0_slot_.data() + base;
+      for (std::size_t b = 0; b < steps; ++b) {
+        const double a = params_.detuning *
+                         (static_cast<double>(step_ + b) + 1.0) / total;
+        const double stiffness = detuning - a;
+        pack_fn_(pp, 0, n_);
+        for (std::size_t g = 0; g < n_ * R_; ++g) {
+          double* yg = yt + g * tile_;
+          double* xg = xt + g * tile_;
+          const double* fg = ft + g * tile_;
+          for (std::size_t u = 0; u < at; ++u) {
+            // Standalone expression tree per lane, with the slot's own c0.
+            yg[u] += dt * (-stiffness * xg[u] + c0t[u] * fg[u]);
+            const double xk = xg[u] + dt * detuning * yg[u];
+            const double lo = xk < -1.0 ? -1.0 : xk;
+            const double clamped = lo > 1.0 ? 1.0 : lo;
+            yg[u] = clamped == xk ? yg[u] : 0.0;
+            xg[u] = clamped;
+          }
+        }
       }
     }
   } else {
@@ -316,19 +494,28 @@ void BsbPackEngine::step() {
         continue;
       }
       const double c0 = c0_[m];
-      const std::size_t base = m * n_ * R_;
-      for (std::size_t k = base; k < base + n_ * R_; ++k) {
-        y_[k] += dt * (-stiffness * x_[k] + c0 * force_[k]);
-        const double xk = x_[k] + dt * detuning * y_[k];
-        const double lo = xk < -1.0 ? -1.0 : xk;
-        const double clamped = lo > 1.0 ? 1.0 : lo;
-        y_[k] = clamped == xk ? y_[k] : 0.0;
-        x_[k] = clamped;
+      const std::size_t lane_begin = row_base_[m] * R_;
+      const std::size_t lane_end = row_base_[m + 1] * R_;
+      for (std::size_t b = 0; b < steps; ++b) {
+        const double a = params_.detuning *
+                         (static_cast<double>(step_ + b) + 1.0) / total;
+        const double stiffness = detuning - a;
+        force_fn_(planes_, row_base_[m], row_base_[m + 1]);
+        for (std::size_t k = lane_begin; k < lane_end; ++k) {
+          y_[k] += dt * (-stiffness * x_[k] + c0 * force_[k]);
+          const double xk = x_[k] + dt * detuning * y_[k];
+          const double lo = xk < -1.0 ? -1.0 : xk;
+          const double clamped = lo > 1.0 ? 1.0 : lo;
+          y_[k] = clamped == xk ? y_[k] : 0.0;
+          x_[k] = clamped;
+        }
       }
     }
   }
-  ++step_;
+  step_ += steps;
 }
+
+void BsbPackEngine::step() { advance(1); }
 
 void BsbPackEngine::flip(std::size_t m, std::size_t i, std::size_t r,
                          std::int8_t new_sign) {
@@ -348,10 +535,24 @@ void BsbPackEngine::flip(std::size_t m, std::size_t i, std::size_t r,
 }
 
 void BsbPackEngine::sample(std::size_t m) {
-  // Standalone flip discovery order: i outer, r inner.
-  for (std::size_t i = 0; i < n_; ++i) {
+  // Standalone flip discovery order: i outer, r inner, over the member's
+  // own spin count (padded lanes never flip — they stay exactly 0.0).
+  // One base-pointer resolution per member, not one xpos() div/mod per
+  // element: sampling runs once per member per sampling point and was
+  // measurable against the time-blocked integration at K = 64.
+  const double* xm;
+  std::size_t stride;
+  if (layout_ == PackLayout::kSlots) {
+    const std::size_t s = slot_of_member_[m];
+    xm = x_.data() + (s / tile_) * xstride_ + s % tile_;
+    stride = tile_;
+  } else {
+    xm = x_.data() + row_base_[m] * R_;
+    stride = 1;
+  }
+  for (std::size_t i = 0; i < nspins_[m]; ++i) {
     for (std::size_t r = 0; r < R_; ++r) {
-      const double xv = member_x(m, i * R_ + r);
+      const double xv = xm[(i * R_ + r) * stride];
       const std::int8_t ns = xv >= 0.0 ? std::int8_t{1} : std::int8_t{-1};
       if (ns != spins_[m * n_ * R_ + i * R_ + r]) {
         flip(m, i, r, ns);
@@ -367,9 +568,9 @@ double BsbPackEngine::exact_energy(std::size_t m, std::size_t r) {
 
 void BsbPackEngine::copy_member_spins(std::size_t m, std::size_t r,
                                       std::vector<std::int8_t>& out) const {
-  out.resize(n_);
+  out.resize(nspins_[m]);
   const std::int8_t* sm = spins_.data() + m * n_ * R_;
-  for (std::size_t i = 0; i < n_; ++i) {
+  for (std::size_t i = 0; i < nspins_[m]; ++i) {
     out[i] = sm[i * R_ + r];
   }
 }
@@ -398,21 +599,25 @@ double BsbPackEngine::consider_all(std::size_t m, IsingSolveResult& result) {
 
 void BsbPackEngine::retire_slot(std::size_t m) {
   // Swap-compact the retired member's slot out of the active prefix so
-  // the pack kernels keep streaming a dense front of live instances. The
-  // force plane is not swapped: it is recomputed from x before its next
-  // read, and kernels touch only the active prefix.
+  // the pack kernels keep streaming a dense front of live instances; the
+  // two slots may live in different tiles, but both sides index through
+  // the same tile-major offsets. The force plane is not swapped: it is
+  // recomputed from x before its next read, and kernels touch only the
+  // active prefix.
   const std::size_t s = slot_of_member_[m];
   const std::size_t last = active_ - 1;
   if (s != last) {
     for (std::size_t g = 0; g < n_ * R_; ++g) {
-      std::swap(x_[g * S_ + s], x_[g * S_ + last]);
-      std::swap(y_[g * S_ + s], y_[g * S_ + last]);
+      std::swap(x_[xpos(g, s)], x_[xpos(g, last)]);
+      std::swap(y_[xpos(g, s)], y_[xpos(g, last)]);
     }
     for (std::size_t g = 0; g < n_; ++g) {
-      std::swap(hp_[g * S_ + s], hp_[g * S_ + last]);
+      std::swap(hp_[hpos(g, s)], hp_[hpos(g, last)]);
     }
-    for (std::size_t g = 0; g < n_ * n_; ++g) {
-      std::swap(wp_[g * S_ + s], wp_[g * S_ + last]);
+    if (!share_j_) {
+      for (std::size_t g = 0; g < uedges_; ++g) {
+        std::swap(wp_[wpos(g, s)], wp_[wpos(g, last)]);
+      }
     }
     std::swap(c0_slot_[s], c0_slot_[last]);
     const std::size_t other = member_of_slot_[last];
@@ -510,7 +715,13 @@ std::vector<IsingSolveResult> BsbPackEngine::run(
   }
 
   while (step_ < params_.max_iterations && active_ > 0) {
-    step();
+    // Advance everyone to the next sampling point (or ramp end) in one
+    // time-blocked tile sweep; the per-step loop this replaces sampled at
+    // exactly these step counts, so the observable schedule is unchanged.
+    const std::size_t next =
+        std::min(params_.max_iterations,
+                 (step_ / sample_every + 1) * sample_every);
+    advance(next - step_);
     if (step_ % sample_every == 0) {
       for (std::size_t m = 0; m < M; ++m) {
         if (live[m] == 0) {
@@ -519,13 +730,17 @@ std::vector<IsingSolveResult> BsbPackEngine::run(
         if (plane_hook) {
           if (layout_ == PackLayout::kBlocks) {
             plane_hook(m,
-                       std::span<double>(x_.data() + m * n_ * R_, n_ * R_),
-                       std::span<double>(y_.data() + m * n_ * R_, n_ * R_),
+                       std::span<double>(x_.data() + row_base_[m] * R_,
+                                         nspins_[m] * R_),
+                       std::span<double>(y_.data() + row_base_[m] * R_,
+                                         nspins_[m] * R_),
                        R_);
           } else {
             gather_member(m, scratch_x_, scratch_y_);
-            plane_hook(m, std::span<double>(scratch_x_),
-                       std::span<double>(scratch_y_), R_);
+            plane_hook(m,
+                       std::span<double>(scratch_x_.data(), nspins_[m] * R_),
+                       std::span<double>(scratch_y_.data(), nspins_[m] * R_),
+                       R_);
             scatter_member(m, scratch_x_, scratch_y_);
           }
         }

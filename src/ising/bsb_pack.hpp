@@ -18,24 +18,34 @@ class RunContext;
 /// How BsbPackEngine lays out the packed instances (DESIGN.md §4.7).
 ///
 ///  - kSlots:  slot-minor SoA — oscillator i of replica r of the instance
-///             in slot s at x[(i * R + r) * S + s] — with a per-slot
-///             block-diagonal dense weight plane, advanced by the
-///             dedicated pack force kernels that vectorize ACROSS
-///             INSTANCES. This is the fast path for small replica counts
-///             (the DALTA hot path runs R = 1, where the per-instance
-///             kernels degenerate to scalar lanes); the dense plane costs
-///             ~2x the CSR flops, which the full-width SIMD pays back
-///             many times over at R <= 2.
-///  - kBlocks: one composite block-diagonal CSR — instance s occupies
-///             rows [s*n, (s+1)*n), columns offset by s*n — in the
-///             standard replica-contiguous layout, advanced by the
-///             existing per-instance force kernels one active block's row
-///             range at a time. At R > 2 those kernels already fill the
-///             vector width across replicas, so the composite CSR keeps
-///             their flop count while amortizing per-solve overhead.
+///             in slot s at x[(i * R + r) * T + s % T] of slot tile
+///             s / T — with a per-slot weight plane over the UNION
+///             sparsity pattern of the members, advanced by the dedicated
+///             pack force kernels that vectorize ACROSS INSTANCES. This is
+///             the fast path for small replica counts (the DALTA hot path
+///             runs R = 1, where the per-instance kernels degenerate to
+///             scalar lanes); the union plane costs flops only for columns
+///             some member actually couples — DALTA packs share one
+///             template pattern, so the union is ~one member's edge count
+///             — which the full-width SIMD pays back many times over at
+///             R <= 2. Slots are grouped into
+///             contiguous cache-sized TILES of T slots each (see
+///             PackEngineOptions::tile), and each tile is advanced through
+///             a whole inter-sampling block of steps before the next tile
+///             runs, so its weight planes stay cache-resident across the
+///             block instead of being streamed once per step.
+///  - kBlocks: one composite block-diagonal CSR — member m occupies the
+///             rows/columns [base_m, base_m + n_m) where base_m is the
+///             running spin-count prefix — in the standard
+///             replica-contiguous layout, advanced by the existing
+///             per-instance force kernels one active block's row range at
+///             a time. At R > 2 those kernels already fill the vector
+///             width across replicas, so the composite CSR keeps their
+///             flop count while amortizing per-solve overhead.
 ///  - kAuto:   kSlots while the per-slot dense weight planes stay near
-///             cache size (n * n * slots <= 4 MB of doubles, R <= 8),
-///             else kBlocks.
+///             cache size (n * n * slots <= 4 MB of doubles, R <= 8) or
+///             the pack shares one coupling matrix (no per-slot planes at
+///             all), else kBlocks.
 ///
 /// Both layouts produce bit-identical results (every kernel tier shares
 /// the per-lane accumulation-order contract), so the choice is purely a
@@ -45,44 +55,79 @@ enum class PackLayout { kAuto, kSlots, kBlocks };
 const char* pack_layout_name(PackLayout layout);
 PackLayout parse_pack_layout(const std::string& name);
 
-/// One instance of a packed solve. The model must be finalized, have the
-/// same num_spins() as every other member, and outlive the engine;
-/// initial_positions (when non-empty, size n) is the member's replica-0
-/// warm start, also borrowed for the engine's lifetime.
+/// One instance of a packed solve. The model must be finalized and
+/// outlive the engine; members may have DIFFERENT num_spins() — smaller
+/// members are padded with inert spins up to the pack's maximum n (their
+/// padded lanes stay exactly 0.0 and never touch the member's own
+/// trajectory, so mixed-n packs remain bit-identical per member).
+/// initial_positions (when non-empty, size num_spins()) is the member's
+/// replica-0 warm start, also borrowed for the engine's lifetime.
 struct PackMember {
   const IsingModel* model = nullptr;
   std::uint64_t seed = 1;
   std::span<const double> initial_positions = {};
 };
 
+/// Engine shape knobs beyond the layout (registry keys `pack-tile` and
+/// `pack-share-j`).
+struct PackEngineOptions {
+  PackLayout layout = PackLayout::kAuto;
+
+  /// Slot-tile width of the kSlots layout: the slot axis is carved into
+  /// contiguous tiles of this many slots, each with its own contiguous
+  /// x/y/force/hp/wp planes, and each tile is advanced through a whole
+  /// inter-sampling block of steps before the next tile runs. 0 = auto:
+  /// the measured working-set model picks the widest multiple of 8 whose
+  /// per-tile coupling planes (union-edges * tile doubles) fit in ~1 MB —
+  /// half this host class's L2 — so a tile's weights are loaded from
+  /// memory once per block instead of once per step (measured ~2.4x on
+  /// the K = 64 x 64-spin point vs the monolithic plane). Members only
+  /// interact with shared engine state at sampling points and the pump
+  /// ramp depends only on the step index, so any tile width is
+  /// bit-identical to any other.
+  std::size_t tile = 0;
+
+  /// Shared-J fast path: every member must reference the SAME IsingModel
+  /// (packed restart attempts / screening repeats of one instance). The
+  /// engine then stores one weight per union edge instead of a per-slot
+  /// plane and runs the broadcast-weight pack kernels — slots x less
+  /// weight traffic per force pass. kSlots only (auto layout always picks
+  /// kSlots when set); results stay bit-identical to non-shared packs.
+  bool share_j = false;
+};
+
 /// Per-member intervention hook: called at every sampling point for each
 /// live member with its state in the STANDALONE layout (element i of
-/// replica r at index i * replicas + r) — the same planes an
-/// SbBatchPlaneHook sees, plus the member index. In the kBlocks layout the
-/// spans alias engine storage (zero copy); in kSlots the engine gathers
-/// into a scratch plane before the call and scatters mutations back, so
-/// hooks written against BsbBatchEngine (the Theorem-3 reset) work
-/// unchanged and see bit-identical values either way.
+/// replica r at index i * replicas + r, n = the member's own spin count) —
+/// the same planes an SbBatchPlaneHook sees, plus the member index. In the
+/// kBlocks layout the spans alias engine storage (zero copy); in kSlots
+/// the engine gathers into a scratch plane before the call and scatters
+/// mutations back, so hooks written against BsbBatchEngine (the Theorem-3
+/// reset) work unchanged and see bit-identical values either way.
 using PackPlaneHook = std::function<void(
     std::size_t member, std::span<double> x, std::span<double> y,
     std::size_t replicas)>;
 
-/// Multi-instance packed bSB: K independent same-n Ising instances
-/// advanced in lockstep so one force pass fills K x R replica planes
-/// (DESIGN.md §4.7). Per-member state is fully independent — per-member
-/// dynamic-stop variance windows, per-member incremental energy tracking
-/// and best selection, per-member early retirement — and every member's
-/// trajectory is bit-identical to the same instance solved alone through
+/// Multi-instance packed bSB: K independent Ising instances advanced in
+/// lockstep so one force pass fills K x R replica planes (DESIGN.md §4.7).
+/// Per-member state is fully independent — per-member dynamic-stop
+/// variance windows, per-member incremental energy tracking and best
+/// selection, per-member early retirement — and every member's trajectory
+/// is bit-identical to the same instance solved alone through
 /// BsbBatchEngine with SbParams.seed = member.seed:
 ///
 ///  - replica r of member m seeds Rng(member.seed + r * 0x9e3779b9) with
 ///    the standalone draw order (x from initial_positions, then the
-///    momenta sweep),
-///  - c0 is derived per member from its own coupling RMS when
-///    params.c0 <= 0,
+///    momenta sweep over the member's own n),
+///  - c0 is derived per member from its own coupling RMS and spin count
+///    when params.c0 <= 0,
 ///  - the Euler update uses the standalone expression tree per lane (the
 ///    pump ramp reads the shared step counter, which equals the member's
 ///    own step count because all members start at step 0),
+///  - members of a mixed-n pack are padded to the pack maximum with inert
+///    spins: padded rows have zero bias and coupling, so their positions
+///    and momenta stay exactly 0.0 and contribute only +-0.0 addends that
+///    cannot perturb any h-seeded accumulator,
 ///  - sampling, the flip telescope, the best-energy slack filter, and the
 ///    variance-stop/deadline ordering replicate BsbBatchEngine::run()
 ///    per member.
@@ -90,9 +135,10 @@ using PackPlaneHook = std::function<void(
 /// A member whose variance window closes (or whose context deadline has
 /// expired — retirement points double as the deadline checks for tiny
 /// solves) is retired immediately: in kSlots its slot is swap-compacted
-/// out of the active prefix so the force kernels touch only live
-/// instances; in kBlocks its row range is simply skipped. The engine run
-/// ends when every member has retired or the shared pump ramp completes.
+/// out of the active prefix (across tiles when needed) so the force
+/// kernels touch only live instances; in kBlocks its row range is simply
+/// skipped. The engine run ends when every member has retired or the
+/// shared pump ramp completes.
 ///
 /// The shared SbParams supplies everything except seed/initial_positions,
 /// which come from each PackMember (SbParams.seed and
@@ -110,6 +156,8 @@ class BsbPackEngine {
  public:
   BsbPackEngine(std::span<const PackMember> members, const SbParams& params,
                 std::size_t replicas, PackLayout layout = PackLayout::kAuto);
+  BsbPackEngine(std::span<const PackMember> members, const SbParams& params,
+                std::size_t replicas, const PackEngineOptions& options);
 
   /// Attaches an execution context (must outlive the engine; nullptr
   /// detaches): deadline checks at retirement points, ising/pack/*
@@ -117,15 +165,26 @@ class BsbPackEngine {
   void set_context(const RunContext* ctx) { ctx_ = ctx; }
 
   std::size_t num_members() const { return members_.size(); }
+  /// Maximum spin count over the members (the padded pack width).
   std::size_t num_spins() const { return n_; }
+  /// Spin count of one member (its own model's, without padding).
+  std::size_t member_spins(std::size_t m) const { return nspins_[m]; }
   std::size_t replicas() const { return R_; }
   std::size_t steps_done() const { return step_; }
 
   /// Resolved layout (never kAuto).
   PackLayout layout() const { return layout_; }
 
-  /// Resolved force-kernel name: "pack-scalar|pack-avx2|pack-avx512" in
-  /// kSlots, the per-instance CSR kernel name in kBlocks.
+  /// Resolved slot-tile width (kSlots; equals the slot capacity when
+  /// tiling is moot, e.g. under shared-J or small packs).
+  std::size_t tile() const { return tile_; }
+
+  /// True when the shared-J fast path is active.
+  bool shared_j() const { return share_j_; }
+
+  /// Resolved force-kernel name: "pack-scalar|pack-avx2|pack-avx512"
+  /// ("...-sharedj" under shared-J) in kSlots, the per-instance CSR
+  /// kernel name in kBlocks.
   const char* kernel_name() const { return kernel_name_; }
 
   /// One Euler step for every replica of every live member.
@@ -143,6 +202,19 @@ class BsbPackEngine {
   std::vector<IsingSolveResult> run(const PackPlaneHook& plane_hook = nullptr);
 
  private:
+  // kSlots tile-major plane offsets for global slot s (tile s / tile_,
+  // in-tile index s % tile_). Group g of the state planes is (i * R + r).
+  std::size_t xpos(std::size_t g, std::size_t s) const {
+    return (s / tile_) * xstride_ + g * tile_ + s % tile_;
+  }
+  std::size_t hpos(std::size_t i, std::size_t s) const {
+    return (s / tile_) * hstride_ + i * tile_ + s % tile_;
+  }
+  std::size_t wpos(std::size_t k, std::size_t s) const {
+    return (s / tile_) * wstride_ + k * tile_ + s % tile_;
+  }
+
+  void advance(std::size_t steps);
   double member_x(std::size_t m, std::size_t lane) const;
   void gather_member(std::size_t m, std::vector<double>& x_out,
                      std::vector<double>& y_out) const;
@@ -160,7 +232,9 @@ class BsbPackEngine {
   SbParams params_;
   const RunContext* ctx_ = nullptr;
   PackLayout layout_;
-  std::size_t n_;
+  bool share_j_ = false;
+  std::size_t n_;                    // max member spin count (pack width)
+  std::vector<std::size_t> nspins_;  // per member
   std::size_t R_;
   std::size_t S_;       // slot capacity == num_members()
   std::size_t active_;  // live members
@@ -169,18 +243,36 @@ class BsbPackEngine {
 
   std::vector<double> c0_;  // per member
 
-  // kSlots planes: slot-minor state + per-slot dense weight/bias planes.
-  AlignedVector<double> hp_;  // n * S
-  AlignedVector<double> wp_;  // n * n * S
+  // kSlots planes, tile-major: `tiles_` tiles of `tile_` slots each, every
+  // tile's planes contiguous (x/y/force: n * R * tile doubles; hp:
+  // n * tile; wp: uedges * tile). A strided tile slice of one monolithic
+  // plane reads only part of each cache line, so tiles are first-class
+  // contiguous plane groups instead. Weights cover only the UNION
+  // sparsity pattern of the members (urow_start_/ucols_, ascending per
+  // row): wp_[wpos(e, s)] is slot s's weight on union edge e, 0.0 where
+  // that slot lacks the edge. DALTA packs share one template pattern, so
+  // the union is ~the per-member edge count, not n * n.
+  std::size_t tile_ = 1;
+  std::size_t tiles_ = 1;
+  std::size_t uedges_ = 0;   // union directed edge count
+  std::size_t xstride_ = 0;  // n * R * tile
+  std::size_t hstride_ = 0;  // n * tile
+  std::size_t wstride_ = 0;  // uedges * tile
+  AlignedVector<std::uint32_t> urow_start_;  // n + 1 union row offsets
+  AlignedVector<std::uint32_t> ucols_;       // uedges ascending columns
+  AlignedVector<double> hp_;  // tiles * hstride
+  AlignedVector<double> wp_;  // tiles * wstride (empty under shared-J)
+  AlignedVector<double> wj_;  // uedges shared weights (shared-J only)
   std::vector<double> c0_slot_;          // per slot, compacted with the state
   std::vector<std::size_t> slot_of_member_;
   std::vector<std::size_t> member_of_slot_;
   kernels::SelectedPackForceKernel pack_kernel_;
   kernels::PackForceRowsFn pack_fn_ = nullptr;
-  kernels::PackForcePlanes pack_planes_;
 
-  // kBlocks planes: composite block-diagonal CSR in the standard layout.
-  std::vector<std::size_t> row_start_;  // S * n + 1
+  // kBlocks planes: composite block-diagonal CSR in the standard layout,
+  // member m at rows/cols [row_base_[m], row_base_[m + 1]).
+  std::vector<std::size_t> row_base_;   // S + 1 spin-count prefix
+  std::vector<std::size_t> row_start_;  // row_base_[S] + 1
   AlignedVector<std::uint32_t> cols_;
   AlignedVector<double> weights_;
   AlignedVector<double> h_;
@@ -189,18 +281,18 @@ class BsbPackEngine {
   kernels::ForceRowsFn force_fn_ = nullptr;
   kernels::ForcePlanes planes_;
 
-  // State planes: n * R * S doubles (kSlots: slot-minor; kBlocks: member-
-  // major standalone layout).
+  // State planes (kSlots: tile-major slot-minor, tiles * xstride doubles;
+  // kBlocks: member-major standalone layout, row_base_[S] * R doubles).
   AlignedVector<double> x_;
   AlignedVector<double> y_;
   AlignedVector<double> force_;
 
   // Per-member incremental-energy tracking, member-major standalone
-  // layout: spins_[m * n * R + i * R + r].
+  // layout padded to the pack width: spins_[m * n_ * R + i * R + r].
   AlignedVector<std::int8_t> spins_;
   std::vector<double> energies_;      // M * R
   std::vector<std::uint8_t> dirty_;   // M * R
-  std::vector<std::int8_t> scratch_spins_;  // n
+  std::vector<std::int8_t> scratch_spins_;  // member n
   std::vector<double> scratch_x_;     // n * R hook gather plane (kSlots)
   std::vector<double> scratch_y_;
 };

@@ -149,20 +149,23 @@ void dense_force(const ForcePlanes& p, std::size_t row_begin,
 
 // Slot-packed kernel (DESIGN.md §4.7): the vector axis is the slot axis,
 // so both the weight and the position are vector loads (each slot solves a
-// different instance -- no broadcastable scalar weight). Slot blocks of 8
-// (two accumulators) / 4 / 1 are peeled over the active prefix exactly
-// like the replica peel above; each slot's accumulation order matches the
-// per-instance kernels, keeping packed solves bit-exact.
+// different instance -- no broadcastable scalar weight). The column loop
+// runs over the union sparsity pattern -- columns that are structural
+// zeros in every slot are skipped; the dropped +-0.0 addends keep each
+// slot's h-seeded accumulation bit-identical. Slot blocks of 8 (two
+// accumulators) / 4 / 2 / 1 are peeled over the active prefix exactly
+// like the replica peel above.
 template <bool Discrete>
 void pack_force(const PackForcePlanes& p, std::size_t row_begin,
                 std::size_t row_end) {
   const std::size_t R = p.replicas;
   const std::size_t S = p.slots;
-  const std::size_t n = p.n;
   const std::size_t A = p.active;
+  const std::uint32_t* cs = p.ucols;
   for (std::size_t i = row_begin; i < row_end; ++i) {
     const double* hi = p.hp + i * S;
-    const double* wi = p.wp + i * n * S;
+    const std::uint32_t e0 = p.urow_start[i];
+    const std::uint32_t e1 = p.urow_start[i + 1];
     for (std::size_t r = 0; r < R; ++r) {
       const double* xr = p.x + r * S;
       double* fi = p.force + (i * R + r) * S;
@@ -170,14 +173,14 @@ void pack_force(const PackForcePlanes& p, std::size_t row_begin,
       for (; s + 8 <= A; s += 8) {
         __m256d acc0 = _mm256_loadu_pd(hi + s);
         __m256d acc1 = _mm256_loadu_pd(hi + s + 4);
-        for (std::size_t j = 0; j < n; ++j) {
-          const double* wj = wi + j * S + s;
-          const double* xj = xr + j * R * S + s;
+        for (std::uint32_t e = e0; e < e1; ++e) {
+          const double* we = p.wp + static_cast<std::size_t>(e) * S + s;
+          const double* xj = xr + static_cast<std::size_t>(cs[e]) * R * S + s;
           acc0 = _mm256_add_pd(
-              acc0, edge_term<Discrete>(_mm256_loadu_pd(wj),
+              acc0, edge_term<Discrete>(_mm256_loadu_pd(we),
                                         _mm256_loadu_pd(xj)));
           acc1 = _mm256_add_pd(
-              acc1, edge_term<Discrete>(_mm256_loadu_pd(wj + 4),
+              acc1, edge_term<Discrete>(_mm256_loadu_pd(we + 4),
                                         _mm256_loadu_pd(xj + 4)));
         }
         _mm256_storeu_pd(fi + s, acc0);
@@ -185,28 +188,107 @@ void pack_force(const PackForcePlanes& p, std::size_t row_begin,
       }
       if (s + 4 <= A) {
         __m256d acc = _mm256_loadu_pd(hi + s);
-        for (std::size_t j = 0; j < n; ++j) {
+        for (std::uint32_t e = e0; e < e1; ++e) {
           acc = _mm256_add_pd(
-              acc, edge_term<Discrete>(_mm256_loadu_pd(wi + j * S + s),
-                                       _mm256_loadu_pd(xr + j * R * S + s)));
+              acc,
+              edge_term<Discrete>(
+                  _mm256_loadu_pd(p.wp + static_cast<std::size_t>(e) * S + s),
+                  _mm256_loadu_pd(
+                      xr + static_cast<std::size_t>(cs[e]) * R * S + s)));
         }
         _mm256_storeu_pd(fi + s, acc);
         s += 4;
       }
       if (s + 2 <= A) {
         __m128d acc = _mm_loadu_pd(hi + s);
-        for (std::size_t j = 0; j < n; ++j) {
+        for (std::uint32_t e = e0; e < e1; ++e) {
           acc = _mm_add_pd(
-              acc, edge_term_128<Discrete>(_mm_loadu_pd(wi + j * S + s),
-                                           _mm_loadu_pd(xr + j * R * S + s)));
+              acc,
+              edge_term_128<Discrete>(
+                  _mm_loadu_pd(p.wp + static_cast<std::size_t>(e) * S + s),
+                  _mm_loadu_pd(
+                      xr + static_cast<std::size_t>(cs[e]) * R * S + s)));
         }
         _mm_storeu_pd(fi + s, acc);
         s += 2;
       }
       for (; s < A; ++s) {
         double acc = hi[s];
-        for (std::size_t j = 0; j < n; ++j) {
-          acc += edge_term_scalar<Discrete>(wi[j * S + s], xr[j * R * S + s]);
+        for (std::uint32_t e = e0; e < e1; ++e) {
+          acc += edge_term_scalar<Discrete>(
+              p.wp[static_cast<std::size_t>(e) * S + s],
+              xr[static_cast<std::size_t>(cs[e]) * R * S + s]);
+        }
+        fi[s] = acc;
+      }
+    }
+  }
+}
+
+// Shared-J pack kernel: every slot solves the same coupling matrix, so the
+// weight is one broadcast per union edge (like the dense per-instance
+// kernel broadcasts across replica lanes) and only the position is a
+// vector load. The broadcast value equals the per-slot load the
+// non-shared kernel would issue, keeping bit-exactness; the weight
+// traffic drops from uedges*S to uedges doubles per force pass.
+template <bool Discrete>
+void pack_force_shared(const PackForcePlanes& p, std::size_t row_begin,
+                       std::size_t row_end) {
+  const std::size_t R = p.replicas;
+  const std::size_t S = p.slots;
+  const std::size_t A = p.active;
+  const std::uint32_t* cs = p.ucols;
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const double* hi = p.hp + i * S;
+    const std::uint32_t e0 = p.urow_start[i];
+    const std::uint32_t e1 = p.urow_start[i + 1];
+    for (std::size_t r = 0; r < R; ++r) {
+      const double* xr = p.x + r * S;
+      double* fi = p.force + (i * R + r) * S;
+      std::size_t s = 0;
+      for (; s + 8 <= A; s += 8) {
+        __m256d acc0 = _mm256_loadu_pd(hi + s);
+        __m256d acc1 = _mm256_loadu_pd(hi + s + 4);
+        for (std::uint32_t e = e0; e < e1; ++e) {
+          const __m256d w = _mm256_set1_pd(p.wj[e]);
+          const double* xj = xr + static_cast<std::size_t>(cs[e]) * R * S + s;
+          acc0 = _mm256_add_pd(acc0,
+                               edge_term<Discrete>(w, _mm256_loadu_pd(xj)));
+          acc1 = _mm256_add_pd(
+              acc1, edge_term<Discrete>(w, _mm256_loadu_pd(xj + 4)));
+        }
+        _mm256_storeu_pd(fi + s, acc0);
+        _mm256_storeu_pd(fi + s + 4, acc1);
+      }
+      if (s + 4 <= A) {
+        __m256d acc = _mm256_loadu_pd(hi + s);
+        for (std::uint32_t e = e0; e < e1; ++e) {
+          acc = _mm256_add_pd(
+              acc, edge_term<Discrete>(
+                       _mm256_set1_pd(p.wj[e]),
+                       _mm256_loadu_pd(
+                           xr + static_cast<std::size_t>(cs[e]) * R * S + s)));
+        }
+        _mm256_storeu_pd(fi + s, acc);
+        s += 4;
+      }
+      if (s + 2 <= A) {
+        __m128d acc = _mm_loadu_pd(hi + s);
+        for (std::uint32_t e = e0; e < e1; ++e) {
+          acc = _mm_add_pd(
+              acc, edge_term_128<Discrete>(
+                       _mm_set1_pd(p.wj[e]),
+                       _mm_loadu_pd(
+                           xr + static_cast<std::size_t>(cs[e]) * R * S + s)));
+        }
+        _mm_storeu_pd(fi + s, acc);
+        s += 2;
+      }
+      for (; s < A; ++s) {
+        double acc = hi[s];
+        for (std::uint32_t e = e0; e < e1; ++e) {
+          acc += edge_term_scalar<Discrete>(
+              p.wj[e], xr[static_cast<std::size_t>(cs[e]) * R * S + s]);
         }
         fi[s] = acc;
       }
@@ -239,6 +321,14 @@ void pack_force_avx2(const PackForcePlanes& p, std::size_t row_begin,
 void pack_force_avx2_d(const PackForcePlanes& p, std::size_t row_begin,
                        std::size_t row_end) {
   pack_force<true>(p, row_begin, row_end);
+}
+void pack_force_shared_avx2(const PackForcePlanes& p, std::size_t row_begin,
+                            std::size_t row_end) {
+  pack_force_shared<false>(p, row_begin, row_end);
+}
+void pack_force_shared_avx2_d(const PackForcePlanes& p, std::size_t row_begin,
+                              std::size_t row_end) {
+  pack_force_shared<true>(p, row_begin, row_end);
 }
 
 }  // namespace adsd::kernels::detail

@@ -102,17 +102,36 @@ std::vector<ForceKernel> selectable_force_kernels(bool dense_available);
 /// ACROSS INSTANCES at full width even at replicas == 1, where the
 /// per-instance CSR kernels degenerate to scalar code.
 ///
-/// Weights are the block-diagonal dense model stored without the zero
-/// off-diagonal blocks: wp[(i * n + j) * slots + s] is J_s(i, j) of the
-/// instance in slot s (0.0 where that instance has no coupling), and
-/// hp[i * slots + s] is its bias h_s(i). Retired instances are swap-
-/// compacted to the tail, so kernels touch only the first `active` slots
-/// of every slot group.
+/// Weights are laid out over the UNION sparsity pattern of the packed
+/// instances (urow_start / ucols: ascending column indices per row, CSR
+/// shape, shared by every slot): wp[e * slots + s] is J_s(i, ucols[e]) of
+/// the instance in slot s for union edge e of row i, 0.0 where that slot
+/// has no such coupling. hp[i * slots + s] is its bias h_s(i). Kernels
+/// iterate union edges only, so structurally-zero columns shared by ALL
+/// slots cost nothing — for DALTA-style packs whose members share one
+/// template pattern this halves weight traffic and flops versus a dense
+/// plane, and a fully-dense union degenerates to the dense iteration.
+/// Dropping the all-zero columns is bit-exact: they contributed +-0.0
+/// addends to h-seeded accumulators, which never change the partial sums,
+/// and the surviving edges keep their ascending-j order. Retired
+/// instances are swap-compacted to the tail, so kernels touch only the
+/// first `active` slots of every group.
+///
+/// Shared-J variant: when every slot solves the same coupling matrix
+/// (e.g. packed restart attempts of one instance), `wj` holds ONE weight
+/// per union edge (aligned with ucols) and the shared kernels broadcast
+/// wj[e] across the slot vector instead of loading a per-slot weight
+/// vector — slots x fewer weight bytes per force pass. `wp` may then be
+/// null. The broadcast value is identical to the per-slot load, so
+/// accumulation stays bit-exact.
 struct PackForcePlanes {
   const double* x = nullptr;   // n * replicas * slots positions
   double* force = nullptr;     // n * replicas * slots output
   const double* hp = nullptr;  // n * slots per-slot biases
-  const double* wp = nullptr;  // n * n * slots per-slot dense couplings
+  const double* wp = nullptr;  // uedges * slots per-slot union weights
+  const double* wj = nullptr;  // uedges shared weights (shared-J)
+  const std::uint32_t* urow_start = nullptr;  // n + 1 union row offsets
+  const std::uint32_t* ucols = nullptr;       // union column indices
   std::size_t n = 0;           // spins per instance
   std::size_t replicas = 0;    // lockstep replicas per instance
   std::size_t slots = 0;       // slot capacity (the stride)
@@ -126,7 +145,8 @@ using PackForceRowsFn = void (*)(const PackForcePlanes& planes,
                                  std::size_t row_begin, std::size_t row_end);
 
 /// Resolved pack-kernel dispatch decision; names are "pack-scalar",
-/// "pack-avx2", "pack-avx512".
+/// "pack-avx2", "pack-avx512" (shared-J selection: "pack-scalar-sharedj",
+/// "pack-avx2-sharedj", "pack-avx512-sharedj").
 struct SelectedPackForceKernel {
   PackForceRowsFn continuous = nullptr;
   PackForceRowsFn discrete = nullptr;
@@ -137,8 +157,11 @@ struct SelectedPackForceKernel {
 /// Resolves a pack-kernel request against CPU features. The pack kernels
 /// are dense by construction, so kAuto and kDense both mean "widest ISA";
 /// explicit ISA requests walk the same avx512 -> avx2 -> scalar fallback
-/// chain as select_force_kernel(). Never fails.
+/// chain as select_force_kernel(). With `shared_j` the broadcast-weight
+/// variants (reading PackForcePlanes::wj) are returned instead of the
+/// per-slot-weight ones — same tiers, same fallback chain. Never fails.
 SelectedPackForceKernel select_pack_force_kernel(ForceKernel requested,
-                                                 const CpuFeatures& features);
+                                                 const CpuFeatures& features,
+                                                 bool shared_j = false);
 
 }  // namespace adsd::kernels

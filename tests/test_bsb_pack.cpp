@@ -248,6 +248,128 @@ TEST(BsbPackHook, PlaneHookSeesStandaloneLayoutAndStaysExact) {
   }
 }
 
+// ------------------------------------------------- tile-width bit parity
+
+TEST(BsbPackParity, TileWidthsAreBitIdentical) {
+  // Any slot-tile width must reproduce the standalone trajectories: tiles
+  // only change which slots advance together between sampling points, and
+  // members never interact between sampling points.
+  const auto models = member_models(7, 10, 808);
+  SbParams params;
+  params.max_iterations = 200;
+  params.stop.enabled = true;
+  params.stop.epsilon = 1e-6;
+  params.stop.sample_interval = 5;
+  params.stop.window = 5;
+
+  for (const std::size_t tile :
+       {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{4},
+        std::size_t{64}}) {
+    std::vector<PackMember> members;
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      members.push_back({&models[m], 4000 + 11 * m, {}});
+    }
+    PackEngineOptions o;
+    o.layout = PackLayout::kSlots;
+    o.tile = tile;
+    BsbPackEngine engine(members, params, 1, o);
+    EXPECT_GE(engine.tile(), 1u);
+    EXPECT_LE(engine.tile(), members.size());
+    const auto packed = engine.run();
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      const auto ref = standalone(models[m], params, members[m].seed, 1);
+      EXPECT_EQ(ref.energy, packed[m].energy) << "tile=" << tile << " m=" << m;
+      EXPECT_EQ(ref.spins, packed[m].spins) << "tile=" << tile << " m=" << m;
+      EXPECT_EQ(ref.iterations, packed[m].iterations);
+    }
+  }
+}
+
+// --------------------------------------------------- shared-J bit parity
+
+TEST(BsbPackParity, SharedJMatchesStandaloneAndPerSlotPlanes) {
+  // Restart-style packs: every member references the same model with its
+  // own seed. The broadcast-weight kernels must match both the standalone
+  // solves and the per-slot-plane pack bit for bit.
+  Rng rng(909);
+  const IsingModel model = random_model(12, 0.4, rng);
+  for (const bool discrete : {false, true}) {
+    SbParams params;
+    params.max_iterations = 180;
+    params.discrete = discrete;
+    params.stop.enabled = true;
+    params.stop.epsilon = 1e-6;
+    params.stop.sample_interval = 5;
+    params.stop.window = 5;
+    std::vector<PackMember> members;
+    for (std::size_t m = 0; m < 9; ++m) {
+      members.push_back({&model, 6000 + 23 * m, {}});
+    }
+    PackEngineOptions shared;
+    shared.share_j = true;
+    BsbPackEngine engine(members, params, 2, shared);
+    EXPECT_TRUE(engine.shared_j());
+    EXPECT_EQ(engine.layout(), PackLayout::kSlots);
+    EXPECT_NE(std::string(engine.kernel_name()).find("sharedj"),
+              std::string::npos);
+    const auto packed = engine.run();
+
+    BsbPackEngine per_slot(members, params, 2, PackLayout::kSlots);
+    const auto plain = per_slot.run();
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      const auto ref = standalone(model, params, members[m].seed, 2);
+      EXPECT_EQ(ref.energy, packed[m].energy)
+          << "discrete=" << discrete << " m=" << m;
+      EXPECT_EQ(ref.spins, packed[m].spins);
+      EXPECT_EQ(ref.iterations, packed[m].iterations);
+      EXPECT_EQ(plain[m].energy, packed[m].energy);
+      EXPECT_EQ(plain[m].spins, packed[m].spins);
+    }
+  }
+}
+
+// ---------------------------------------------------- mixed-n bit parity
+
+TEST(BsbPackParity, MixedSpinCountsMatchStandalone) {
+  // Members of different sizes share one pack: smaller members ride with
+  // inert padded spins and must still match their standalone solves.
+  Rng rng(111);
+  std::vector<IsingModel> models;
+  for (const std::size_t n :
+       {std::size_t{6}, std::size_t{12}, std::size_t{9}, std::size_t{5},
+        std::size_t{12}, std::size_t{8}}) {
+    models.push_back(random_model(n, 0.5, rng));
+  }
+  SbParams params;
+  params.max_iterations = 220;
+  params.stop.enabled = true;
+  params.stop.epsilon = 1e-6;
+  params.stop.sample_interval = 5;
+  params.stop.window = 5;
+
+  for (const PackLayout layout : {PackLayout::kSlots, PackLayout::kBlocks}) {
+    for (const std::size_t replicas : {std::size_t{1}, std::size_t{2}}) {
+      std::vector<PackMember> members;
+      for (std::size_t m = 0; m < models.size(); ++m) {
+        members.push_back({&models[m], 7000 + 31 * m, {}});
+      }
+      BsbPackEngine engine(members, params, replicas, layout);
+      EXPECT_EQ(engine.num_spins(), 12u);
+      EXPECT_EQ(engine.member_spins(0), 6u);
+      const auto packed = engine.run();
+      for (std::size_t m = 0; m < models.size(); ++m) {
+        const auto ref =
+            standalone(models[m], params, members[m].seed, replicas);
+        EXPECT_EQ(ref.energy, packed[m].energy)
+            << pack_layout_name(layout) << " R=" << replicas << " m=" << m;
+        EXPECT_EQ(ref.spins, packed[m].spins);
+        EXPECT_EQ(ref.iterations, packed[m].iterations);
+        ASSERT_EQ(packed[m].spins.size(), models[m].num_spins());
+      }
+    }
+  }
+}
+
 // ------------------------------------------------------ deadline handling
 
 TEST(BsbPackDeadline, ExpiredContextRetiresEveryMemberImmediately) {
@@ -269,6 +391,52 @@ TEST(BsbPackDeadline, ExpiredContextRetiresEveryMemberImmediately) {
   for (const auto& res : packed) {
     EXPECT_TRUE(res.stopped_early);
     EXPECT_EQ(res.iterations, 0u);
+  }
+}
+
+TEST(BsbPackDeadline, BlocksLayoutCompactsMidSolveOnDeadline) {
+  // A deadline that expires in the middle of a run must retire members at
+  // their next sampling point without disturbing the survivors' blocks.
+  // Member 2's hook burns the whole budget at the first sampling point
+  // (step 10): members 0 and 1 passed their deadline check before it ran,
+  // so they survive to step 20, while members 2..5 retire at step 10.
+  const auto models = member_models(6, 8, 1212);
+  SbParams params;
+  params.max_iterations = 20;
+  params.stop.sample_interval = 10;
+
+  auto run_layout = [&](PackLayout layout) {
+    RunContext::Options opts;
+    opts.time_budget_s = 0.25;
+    const RunContext ctx(opts);
+    auto burn = [&](std::size_t member, std::span<double>, std::span<double>,
+                    std::size_t) {
+      if (member == 2) {
+        while (!ctx.expired()) {
+        }
+      }
+    };
+    std::vector<PackMember> members;
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      members.push_back({&models[m], 50 + m, {}});
+    }
+    BsbPackEngine engine(members, params, 1, layout);
+    engine.set_context(&ctx);
+    return engine.run(burn);
+  };
+
+  const auto blocks = run_layout(PackLayout::kBlocks);
+  const auto slots = run_layout(PackLayout::kSlots);
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    EXPECT_EQ(blocks[m].iterations, m < 2 ? 20u : 10u) << "m=" << m;
+    EXPECT_TRUE(blocks[m].stopped_early) << "m=" << m;
+    // The two layouts follow the same retirement schedule, so the whole
+    // result set must agree bit for bit.
+    EXPECT_EQ(blocks[m].energy, slots[m].energy) << "m=" << m;
+    EXPECT_EQ(blocks[m].spins, slots[m].spins) << "m=" << m;
+    EXPECT_EQ(blocks[m].iterations, slots[m].iterations) << "m=" << m;
+    // Results stay internally consistent after mid-solve compaction.
+    EXPECT_EQ(blocks[m].energy, models[m].energy(blocks[m].spins)) << "m=" << m;
   }
 }
 
@@ -296,8 +464,20 @@ TEST(BsbPack, RejectsBadArguments) {
   SbParams params;
   EXPECT_THROW(BsbPackEngine({}, params, 1), std::invalid_argument);
   {
+    // Mixed spin counts are legal (padded), but shared-J demands one model.
     const std::vector<PackMember> mixed = {{&a, 1, {}}, {&b, 2, {}}};
-    EXPECT_THROW(BsbPackEngine(mixed, params, 1), std::invalid_argument);
+    BsbPackEngine ok(mixed, params, 1);
+    EXPECT_EQ(ok.num_spins(), 7u);
+    PackEngineOptions shared;
+    shared.share_j = true;
+    EXPECT_THROW(BsbPackEngine(mixed, params, 1, shared),
+                 std::invalid_argument);
+    // shared-J is a slot-layout fast path; the block layout has no shared
+    // plane to use.
+    const std::vector<PackMember> same = {{&a, 1, {}}, {&a, 2, {}}};
+    shared.layout = PackLayout::kBlocks;
+    EXPECT_THROW(BsbPackEngine(same, params, 1, shared),
+                 std::invalid_argument);
   }
   {
     IsingModel unfinalized(6);
@@ -348,15 +528,21 @@ TEST(PackedCoreCopSolver, BatchMatchesLoopedSolvesAcrossConfigs) {
   }
   // Theorem-3 + dynamic stop are on by default; replicas=1 lands in the
   // slot layout, replicas=4 in the block layout, restarts=2 exercises the
-  // per-attempt reseed, pack=3 forces multiple chunks per batch.
-  for (const std::string extra :
-       {std::string(""), std::string(",replicas=4"),
-        std::string(",restarts=2"), std::string(",pack-layout=blocks")}) {
-    // pack-layout only exists on the packed side; the reference solver
-    // must not see it (it changes nothing about per-member results).
-    const bool layout_only = extra.find("pack-layout") != std::string::npos;
-    const auto plain = SolverRegistry::global().make_from_spec(
-        "prop,n=9" + (layout_only ? std::string("") : extra));
+  // per-attempt reseed, pack=3 forces multiple chunks per batch. The
+  // pack-* keys exist only on the packed side (they change nothing about
+  // per-member results); `plain` is the key set the reference sees.
+  struct Config {
+    std::string packed;
+    std::string plain;
+  };
+  for (const Config& cfg :
+       {Config{"", ""}, Config{",replicas=4", ",replicas=4"},
+        Config{",restarts=2", ",restarts=2"},
+        Config{",pack-layout=blocks", ""}, Config{",pack-tile=2", ""},
+        Config{",restarts=3,pack-share-j=1", ",restarts=3"}}) {
+    const std::string& extra = cfg.packed;
+    const auto plain =
+        SolverRegistry::global().make_from_spec("prop,n=9" + cfg.plain);
     const auto packed = SolverRegistry::global().make_from_spec(
         "prop,n=9,pack=3" + extra);
     const RunContext ctx(std::uint64_t{7});
@@ -410,13 +596,35 @@ TEST(PackedCoreCopSolver, RegistrySpecBuildsPackedSolver) {
   const auto plain = SolverRegistry::global().make_from_spec("prop");
   EXPECT_EQ(plain->name(), "ising-bsb");
   EXPECT_FALSE(plain->batched());
-  // pack-layout without pack is a configuration error; bogus layouts too.
+  // pack-* keys without pack are configuration errors; bogus values too.
   EXPECT_THROW(
       SolverRegistry::global().make_from_spec("prop,pack-layout=slots"),
       std::invalid_argument);
   EXPECT_THROW(
+      SolverRegistry::global().make_from_spec("prop,pack-tile=4"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      SolverRegistry::global().make_from_spec("prop,pack-share-j=1"),
+      std::invalid_argument);
+  EXPECT_THROW(
       SolverRegistry::global().make_from_spec("prop,pack=4,pack-layout=x"),
       std::invalid_argument);
+  // Malformed pack-tile enumerates the accepted values in the message.
+  try {
+    SolverRegistry::global().make_from_spec("prop,pack=4,pack-tile=huge");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pack-tile"), std::string::npos);
+    EXPECT_NE(what.find("auto"), std::string::npos);
+    EXPECT_NE(what.find("positive"), std::string::npos);
+  }
+  EXPECT_THROW(
+      SolverRegistry::global().make_from_spec("prop,pack=4,pack-tile=0"),
+      std::invalid_argument);
+  const auto tiled = SolverRegistry::global().make_from_spec(
+      "prop,pack=16,pack-tile=8,pack-share-j=1");
+  EXPECT_EQ(tiled->name(), "ising-bsb-pack");
 }
 
 // --------------------------------------------------- end-to-end DALTA runs

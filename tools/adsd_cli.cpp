@@ -219,7 +219,19 @@ int cmd_list_solvers() {
     }
     std::string keys;
     for (const auto& k : entry.keys) {
-      keys += keys.empty() ? k : ", " + k;
+      // The pack-family keys take constrained values; spell them out here
+      // so `list-solvers` is enough to write a valid spec.
+      std::string shown = k;
+      if (k == "pack") {
+        shown = "pack=<K>";
+      } else if (k == "pack-layout") {
+        shown = "pack-layout=auto|slots|blocks";
+      } else if (k == "pack-tile") {
+        shown = "pack-tile=auto|<slots>";
+      } else if (k == "pack-share-j") {
+        shown = "pack-share-j=0|1";
+      }
+      keys += keys.empty() ? shown : ", " + shown;
     }
     const bool takes_kernel =
         std::find(entry.keys.begin(), entry.keys.end(), "kernel") !=
